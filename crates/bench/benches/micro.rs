@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the §5.3 prototype numbers:
+//!
+//! * feature extraction per customer-minute (paper: ~50 ms per customer on
+//!   one Xeon thread for 100 MB/min of NetFlow),
+//! * one online detection step (paper: <10 ms),
+//! * plus component benches: LSTM step, CUSUM update, RF inference,
+//!   packet sampling, and the SAFE loss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xatu_core::config::XatuConfig;
+use xatu_core::model::XatuModel;
+use xatu_detectors::cusum::Cusum;
+use xatu_detectors::rf::{RandomForest, RfConfig};
+use xatu_features::table1::FeatureExtractor;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::binning::MinuteFlows;
+use xatu_netflow::record::{FlowRecord, Protocol, TcpFlags};
+use xatu_netflow::sampler::{PacketSampler, SamplingMode};
+use xatu_nn::init::Initializer;
+use xatu_nn::lstm::{Lstm, LstmState};
+use xatu_survival::safe_loss::safe_loss_and_grad;
+
+fn bin_with_flows(n: usize) -> MinuteFlows {
+    let customer = Ipv4::from_octets(20, 0, 0, 1);
+    let flows = (0..n)
+        .map(|k| FlowRecord {
+            minute: 0,
+            src: Ipv4(0x1E00_0000 + k as u32 * 977),
+            dst: customer,
+            proto: if k % 3 == 0 { Protocol::Tcp } else { Protocol::Udp },
+            src_port: (k % 7) as u16 * 443,
+            dst_port: 80,
+            tcp_flags: TcpFlags::ACK,
+            bytes: 1000 + k as u64,
+            packets: 3,
+            sampling: 10,
+        })
+        .collect();
+    MinuteFlows {
+        minute: 0,
+        customer,
+        flows,
+    }
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut ex = FeatureExtractor::new();
+    let bin = bin_with_flows(40);
+    c.bench_function("feature_extraction_per_customer_minute_40flows", |b| {
+        b.iter(|| black_box(ex.extract(black_box(&bin))))
+    });
+}
+
+fn bench_detection_step(c: &mut Criterion) {
+    let cfg = XatuConfig::default();
+    let model = XatuModel::new(&cfg);
+    let mut state = model.new_streaming_state(cfg.short_len, cfg.medium_len, cfg.long_len);
+    let frame = vec![0.3f64; 273];
+    c.bench_function("xatu_online_detection_step_h24", |b| {
+        b.iter(|| black_box(model.step_streaming(&mut state, black_box(&frame), None, None)))
+    });
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut init = Initializer::new(1);
+    let lstm = Lstm::new(273, 24, &mut init);
+    let state = LstmState::zeros(24);
+    let x = vec![0.2f64; 273];
+    c.bench_function("lstm_step_273x24", |b| {
+        b.iter(|| black_box(lstm.step_online(black_box(&x), black_box(&state))))
+    });
+}
+
+fn bench_cusum(c: &mut Criterion) {
+    let mut cusum = Cusum::new(1000.0, 120.0, 1.0);
+    c.bench_function("cusum_update", |b| {
+        b.iter(|| black_box(cusum.push(black_box(1080.0))))
+    });
+}
+
+fn bench_rf_inference(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..200)
+        .map(|i| (0..819).map(|k| ((i * 31 + k) % 17) as f64 / 17.0).collect())
+        .collect();
+    let ys: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+    let rf = RandomForest::train(&xs, &ys, RfConfig::default());
+    c.bench_function("rf_predict_proba_819d_50trees", |b| {
+        b.iter(|| black_box(rf.predict_proba(black_box(&xs[0]))))
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut sampler = PacketSampler::new(100, SamplingMode::Systematic, 1);
+    let flow = FlowRecord {
+        minute: 0,
+        src: Ipv4(1),
+        dst: Ipv4(2),
+        proto: Protocol::Udp,
+        src_port: 1,
+        dst_port: 2,
+        tcp_flags: TcpFlags::default(),
+        bytes: 150_000,
+        packets: 200,
+        sampling: 1,
+    };
+    c.bench_function("packet_sampler_1_in_100", |b| {
+        b.iter(|| black_box(sampler.sample(black_box(flow))))
+    });
+}
+
+fn bench_safe_loss(c: &mut Criterion) {
+    let hazards: Vec<f64> = (0..30).map(|i| 0.01 + 0.001 * i as f64).collect();
+    c.bench_function("safe_loss_and_grad_30", |b| {
+        b.iter(|| black_box(safe_loss_and_grad(black_box(&hazards), true, 25)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
+              bench_cusum, bench_rf_inference, bench_sampler, bench_safe_loss
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The figure/table reproduction harness.
+//!
+//! ```text
+//! cargo run --release -p xatu-bench --bin figures -- <id|all> [seed]
+//! ```
+//!
+//! Ids: fig2 fig3 fig4a fig4b fig4c fig8 fig9 fig10 fig11 fig12 fig13
+//! fig15 fig17 fig18 tab2. Output goes to stdout (captured into
+//! EXPERIMENTS.md); progress to stderr.
+
+use xatu_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(11);
+
+    let ids: Vec<&str> = if which == "all" {
+        let mut v = EXPERIMENT_IDS.to_vec();
+        v.push("tab2");
+        v
+    } else {
+        vec![which]
+    };
+
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        eprintln!("== running {id} (seed {seed}) ==");
+        let report = run_experiment(id, seed);
+        println!("########## {id} ##########");
+        println!("{report}");
+        eprintln!("== {id} done in {:.1?} ==", t0.elapsed());
+    }
+}

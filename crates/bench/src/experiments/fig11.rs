@@ -1,0 +1,63 @@
+//! Fig 11 — why Xatu works: input-gradient attribution for one attack.
+//!
+//! Trains a model, picks an attack sample whose A2 signal is strong, and
+//! prints the per-timestep, per-block gradient magnitudes for the medium
+//! and short LSTMs — the paper's "A2 gradient is high 22 hours before the
+//! anomaly start" case study.
+
+use xatu_core::gradients::{attribute, Attribution};
+use xatu_core::pipeline::{Pipeline, PipelineConfig};
+use xatu_metrics::table::Table;
+use xatu_netflow::attack::AttackType;
+
+/// Runs the Fig 11 attribution case study.
+pub fn run(seed: u64) -> String {
+    let mut cfg = PipelineConfig::sweep(seed);
+    cfg.with_rf = false;
+    cfg.with_fnm = false;
+    let prepared = Pipeline::new(cfg).prepare();
+
+    // Prefer a UDP model as in the paper; fall back to any trained type.
+    let (ty, model) = prepared
+        .models
+        .iter()
+        .find(|(t, _)| *t == AttackType::UdpFlood)
+        .or_else(|| prepared.models.first())
+        .cloned()
+        .map(|(t, m)| (t, m))
+        .expect("at least one trained model");
+    let mut model = model;
+
+    let sample = prepared
+        .bundle
+        .positives
+        .iter()
+        .find(|s| s.meta.attack_type == ty)
+        .expect("a positive sample of the chosen type");
+
+    let attribution = attribute(&mut model, sample);
+
+    let fold_rows = |rows: &[[f64; 6]], label: &str| -> String {
+        let mut t = Table::new(
+            &format!("Fig 11 ({label}): mean |gradient| per feature block"),
+            &["step", "V", "A1", "A2", "A3", "A4", "A5"],
+        );
+        let stride = (rows.len() / 12).max(1);
+        for (i, row) in rows.iter().enumerate().step_by(stride) {
+            let mut cells = vec![format!("{}", i as i64 - rows.len() as i64 + 1)];
+            for v in row {
+                cells.push(format!("{:.2e}", v));
+            }
+            t.row(&cells);
+        }
+        t.render()
+    };
+
+    let dominant = Attribution::block_name(attribution.dominant_block_medium());
+    format!(
+        "attack type: {} | dominant medium-LSTM block: {dominant}\n\n{}\n{}\n(paper: for a UDP attack the A2 gradient in the medium LSTM is high ~22 h before onset, and the short LSTM picks A2 up ~10 h out even with zero volumetric signal)\n",
+        ty.label(),
+        fold_rows(&attribution.medium, "LSTM-medium"),
+        fold_rows(&attribution.short, "LSTM-short"),
+    )
+}

@@ -1,0 +1,77 @@
+//! Fig 13 — robustness to smart attackers.
+//!
+//! §6.4: attackers that shrink their ramp-up volume (volume-changing) or
+//! pin the ramp rate `dR` (rate-changing) to dodge volumetric detectors.
+//! Xatu with auxiliary signals is compared against Xatu without them; the
+//! paper's shape is that the no-aux variant degrades while full Xatu holds.
+
+use xatu_core::pipeline::{Pipeline, PipelineConfig};
+use xatu_features::frame::FeatureMask;
+use xatu_metrics::percentile::Summary;
+use xatu_metrics::table::Table;
+use xatu_simnet::scenario;
+
+fn eval_world(
+    world: xatu_simnet::WorldConfig,
+    seed: u64,
+    aux: bool,
+) -> (f64, f64, f64) {
+    let mut cfg = PipelineConfig::mini(seed);
+    cfg.world = world;
+    cfg.with_rf = false;
+    cfg.with_fnm = false;
+    cfg.overhead_bound = 0.1;
+    if !aux {
+        cfg.xatu.feature_mask = FeatureMask::volumetric_only();
+    }
+    let report = Pipeline::new(cfg).run();
+    let xatu = report.system("Xatu").expect("xatu evaluated");
+    let eff = Summary::p10_50_90(&xatu.effectiveness_values());
+    let delay = xatu.delay.summary();
+    (eff.median, eff.hi, delay.median)
+}
+
+/// Runs the Fig 13 robustness sweeps.
+pub fn run(seed: u64) -> String {
+    let mut vol = Table::new(
+        "Fig 13(a,b): volume-changing attacker (ramp volume scaled)",
+        &["ramp scale", "Xatu eff med", "Xatu delay med", "no-aux eff med", "no-aux delay med"],
+    );
+    for scale in [1.0, 0.25] {
+        let world = scenario::volume_changing(seed, scale);
+        let (eff_a, _, d_a) = eval_world(world, seed, true);
+        let (eff_n, _, d_n) = eval_world(world, seed, false);
+        vol.row(&[
+            format!("{scale:.2}"),
+            format!("{:.1}%", 100.0 * eff_a),
+            format!("{d_a:+.1}"),
+            format!("{:.1}%", 100.0 * eff_n),
+            format!("{d_n:+.1}"),
+        ]);
+    }
+
+    let mut rate = Table::new(
+        "Fig 13(c,d): rate-changing attacker (dR pinned)",
+        &["dR", "Xatu eff med", "Xatu delay med", "no-aux eff med", "no-aux delay med"],
+    );
+    for dr in [0.5, 2.5] {
+        let world = scenario::rate_changing(seed, dr);
+        let (eff_a, _, d_a) = eval_world(world, seed, true);
+        let (eff_n, _, d_n) = eval_world(world, seed, false);
+        rate.row(&[
+            format!("{dr:.1}"),
+            format!("{:.1}%", 100.0 * eff_a),
+            format!("{d_a:+.1}"),
+            format!("{:.1}%", 100.0 * eff_n),
+            format!("{d_n:+.1}"),
+        ]);
+    }
+
+    format!(
+        "{}\n{}\n(paper shape: full Xatu's effectiveness stays flat as attackers shrink or \
+         re-rate their ramps; without auxiliary signals the median effectiveness drops by \
+         several points and the delay grows, especially at low dR)\n",
+        vol.render(),
+        rate.render()
+    )
+}

@@ -1,0 +1,252 @@
+//! Fig 4 — the auxiliary-signal measurement studies.
+//!
+//! * **4(a)** — per attack, the fraction of actual attacker /24s that were
+//!   previously blocklisted, previously attacked the same customer, or are
+//!   detectably spoofed; reported as a distribution over attacks.
+//! * **4(b)** — the attack-type transition matrix over consecutive attacks
+//!   on the same customer (paper: 97.9 % same-type).
+//! * **4(c)** — correlated attacker groups across customers: the bipartite
+//!   clustering coefficient rises toward correlated waves (also Fig 16).
+
+use std::collections::{HashMap, HashSet};
+use xatu_core::pipeline::PipelineConfig;
+use xatu_features::blocklist::{BlocklistCategory, BlocklistStore};
+use xatu_features::clustering::ClusteringTracker;
+use xatu_metrics::percentile::{percentile, Summary};
+use xatu_metrics::table::Table;
+use xatu_netflow::addr::Subnet24;
+use xatu_netflow::attack::AttackType;
+use xatu_simnet::World;
+
+/// Streams a world and returns per-event attacker-source audits:
+/// (blocklisted %, previous-attacker %, spoofed %) per attack.
+fn audit_sources(world: &mut World) -> Vec<(f64, f64, f64)> {
+    let events: Vec<xatu_simnet::AttackEvent> = world.events().to_vec();
+    let mut blocklists = BlocklistStore::new();
+    for (cat, subnet) in world.blocklist_feed() {
+        blocklists.add(BlocklistCategory::ALL[cat], subnet);
+    }
+
+    // Attack-time sources per event + per-customer attacker history.
+    let mut attack_sources: HashMap<usize, HashSet<Subnet24>> = HashMap::new();
+    let mut spoofed_counts: HashMap<usize, (usize, usize)> = HashMap::new();
+    let mut prev_attackers: HashMap<u32, HashSet<Subnet24>> = HashMap::new();
+    let mut prev_overlap: HashMap<usize, (usize, usize)> = HashMap::new();
+
+    while !world.finished() {
+        let bins = world.step();
+        let minute = bins[0].minute;
+        for bin in &bins {
+            for e in &events {
+                if e.victim != bin.customer || minute < e.onset || minute >= e.end {
+                    continue;
+                }
+                let sig = e.attack_type.signature();
+                for f in &bin.flows {
+                    if !sig.matches(f) {
+                        continue;
+                    }
+                    let s = f.src.subnet24();
+                    let srcs = attack_sources.entry(e.id).or_default();
+                    if srcs.insert(s) {
+                        // Count each distinct source once.
+                        let sp = spoofed_counts.entry(e.id).or_default();
+                        sp.1 += 1;
+                        if f.src.is_bogon() || f.src.octets()[0] == 90 {
+                            sp.0 += 1;
+                        }
+                        let po = prev_overlap.entry(e.id).or_default();
+                        po.1 += 1;
+                        if prev_attackers
+                            .get(&bin.customer.0)
+                            .is_some_and(|set| set.contains(&s))
+                        {
+                            po.0 += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // After the minute: fold this minute's attack sources into the
+        // per-customer history (so *later* attacks see them as previous).
+        for e in &events {
+            if minute + 1 == e.end {
+                if let Some(srcs) = attack_sources.get(&e.id) {
+                    prev_attackers
+                        .entry(e.victim.0)
+                        .or_default()
+                        .extend(srcs.iter().copied());
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (id, sources) in &attack_sources {
+        if sources.is_empty() {
+            continue;
+        }
+        let n = sources.len() as f64;
+        let bl = sources.iter().filter(|s| blocklists.contains(s.base())).count() as f64 / n;
+        let (po, pt) = prev_overlap.get(id).copied().unwrap_or((0, 1));
+        let (so, st) = spoofed_counts.get(id).copied().unwrap_or((0, 1));
+        out.push((bl, po as f64 / pt.max(1) as f64, so as f64 / st.max(1) as f64));
+    }
+    out
+}
+
+/// Fig 4(a): distribution of attacker-source provenance across attacks.
+pub fn run_4a(seed: u64) -> String {
+    let cfg = PipelineConfig::sweep(seed);
+    let mut world = World::new(cfg.world);
+    let audits = audit_sources(&mut world);
+    if audits.is_empty() {
+        return "fig4a: no attacks in the world (unexpected)".into();
+    }
+    let bl: Vec<f64> = audits.iter().map(|a| a.0).collect();
+    let pa: Vec<f64> = audits.iter().map(|a| a.1).collect();
+    let sp: Vec<f64> = audits.iter().map(|a| a.2).collect();
+
+    let mut table = Table::new(
+        "Fig 4(a): % of actual attackers previously seen in each source class",
+        &["class", "p25", "median", "p75", "% attacks with any"],
+    );
+    for (name, v) in [("blocklisted", &bl), ("previous attackers", &pa), ("spoofed", &sp)] {
+        let s = Summary::p25_50_75(v);
+        let any = v.iter().filter(|&&x| x > 0.0).count() as f64 / v.len() as f64;
+        table.row(&[
+            name.to_string(),
+            format!("{:.1}%", 100.0 * s.lo),
+            format!("{:.1}%", 100.0 * s.median),
+            format!("{:.1}%", 100.0 * s.hi),
+            format!("{:.1}%", 100.0 * any),
+        ]);
+    }
+    format!(
+        "{}\n(paper: ~54.9% median blocklisted, ~67.5% previous attackers, ~19.1% spoofed; \
+         sources convert to attackers in 65.7/80/26.3% of attacks)\n",
+        table.render()
+    )
+}
+
+/// Fig 4(b): the attack-type transition matrix.
+pub fn run_4b(seed: u64) -> String {
+    let cfg = PipelineConfig::sweep(seed);
+    let world = World::new(cfg.world);
+    let mut per_victim: HashMap<u32, Vec<(u32, AttackType)>> = HashMap::new();
+    for e in world.events() {
+        per_victim
+            .entry(e.victim.0)
+            .or_default()
+            .push((e.onset, e.attack_type));
+    }
+    let mut matrix = [[0usize; 6]; 6];
+    let mut pairs = 0usize;
+    let mut same = 0usize;
+    for evs in per_victim.values_mut() {
+        evs.sort_unstable_by_key(|(onset, _)| *onset);
+        for w in evs.windows(2) {
+            matrix[w[0].1.index()][w[1].1.index()] += 1;
+            pairs += 1;
+            if w[0].1 == w[1].1 {
+                same += 1;
+            }
+        }
+    }
+    let mut table = Table::new(
+        "Fig 4(b): attack-type transitions (row -> column, % of row)",
+        &["from \\ to", "UDP", "TCP ACK", "TCP SYN", "TCP RST", "DNS Amp", "ICMP"],
+    );
+    for (i, from) in AttackType::ALL.iter().enumerate() {
+        let row_total: usize = matrix[i].iter().sum();
+        if row_total == 0 {
+            continue;
+        }
+        let mut cells = vec![from.label().to_string()];
+        for j in 0..6 {
+            cells.push(format!(
+                "{:.1}%",
+                100.0 * matrix[i][j] as f64 / row_total as f64
+            ));
+        }
+        table.row(&cells);
+    }
+    format!(
+        "{}\nconsecutive same-type pairs: {same}/{pairs} = {:.1}% (paper: 97.9%)\n",
+        table.render(),
+        100.0 * same as f64 / pairs.max(1) as f64
+    )
+}
+
+/// Fig 4(c)/Fig 16: clustering coefficient around correlated waves.
+pub fn run_4c(seed: u64) -> String {
+    let mut cfg = PipelineConfig::sweep(seed);
+    cfg.world.wave_frac = 1.0; // every chain participates in a wave
+    let mut world = World::new(cfg.world);
+    let events: Vec<xatu_simnet::AttackEvent> = world.events().to_vec();
+    let wave_onsets: Vec<u32> = events
+        .iter()
+        .filter(|e| e.wave_id.is_some())
+        .map(|e| e.onset)
+        .collect();
+
+    let mut tracker = ClusteringTracker::new(60);
+    // Clustering coefficient sampled at offsets relative to wave onsets.
+    let offsets: [i64; 5] = [-15, -10, -5, 0, 5];
+    let mut cc_at: HashMap<i64, Vec<f64>> = HashMap::new();
+
+    while !world.finished() {
+        let bins = world.step();
+        let minute = bins[0].minute;
+        for bin in &bins {
+            for e in &events {
+                if e.victim != bin.customer || minute < e.onset || minute >= e.end {
+                    continue;
+                }
+                let sig = e.attack_type.signature();
+                for f in &bin.flows {
+                    if sig.matches(f) && f.src.octets()[0] == 60 {
+                        tracker.record(minute, f.src.subnet24(), bin.customer);
+                    }
+                }
+            }
+        }
+        tracker.expire(minute);
+        for &onset in &wave_onsets {
+            let delta = minute as i64 - onset as i64;
+            if offsets.contains(&delta) {
+                // Mean dot-coefficient across customers under attack.
+                let ccs: Vec<f64> = world
+                    .customers()
+                    .iter()
+                    .map(|&c| tracker.coefficients(c).dot)
+                    .filter(|&v| v > 0.0)
+                    .collect();
+                if !ccs.is_empty() {
+                    cc_at
+                        .entry(delta)
+                        .or_default()
+                        .push(ccs.iter().sum::<f64>() / ccs.len() as f64);
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Fig 4(c)/16: mean clustering coefficient vs minutes from wave onset",
+        &["minutes from onset", "median cc (dot)", "samples"],
+    );
+    for off in offsets {
+        if let Some(v) = cc_at.get(&off) {
+            table.row(&[
+                format!("{off:+}"),
+                format!("{:.4}", percentile(v, 50.0).unwrap_or(f64::NAN)),
+                format!("{}", v.len()),
+            ]);
+        }
+    }
+    format!(
+        "{}\n(paper shape: coefficient rises from −15 min toward detection)\n",
+        table.render()
+    )
+}

@@ -1,0 +1,520 @@
+//! Evaluation plumbing: signature-volume bookkeeping, ground-truth event
+//! construction (CDet alert + CUSUM onset), survival-series → alert
+//! conversion, and per-system metric computation.
+
+use std::collections::HashMap;
+use xatu_detectors::alert::Alert;
+use xatu_detectors::cusum::mark_anomaly_start;
+use xatu_metrics::areas::{integrate_areas, AttackAreas, ScrubWindow};
+use xatu_metrics::delay::{DelayObs, DelayStats};
+use xatu_metrics::effectiveness::EffectivenessRecord;
+use xatu_metrics::overhead::CustomerOverhead;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_netflow::binning::MinuteFlows;
+
+/// Per-(customer, type) per-minute signature-matching volumes for the whole
+/// period. ~24 customers × 6 types × 40 k minutes × 8 B ≈ 46 MB.
+pub struct VolumeStore {
+    total_minutes: usize,
+    /// (customer, type) → per-minute bytes.
+    bytes: HashMap<(Ipv4, AttackType), Vec<f32>>,
+    /// (customer, type) → per-minute packets.
+    packets: HashMap<(Ipv4, AttackType), Vec<f32>>,
+}
+
+impl VolumeStore {
+    /// Creates a store for `total_minutes` minutes.
+    pub fn new(total_minutes: u32) -> Self {
+        VolumeStore {
+            total_minutes: total_minutes as usize,
+            bytes: HashMap::new(),
+            packets: HashMap::new(),
+        }
+    }
+
+    /// Records one customer-minute bin: accumulates signature-matching
+    /// volume for every attack type.
+    pub fn record(&mut self, bin: &MinuteFlows) {
+        for ty in AttackType::ALL {
+            let sig = ty.signature();
+            let mut b = 0.0f64;
+            let mut p = 0.0f64;
+            for f in &bin.flows {
+                if sig.matches(f) {
+                    b += f.est_bytes() as f64;
+                    p += f.est_packets() as f64;
+                }
+            }
+            if b > 0.0 {
+                let key = (bin.customer, ty);
+                let total = self.total_minutes;
+                let bytes = self
+                    .bytes
+                    .entry(key)
+                    .or_insert_with(|| vec![0.0; total]);
+                bytes[bin.minute as usize] += b as f32;
+                let packets = self
+                    .packets
+                    .entry(key)
+                    .or_insert_with(|| vec![0.0; total]);
+                packets[bin.minute as usize] += p as f32;
+            }
+        }
+    }
+
+    /// Bytes series for a (customer, type); zeros if never seen.
+    pub fn bytes_series(&self, customer: Ipv4, ty: AttackType) -> Option<&[f32]> {
+        self.bytes.get(&(customer, ty)).map(Vec::as_slice)
+    }
+
+    /// Bytes at one minute.
+    pub fn bytes_at(&self, customer: Ipv4, ty: AttackType, minute: u32) -> f64 {
+        self.bytes
+            .get(&(customer, ty))
+            .map_or(0.0, |v| v[minute as usize] as f64)
+    }
+
+    /// Packets at one minute.
+    pub fn packets_at(&self, customer: Ipv4, ty: AttackType, minute: u32) -> f64 {
+        self.packets
+            .get(&(customer, ty))
+            .map_or(0.0, |v| v[minute as usize] as f64)
+    }
+
+    /// Bytes as f64 over a range (clipped to the period).
+    pub fn bytes_range(&self, customer: Ipv4, ty: AttackType, start: u32, end: u32) -> Vec<f64> {
+        let end = (end as usize).min(self.total_minutes);
+        let start = (start as usize).min(end);
+        match self.bytes.get(&(customer, ty)) {
+            Some(v) => v[start..end].iter().map(|&x| x as f64).collect(),
+            None => vec![0.0; end - start],
+        }
+    }
+}
+
+/// A ground-truth event: a CDet alert back-annotated with its CUSUM onset.
+#[derive(Clone, Copy, Debug)]
+pub struct GtEvent {
+    /// Victim customer.
+    pub customer: Ipv4,
+    /// Attack type from the CDet alert.
+    pub attack_type: AttackType,
+    /// CUSUM-marked anomaly onset (§2.3 / Appendix A).
+    pub anomaly_start: u32,
+    /// CDet alert minute.
+    pub cdet_detected: u32,
+    /// CDet mitigation-end minute.
+    pub mitigation_end: u32,
+}
+
+impl GtEvent {
+    /// Ground-truth anomalous duration in minutes.
+    pub fn duration(&self) -> u32 {
+        self.mitigation_end.saturating_sub(self.anomaly_start)
+    }
+}
+
+/// Builds ground-truth events from completed CDet alerts using retroactive
+/// CUSUM onset marking over the stored volumes.
+pub fn build_ground_truth(alerts: &[Alert], volumes: &VolumeStore) -> Vec<GtEvent> {
+    alerts
+        .iter()
+        .filter_map(|a| {
+            let end = a.mitigation_end?;
+            let lookback = a.detected_at.saturating_sub(180);
+            let series = volumes.bytes_range(a.customer, a.attack_type, lookback, end);
+            let onset = mark_anomaly_start(&series, lookback, a.detected_at, a.attack_type);
+            Some(GtEvent {
+                customer: a.customer,
+                attack_type: a.attack_type,
+                anomaly_start: onset,
+                cdet_detected: a.detected_at,
+                mitigation_end: end,
+            })
+        })
+        .collect()
+}
+
+/// Converts a per-minute survival (or `1 − p`) series into alert intervals:
+/// raise when the score drops below `threshold`, end after `quiet`
+/// consecutive recovered minutes.
+pub fn alerts_from_score_series(
+    scores: &[f32],
+    base_minute: u32,
+    threshold: f64,
+    quiet: u32,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut open: Option<u32> = None;
+    let mut quiet_run = 0u32;
+    for (i, &s) in scores.iter().enumerate() {
+        let m = base_minute + i as u32;
+        let firing = (s as f64) < threshold;
+        match open {
+            None => {
+                if firing {
+                    open = Some(m);
+                    quiet_run = 0;
+                }
+            }
+            Some(start) => {
+                if firing {
+                    quiet_run = 0;
+                } else {
+                    quiet_run += 1;
+                    if quiet_run >= quiet {
+                        out.push((start, m));
+                        open = None;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(start) = open {
+        out.push((start, base_minute + scores.len() as u32));
+    }
+    out
+}
+
+/// One detection system's alert intervals keyed by (customer, type).
+pub type SystemAlerts = HashMap<(Ipv4, AttackType), Vec<(u32, u32)>>;
+
+/// Converts an [`Alert`] list into interval form (open alerts closed at
+/// `close_at`).
+pub fn intervals_of(alerts: &[Alert], close_at: u32) -> SystemAlerts {
+    let mut map: SystemAlerts = HashMap::new();
+    for a in alerts {
+        map.entry((a.customer, a.attack_type)).or_default().push((
+            a.detected_at,
+            a.mitigation_end.unwrap_or(close_at),
+        ));
+    }
+    for v in map.values_mut() {
+        v.sort_unstable();
+    }
+    map
+}
+
+/// Full evaluation of one system against ground truth over
+/// `[eval_start, eval_end)`.
+pub struct SystemEval {
+    /// System display name.
+    pub name: String,
+    /// Per-event effectiveness records.
+    pub records: Vec<EffectivenessRecord>,
+    /// Detection delays (miss-penalized).
+    pub delay: DelayStats,
+    /// Cumulative per-customer overhead.
+    pub overhead: CustomerOverhead,
+    /// Events detected / total.
+    pub detected: usize,
+}
+
+/// How many minutes before the anomaly onset an alert still counts as
+/// detecting that event (rather than as extraneous scrubbing of an
+/// unrelated blip). Matches the paper's Fig 3 sweep range.
+pub const EARLY_CREDIT: u32 = 15;
+
+/// Evaluates a system's alert intervals against ground truth.
+pub fn evaluate_system(
+    name: &str,
+    alerts: &SystemAlerts,
+    gt: &[GtEvent],
+    volumes: &VolumeStore,
+    eval_start: u32,
+    eval_end: u32,
+) -> SystemEval {
+    let mut records = Vec::new();
+    let mut delay = DelayStats::new();
+    let mut overhead = CustomerOverhead::new();
+    let mut detected = 0usize;
+    // Customer ids for the overhead accumulator: low 16 bits of the IP.
+    let cust_id = |c: Ipv4| c.0 & 0xFFFF;
+
+    let in_eval =
+        |e: &GtEvent| e.cdet_detected >= eval_start && e.cdet_detected < eval_end;
+
+    for e in gt.iter().filter(|e| in_eval(e)) {
+        let windows: Vec<ScrubWindow> = alerts
+            .get(&(e.customer, e.attack_type))
+            .map(|v| {
+                v.iter()
+                    .map(|&(s, t)| ScrubWindow { start: s, end: t })
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Detection time: earliest scrub window overlapping the credited
+        // span of this event.
+        let credit_start = e.anomaly_start.saturating_sub(EARLY_CREDIT);
+        let det = windows
+            .iter()
+            .filter(|w| w.start < e.mitigation_end && w.end > credit_start)
+            .map(|w| w.start)
+            .min();
+        match det {
+            Some(d) => {
+                detected += 1;
+                delay.push(DelayObs::Detected(
+                    d as f64 - e.anomaly_start as f64,
+                ));
+            }
+            None => delay.push(DelayObs::Missed(e.duration())),
+        }
+        let base = credit_start;
+        let volume = volumes.bytes_range(e.customer, e.attack_type, base, e.mitigation_end);
+        let areas = integrate_areas(&volume, base, e.anomaly_start, e.mitigation_end, &windows);
+        overhead.add(cust_id(e.customer), &areas);
+        records.push(EffectivenessRecord {
+            customer: cust_id(e.customer),
+            attack_type: e.attack_type.index(),
+            duration_min: e.duration(),
+            areas,
+        });
+    }
+
+    // False-alert overhead: scrubbed volume outside every ground-truth
+    // anomaly span and outside every credited pre-onset span.
+    for (&(customer, ty), intervals) in alerts {
+        let spans: Vec<(u32, u32)> = gt
+            .iter()
+            .filter(|e| e.customer == customer && e.attack_type == ty)
+            .map(|e| (e.anomaly_start.saturating_sub(EARLY_CREDIT), e.mitigation_end))
+            .collect();
+        let mut extraneous = 0.0;
+        for &(s, t) in intervals {
+            for m in s.max(eval_start)..t.min(eval_end) {
+                if !spans.iter().any(|&(a, b)| m >= a && m < b) {
+                    extraneous += volumes.bytes_at(customer, ty, m);
+                }
+            }
+        }
+        if extraneous > 0.0 {
+            overhead.add_false_alert(cust_id(customer), extraneous);
+        }
+    }
+
+    SystemEval {
+        name: name.to_string(),
+        records,
+        delay,
+        overhead,
+        detected,
+    }
+}
+
+impl SystemEval {
+    /// Effectiveness values per event.
+    pub fn effectiveness_values(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.areas.effectiveness())
+            .collect()
+    }
+
+    /// Total A, B, C sums (diagnostics).
+    pub fn total_areas(&self) -> AttackAreas {
+        let mut t = AttackAreas::default();
+        for r in &self.records {
+            t.a += r.areas.a;
+            t.b += r.areas.b;
+            t.c += r.areas.c;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xatu_netflow::record::{FlowRecord, Protocol, TcpFlags};
+
+    fn udp_bin(minute: u32, customer: Ipv4, bytes: u64) -> MinuteFlows {
+        MinuteFlows {
+            minute,
+            customer,
+            flows: vec![FlowRecord {
+                minute,
+                src: Ipv4(9),
+                dst: customer,
+                proto: Protocol::Udp,
+                src_port: 4000,
+                dst_port: 5000,
+                tcp_flags: TcpFlags::default(),
+                bytes,
+                packets: bytes / 100,
+                sampling: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn volume_store_accumulates_per_signature() {
+        let mut vs = VolumeStore::new(10);
+        let c = Ipv4(1);
+        vs.record(&udp_bin(3, c, 500));
+        assert_eq!(vs.bytes_at(c, AttackType::UdpFlood, 3), 500.0);
+        // UDP flow without src port 53 does not match DNS amp.
+        assert_eq!(vs.bytes_at(c, AttackType::DnsAmplification, 3), 0.0);
+        assert_eq!(vs.bytes_at(c, AttackType::UdpFlood, 4), 0.0);
+        assert_eq!(vs.bytes_range(c, AttackType::UdpFlood, 2, 5), vec![0.0, 500.0, 0.0]);
+    }
+
+    #[test]
+    fn score_series_to_alerts_lifecycle() {
+        // Scores: quiet(1.0) then firing(0.1) then quiet again.
+        let mut scores = vec![1.0f32; 10];
+        scores.extend(vec![0.1f32; 5]);
+        scores.extend(vec![1.0f32; 10]);
+        let alerts = alerts_from_score_series(&scores, 100, 0.5, 3);
+        assert_eq!(alerts, vec![(110, 117)]);
+    }
+
+    #[test]
+    fn open_alert_is_closed_at_series_end() {
+        let mut scores = vec![1.0f32; 3];
+        scores.extend(vec![0.0f32; 4]);
+        let alerts = alerts_from_score_series(&scores, 0, 0.5, 5);
+        assert_eq!(alerts, vec![(3, 7)]);
+    }
+
+    #[test]
+    fn flapping_within_quiet_stays_one_alert() {
+        let scores = vec![1.0, 0.1, 1.0, 0.1, 1.0, 0.1, 1.0, 1.0, 1.0, 1.0f32];
+        let alerts = alerts_from_score_series(&scores, 0, 0.5, 3);
+        assert_eq!(alerts.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_perfect_system() {
+        let mut vs = VolumeStore::new(100);
+        let c = Ipv4(1);
+        for m in 40..50 {
+            vs.record(&udp_bin(m, c, 1000));
+        }
+        let gt = vec![GtEvent {
+            customer: c,
+            attack_type: AttackType::UdpFlood,
+            anomaly_start: 40,
+            cdet_detected: 45,
+            mitigation_end: 50,
+        }];
+        let mut alerts: SystemAlerts = HashMap::new();
+        alerts.insert((c, AttackType::UdpFlood), vec![(40, 50)]);
+        let eval = evaluate_system("x", &alerts, &gt, &vs, 0, 100);
+        assert_eq!(eval.detected, 1);
+        assert_eq!(eval.effectiveness_values(), vec![1.0]);
+        assert_eq!(eval.overhead.ratios(), vec![0.0]);
+        assert_eq!(eval.delay.summary().median, 0.0);
+    }
+
+    #[test]
+    fn late_detection_halves_effectiveness() {
+        let mut vs = VolumeStore::new(100);
+        let c = Ipv4(1);
+        for m in 40..50 {
+            vs.record(&udp_bin(m, c, 1000));
+        }
+        let gt = vec![GtEvent {
+            customer: c,
+            attack_type: AttackType::UdpFlood,
+            anomaly_start: 40,
+            cdet_detected: 45,
+            mitigation_end: 50,
+        }];
+        let mut alerts: SystemAlerts = HashMap::new();
+        alerts.insert((c, AttackType::UdpFlood), vec![(45, 50)]);
+        let eval = evaluate_system("x", &alerts, &gt, &vs, 0, 100);
+        assert_eq!(eval.effectiveness_values(), vec![0.5]);
+        assert_eq!(eval.delay.summary().median, 5.0);
+    }
+
+    #[test]
+    fn missed_event_counts_as_miss() {
+        let vs = VolumeStore::new(100);
+        let gt = vec![GtEvent {
+            customer: Ipv4(1),
+            attack_type: AttackType::UdpFlood,
+            anomaly_start: 40,
+            cdet_detected: 45,
+            mitigation_end: 50,
+        }];
+        let eval = evaluate_system("x", &HashMap::new(), &gt, &vs, 0, 100);
+        assert_eq!(eval.detected, 0);
+        assert_eq!(eval.delay.misses(), 1);
+    }
+
+    #[test]
+    fn false_alert_accrues_customer_overhead() {
+        let mut vs = VolumeStore::new(100);
+        let c = Ipv4(1);
+        // Benign UDP traffic at minutes 10..15 scrubbed by a false alert,
+        // plus a real event later so the ratio is defined.
+        for m in 10..15 {
+            vs.record(&udp_bin(m, c, 200));
+        }
+        for m in 40..50 {
+            vs.record(&udp_bin(m, c, 1000));
+        }
+        let gt = vec![GtEvent {
+            customer: c,
+            attack_type: AttackType::UdpFlood,
+            anomaly_start: 40,
+            cdet_detected: 45,
+            mitigation_end: 50,
+        }];
+        let mut alerts: SystemAlerts = HashMap::new();
+        alerts.insert((c, AttackType::UdpFlood), vec![(10, 15), (40, 50)]);
+        let eval = evaluate_system("x", &alerts, &gt, &vs, 0, 100);
+        // C = 5×200 = 1000; A = 10×1000 = 10000 → 0.1 cumulative.
+        assert_eq!(eval.overhead.ratios(), vec![0.1]);
+        assert_eq!(eval.effectiveness_values(), vec![1.0]);
+    }
+
+    #[test]
+    fn early_detection_within_credit_counts() {
+        let mut vs = VolumeStore::new(100);
+        let c = Ipv4(1);
+        for m in 35..50 {
+            vs.record(&udp_bin(m, c, if m < 40 { 100 } else { 1000 }));
+        }
+        let gt = vec![GtEvent {
+            customer: c,
+            attack_type: AttackType::UdpFlood,
+            anomaly_start: 40,
+            cdet_detected: 45,
+            mitigation_end: 50,
+        }];
+        let mut alerts: SystemAlerts = HashMap::new();
+        alerts.insert((c, AttackType::UdpFlood), vec![(35, 50)]);
+        let eval = evaluate_system("x", &alerts, &gt, &vs, 0, 100);
+        assert_eq!(eval.detected, 1);
+        assert_eq!(eval.delay.summary().median, -5.0);
+        assert_eq!(eval.effectiveness_values(), vec![1.0]);
+        // Pre-onset scrubbing is the C area: 5×100 / 10×1000.
+        assert!((eval.overhead.ratios()[0] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_truth_onset_is_marked_before_detection() {
+        let mut vs = VolumeStore::new(400);
+        let c = Ipv4(1);
+        for m in 0..400 {
+            let bytes = if (370..395).contains(&m) { 50_000 } else { 1_000 };
+            vs.record(&udp_bin(m, c, bytes));
+        }
+        let alerts = vec![Alert {
+            customer: c,
+            attack_type: AttackType::UdpFlood,
+            detected_at: 380,
+            mitigation_end: Some(395),
+        }];
+        let gt = build_ground_truth(&alerts, &vs);
+        assert_eq!(gt.len(), 1);
+        assert!(
+            (368..=372).contains(&gt[0].anomaly_start),
+            "onset {}",
+            gt[0].anomaly_start
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Xatu's core: the multi-timescale LSTM survival model, its trainer, the
+//! online auto-regressive detector, and the end-to-end pipeline.
+//!
+//! Module map (mirrors Fig 5 of the paper):
+//!
+//! * [`config`] — every knob of the system, with paper-scale and
+//!   laptop-scale presets.
+//! * [`sample`] — the training-sample representation: three context
+//!   sequences at 1/10/60-minute granularity plus a detection window, a
+//!   label, and the CDet event step.
+//! * [`model`] — the multi-timescale LSTM (§4.1): three LSTMs over the
+//!   pooled series, a dense combiner, and a softplus hazard head, with full
+//!   hand-derived backpropagation (gradient-checked in tests).
+//! * [`trainer`] — SAFE-loss training with Adam (§4.2, §5.3) and the binary
+//!   cross-entropy ablation (Fig 18(d)).
+//! * [`dataset`] — turning a simulated world plus CDet alerts into balanced
+//!   train/validation sample sets (§5.3) and Table 2 statistics.
+//! * [`online`] — the streaming detector: per-(customer, type) LSTM states,
+//!   rolling survival, thresholded alerts, auto-regressive tracker feedback
+//!   (§5.3: during testing Xatu's own detections feed A2/A4/A5).
+//! * [`pipeline`] — the full experiment: simulate → detect (CDet) → extract
+//!   features → train per-type models → calibrate thresholds on validation
+//!   → evaluate all systems on the test period.
+//! * [`gradients`] — input-gradient attribution (Fig 11: which auxiliary
+//!   signal drove a detection, and when).
+
+pub mod config;
+pub mod dataset;
+pub mod eval;
+pub mod gradients;
+pub mod model;
+pub mod online;
+pub mod pipeline;
+pub mod sample;
+pub mod trainer;
+
+pub use config::XatuConfig;
+pub use model::XatuModel;
+pub use pipeline::{Pipeline, PipelineConfig};

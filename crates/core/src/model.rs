@@ -1,0 +1,770 @@
+//! The multi-timescale LSTM hazard model (Fig 6 of the paper).
+//!
+//! Three LSTMs consume the pooled feature series; a dense layer combines
+//! their hidden states; a softplus head emits the instantaneous hazard
+//! `λ_t ≥ 0` for every step of the detection window.
+//!
+//! During the window the short LSTM steps every minute, while the
+//! medium/long LSTM states refresh only when a full medium/long pooling
+//! bucket of window frames completes (held constant in between) — exactly
+//! the streaming behaviour of the deployed system. The backward pass
+//! routes each window step's combiner gradient to the short trace position
+//! it read and to whichever medium/long trace position was *current* at
+//! that step, then runs BPTT through all three LSTMs. Verified against
+//! finite differences in the tests.
+
+use crate::config::{TimescaleMode, XatuConfig};
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+use xatu_features::frame::NUM_FEATURES;
+use xatu_nn::activations::{dsoftplus, sigmoid, softplus};
+use xatu_nn::init::Initializer;
+use xatu_nn::lstm::{Lstm, LstmState, LstmTrace};
+use xatu_nn::pooling::avg_pool;
+use xatu_nn::{Dense, Params};
+
+/// The model: three LSTMs + combiner + hazard head.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct XatuModel {
+    /// Configuration snapshot (timescales, hidden size, mode).
+    pub cfg: ModelConfig,
+    lstm_short: Lstm,
+    lstm_medium: Lstm,
+    lstm_long: Lstm,
+    head: Dense,
+}
+
+/// The subset of [`XatuConfig`] the model itself needs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// (short, medium, long) pooling granularities in minutes.
+    pub timescales: (u32, u32, u32),
+    /// Hidden units per LSTM.
+    pub hidden: usize,
+    /// Which LSTMs are active.
+    pub mode: TimescaleMode,
+}
+
+impl From<&XatuConfig> for ModelConfig {
+    fn from(c: &XatuConfig) -> Self {
+        ModelConfig {
+            timescales: c.timescales,
+            hidden: c.hidden,
+            mode: c.timescale_mode,
+        }
+    }
+}
+
+/// Everything the backward pass needs from one forward pass.
+pub struct ForwardTrace {
+    /// Short LSTM trace over context ++ window (1-minute granularity).
+    short: LstmTrace,
+    /// Medium LSTM trace over context ++ consumed window buckets.
+    medium: LstmTrace,
+    /// Long LSTM trace over context ++ consumed window buckets.
+    long: LstmTrace,
+    /// Lengths of the pure-context prefixes of each trace.
+    short_ctx: usize,
+    med_ctx: usize,
+    long_ctx: usize,
+    /// Window length (number of hazard outputs).
+    window_len: usize,
+    /// Combiner inputs per window step (cached for Dense backward).
+    combined_inputs: Vec<Vec<f64>>,
+    /// Pre-softplus head outputs (logits).
+    pub logits: Vec<f64>,
+    /// Softplus hazards.
+    pub hazards: Vec<f64>,
+}
+
+impl XatuModel {
+    /// Builds a model with seeded Xavier weights.
+    pub fn new(cfg: &XatuConfig) -> Self {
+        let mut init = Initializer::new(cfg.seed);
+        let h = cfg.hidden;
+        let mut head = Dense::new(3 * h, 1, &mut init);
+        // Rare-event output bias: softplus(−4) ≈ 0.018, so an untrained
+        // model predicts near-certain survival instead of firing on every
+        // quiet minute (which would make threshold calibration impossible
+        // before the loss has pushed quiet-period hazards down).
+        head.bias_mut()[0] = -4.0;
+        XatuModel {
+            cfg: ModelConfig::from(cfg),
+            lstm_short: Lstm::new(NUM_FEATURES, h, &mut init),
+            lstm_medium: Lstm::new(NUM_FEATURES, h, &mut init),
+            lstm_long: Lstm::new(NUM_FEATURES, h, &mut init),
+            head,
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.cfg.hidden
+    }
+
+    /// Runs the model on a sample, producing hazards for each window step.
+    pub fn forward(&self, sample: &Sample) -> ForwardTrace {
+        let short_ctx_frames = Sample::widen(&sample.short);
+        let med_ctx_frames = Sample::widen(&sample.medium);
+        let long_ctx_frames = Sample::widen(&sample.long);
+        let window_frames = Sample::widen(&sample.window);
+        self.forward_frames(
+            &short_ctx_frames,
+            &med_ctx_frames,
+            &long_ctx_frames,
+            &window_frames,
+        )
+    }
+
+    /// Core forward over explicit f64 sequences (also used by attribution).
+    pub fn forward_frames(
+        &self,
+        short_ctx: &[Vec<f64>],
+        med_ctx: &[Vec<f64>],
+        long_ctx: &[Vec<f64>],
+        window: &[Vec<f64>],
+    ) -> ForwardTrace {
+        let (_, med_gran, long_gran) = self.cfg.timescales;
+        let window_len = window.len();
+
+        // Window frames pooled into completed medium/long buckets.
+        let med_buckets = completed_buckets(window, med_gran as usize);
+        let long_buckets = completed_buckets(window, long_gran as usize);
+
+        // Short trace: context ++ window at native granularity.
+        let mut short_seq = short_ctx.to_vec();
+        short_seq.extend(window.iter().cloned());
+        let short = self.lstm_short.forward(&short_seq);
+
+        let mut med_seq = med_ctx.to_vec();
+        med_seq.extend(med_buckets.iter().cloned());
+        let medium = self.lstm_medium.forward(&med_seq);
+
+        let mut long_seq = long_ctx.to_vec();
+        long_seq.extend(long_buckets.iter().cloned());
+        let long = self.lstm_long.forward(&long_seq);
+
+        let (use_s, use_m, use_l) = self.cfg.mode.enabled();
+        let h = self.cfg.hidden;
+        let zero = vec![0.0; h];
+
+        let mut combined_inputs = Vec::with_capacity(window_len);
+        let mut logits = Vec::with_capacity(window_len);
+        let mut hazards = Vec::with_capacity(window_len);
+        for t in 0..window_len {
+            let hs = if use_s {
+                short_hidden(&short, short_ctx.len(), t)
+            } else {
+                &zero
+            };
+            let hm = if use_m {
+                coarse_hidden(&medium, med_ctx.len(), t, med_gran as usize)
+            } else {
+                &zero
+            };
+            let hl = if use_l {
+                coarse_hidden(&long, long_ctx.len(), t, long_gran as usize)
+            } else {
+                &zero
+            };
+            let mut input = Vec::with_capacity(3 * h);
+            input.extend_from_slice(hs);
+            input.extend_from_slice(hm);
+            input.extend_from_slice(hl);
+            let logit = self.head.forward(&input)[0];
+            logits.push(logit);
+            hazards.push(softplus(logit));
+            combined_inputs.push(input);
+        }
+
+        ForwardTrace {
+            short,
+            medium,
+            long,
+            short_ctx: short_ctx.len(),
+            med_ctx: med_ctx.len(),
+            long_ctx: long_ctx.len(),
+            window_len,
+            combined_inputs,
+            logits,
+            hazards,
+        }
+    }
+
+    /// Backward pass from per-step hazard gradients. Set `d_logits_direct`
+    /// instead to skip the softplus (used by the cross-entropy ablation).
+    /// Accumulates parameter gradients; returns per-input gradients when
+    /// `want_dx` (for attribution).
+    pub fn backward(
+        &mut self,
+        trace: &ForwardTrace,
+        d_hazards: Option<&[f64]>,
+        d_logits_direct: Option<&[f64]>,
+        want_dx: bool,
+    ) -> Option<InputGradients> {
+        let h = self.cfg.hidden;
+        let (use_s, use_m, use_l) = self.cfg.mode.enabled();
+        let (_, med_gran, long_gran) = self.cfg.timescales;
+
+        let mut dhs_short = vec![vec![0.0; h]; trace.short.len()];
+        let mut dhs_med = vec![vec![0.0; h]; trace.medium.len()];
+        let mut dhs_long = vec![vec![0.0; h]; trace.long.len()];
+
+        for t in 0..trace.window_len {
+            let dlogit = match (d_hazards, d_logits_direct) {
+                (Some(dh), None) => dh[t] * dsoftplus(trace.logits[t]),
+                (None, Some(dl)) => dl[t],
+                _ => panic!("pass exactly one of d_hazards / d_logits_direct"),
+            };
+            if dlogit == 0.0 {
+                continue;
+            }
+            let dinput = self.head.backward(&trace.combined_inputs[t], &[dlogit]);
+            if use_s {
+                if let Some(pos) = short_pos(trace.short_ctx, t, trace.short.len()) {
+                    acc(&mut dhs_short[pos], &dinput[0..h]);
+                }
+            }
+            if use_m {
+                if let Some(pos) =
+                    coarse_pos(trace.med_ctx, t, med_gran as usize, trace.medium.len())
+                {
+                    acc(&mut dhs_med[pos], &dinput[h..2 * h]);
+                }
+            }
+            if use_l {
+                if let Some(pos) =
+                    coarse_pos(trace.long_ctx, t, long_gran as usize, trace.long.len())
+                {
+                    acc(&mut dhs_long[pos], &dinput[2 * h..3 * h]);
+                }
+            }
+        }
+
+        let (dx_short, _) = self.lstm_short.backward(&trace.short, &dhs_short, want_dx);
+        let (dx_med, _) = self.lstm_medium.backward(&trace.medium, &dhs_med, want_dx);
+        let (dx_long, _) = self.lstm_long.backward(&trace.long, &dhs_long, want_dx);
+
+        if want_dx {
+            Some(InputGradients {
+                short: dx_short.expect("requested"),
+                medium: dx_med.expect("requested"),
+                long: dx_long.expect("requested"),
+                short_ctx: trace.short_ctx,
+                med_ctx: trace.med_ctx,
+                long_ctx: trace.long_ctx,
+                window_len: trace.window_len,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Hazards only (inference convenience).
+    pub fn hazards(&self, sample: &Sample) -> Vec<f64> {
+        self.forward(sample).hazards
+    }
+
+    /// Per-step attack probability under the classification reading
+    /// (`p_t = σ(logit_t)`), used by the cross-entropy ablation.
+    pub fn step_probabilities(&self, sample: &Sample) -> Vec<f64> {
+        self.forward(sample).logits.iter().map(|&l| sigmoid(l)).collect()
+    }
+
+    /// Online stepping state for streaming detection.
+    pub fn new_online_state(&self) -> OnlineState {
+        let h = self.cfg.hidden;
+        OnlineState {
+            short: LstmState::zeros(h),
+            medium: LstmState::zeros(h),
+            long: LstmState::zeros(h),
+        }
+    }
+
+    /// One online step: feed the minute frame to the short LSTM, refresh
+    /// the medium/long states when their pooled buckets complete (callers
+    /// pass `med_bucket`/`long_bucket` when a bucket just completed), and
+    /// return the hazard.
+    pub fn step_online(
+        &self,
+        state: &mut OnlineState,
+        minute_frame: &[f64],
+        med_bucket: Option<&[f64]>,
+        long_bucket: Option<&[f64]>,
+    ) -> f64 {
+        let (use_s, use_m, use_l) = self.cfg.mode.enabled();
+        if use_s {
+            state.short = self.lstm_short.step_online(minute_frame, &state.short);
+        }
+        if use_m {
+            if let Some(b) = med_bucket {
+                state.medium = self.lstm_medium.step_online(b, &state.medium);
+            }
+        }
+        if use_l {
+            if let Some(b) = long_bucket {
+                state.long = self.lstm_long.step_online(b, &state.long);
+            }
+        }
+        let h = self.cfg.hidden;
+        let zero = vec![0.0; h];
+        let mut input = Vec::with_capacity(3 * h);
+        input.extend_from_slice(if use_s { &state.short.h } else { &zero });
+        input.extend_from_slice(if use_m { &state.medium.h } else { &zero });
+        input.extend_from_slice(if use_l { &state.long.h } else { &zero });
+        softplus(self.head.forward(&input)[0])
+    }
+}
+
+/// Streaming LSTM states for one (customer, type).
+#[derive(Clone, Debug)]
+pub struct OnlineState {
+    /// Short LSTM state.
+    pub short: LstmState,
+    /// Medium LSTM state.
+    pub medium: LstmState,
+    /// Long LSTM state.
+    pub long: LstmState,
+}
+
+/// A pair of staggered LSTM states with bounded context age.
+///
+/// Training always runs the LSTMs from a zero state over a context of
+/// `period` steps; a naive streaming state instead accumulates thousands of
+/// steps, drifting away from the training distribution and mis-calibrating
+/// the hazard head. The dual state fixes that: both states step on every
+/// input, the *aged* one (context length in `[period, 2·period)`) produces
+/// the output, and on reaching `2·period` it is replaced by the fresh one
+/// (which by then has exactly `period` steps of context) — so the serving
+/// context length always matches training.
+#[derive(Clone, Debug)]
+pub struct DualState {
+    aged: LstmState,
+    fresh: LstmState,
+    aged_age: u32,
+    fresh_age: u32,
+    period: u32,
+}
+
+impl DualState {
+    /// Creates a dual state for a given hidden size and reset period.
+    pub fn new(hidden: usize, period: u32) -> Self {
+        DualState {
+            aged: LstmState::zeros(hidden),
+            fresh: LstmState::zeros(hidden),
+            // Pretend the aged state already has `period` context so the
+            // first promotion happens when the fresh one is fully warmed.
+            aged_age: period.max(1),
+            fresh_age: 0,
+            period: period.max(1),
+        }
+    }
+
+    /// Steps both states and returns the aged hidden state.
+    pub fn step(&mut self, lstm: &Lstm, x: &[f64]) -> &[f64] {
+        self.aged = lstm.step_online(x, &self.aged);
+        self.fresh = lstm.step_online(x, &self.fresh);
+        self.aged_age += 1;
+        self.fresh_age += 1;
+        if self.aged_age >= 2 * self.period {
+            std::mem::swap(&mut self.aged, &mut self.fresh);
+            self.aged_age = self.fresh_age;
+            self.fresh = LstmState::zeros(self.aged.h.len());
+            self.fresh_age = 0;
+        }
+        &self.aged.h
+    }
+
+    /// The current output hidden state without stepping.
+    pub fn hidden(&self) -> &[f64] {
+        &self.aged.h
+    }
+}
+
+/// Streaming state with bounded-context dual LSTM states, used by the
+/// online detector.
+#[derive(Clone, Debug)]
+pub struct StreamingState {
+    /// Short-timescale dual state (steps every minute).
+    pub short: DualState,
+    /// Medium-timescale dual state (steps on completed medium buckets).
+    pub medium: DualState,
+    /// Long-timescale dual state (steps on completed long buckets).
+    pub long: DualState,
+}
+
+impl XatuModel {
+    /// Creates a streaming state whose reset periods mirror the training
+    /// context lengths.
+    pub fn new_streaming_state(&self, short_len: usize, med_len: usize, long_len: usize) -> StreamingState {
+        let h = self.cfg.hidden;
+        StreamingState {
+            short: DualState::new(h, short_len as u32),
+            medium: DualState::new(h, med_len as u32),
+            long: DualState::new(h, long_len as u32),
+        }
+    }
+
+    /// One streaming step with bounded-context states; mirrors
+    /// [`XatuModel::step_online`] but keeps the serving distribution
+    /// aligned with training.
+    pub fn step_streaming(
+        &self,
+        state: &mut StreamingState,
+        minute_frame: &[f64],
+        med_bucket: Option<&[f64]>,
+        long_bucket: Option<&[f64]>,
+    ) -> f64 {
+        let (use_s, use_m, use_l) = self.cfg.mode.enabled();
+        if use_s {
+            state.short.step(&self.lstm_short, minute_frame);
+        }
+        if use_m {
+            if let Some(b) = med_bucket {
+                state.medium.step(&self.lstm_medium, b);
+            }
+        }
+        if use_l {
+            if let Some(b) = long_bucket {
+                state.long.step(&self.lstm_long, b);
+            }
+        }
+        let h = self.cfg.hidden;
+        let zero = vec![0.0; h];
+        let mut input = Vec::with_capacity(3 * h);
+        input.extend_from_slice(if use_s { state.short.hidden() } else { &zero });
+        input.extend_from_slice(if use_m { state.medium.hidden() } else { &zero });
+        input.extend_from_slice(if use_l { state.long.hidden() } else { &zero });
+        softplus(self.head.forward(&input)[0])
+    }
+}
+
+/// Per-input gradients for attribution, split by sequence.
+pub struct InputGradients {
+    /// d/d(short sequence) — context ++ window positions.
+    pub short: Vec<Vec<f64>>,
+    /// d/d(medium sequence).
+    pub medium: Vec<Vec<f64>>,
+    /// d/d(long sequence).
+    pub long: Vec<Vec<f64>>,
+    /// Context prefix lengths.
+    pub short_ctx: usize,
+    /// Medium context prefix length.
+    pub med_ctx: usize,
+    /// Long context prefix length.
+    pub long_ctx: usize,
+    /// Window length.
+    pub window_len: usize,
+}
+
+impl Params for XatuModel {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.lstm_short.visit(f);
+        self.lstm_medium.visit(f);
+        self.lstm_long.visit(f);
+        self.head.visit(f);
+    }
+}
+
+/// Pools window frames into fully-completed buckets of `gran` minutes.
+fn completed_buckets(window: &[Vec<f64>], gran: usize) -> Vec<Vec<f64>> {
+    let n_complete = window.len() / gran;
+    if n_complete == 0 {
+        return Vec::new();
+    }
+    avg_pool(&window[..n_complete * gran], gran)
+}
+
+/// Position in the short trace the head reads at window step `t`;
+/// `None` if the trace is empty.
+fn short_pos(ctx: usize, t: usize, trace_len: usize) -> Option<usize> {
+    let pos = ctx + t;
+    (pos < trace_len).then_some(pos)
+}
+
+/// The short hidden state at window step `t`.
+fn short_hidden<'a>(trace: &'a LstmTrace, ctx: usize, t: usize) -> &'a [f64] {
+    &trace.hs[ctx + t]
+}
+
+/// Position in a coarse trace current at window step `t`:
+/// `ctx − 1 + floor(t / gran)` buckets consumed; `None` before any state
+/// exists (empty context and no bucket yet).
+fn coarse_pos(ctx: usize, t: usize, gran: usize, trace_len: usize) -> Option<usize> {
+    let consumed = t / gran; // buckets completed strictly before step t+1
+    let pos = ctx + consumed;
+    if pos == 0 {
+        return None;
+    }
+    Some((pos - 1).min(trace_len.saturating_sub(1)))
+}
+
+/// The coarse (medium/long) hidden state current at window step `t`.
+fn coarse_hidden<'a>(trace: &'a LstmTrace, ctx: usize, t: usize, gran: usize) -> &'a [f64] {
+    static EMPTY: [f64; 0] = [];
+    match coarse_pos(ctx, t, gran, trace.len()) {
+        Some(pos) if !trace.is_empty() => &trace.hs[pos],
+        _ => {
+            // No state yet: the caller's zero vector must be used instead;
+            // this branch is unreachable given ctx >= 1 in practice.
+            let _ = &EMPTY;
+            unreachable!("coarse hidden requested with no context and no buckets")
+        }
+    }
+}
+
+fn acc(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleMeta;
+    use xatu_netflow::addr::Ipv4;
+    use xatu_netflow::attack::AttackType;
+    use xatu_nn::gradcheck::check_params_gradient_sampled;
+    use xatu_survival::safe_loss::safe_loss_and_grad;
+
+    /// A tiny config so gradient checks stay fast; feature dim is the real
+    /// 273 (the model is hard-wired to Table 1 width).
+    fn cfg() -> XatuConfig {
+        XatuConfig {
+            timescales: (1, 3, 6),
+            short_len: 5,
+            medium_len: 4,
+            long_len: 3,
+            window: 7,
+            hidden: 3,
+            ..XatuConfig::smoke_test()
+        }
+    }
+
+    fn sample(c: &XatuConfig, label: bool) -> Sample {
+        let frame = |s: usize, t: usize| -> Vec<f32> {
+            (0..NUM_FEATURES)
+                .map(|k| 0.3 * (((s * 31 + t * 7 + k) % 17) as f32 / 17.0 - 0.5))
+                .collect()
+        };
+        Sample {
+            short: (0..c.short_len).map(|t| frame(0, t)).collect(),
+            medium: (0..c.medium_len).map(|t| frame(1, t)).collect(),
+            long: (0..c.long_len).map(|t| frame(2, t)).collect(),
+            window: (0..c.window).map(|t| frame(3, t)).collect(),
+            label,
+            event_step: if label { 5 } else { 7 },
+            anomaly_step: label.then_some(3),
+            meta: SampleMeta {
+                customer: Ipv4(1),
+                attack_type: AttackType::UdpFlood,
+                window_start: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn forward_emits_one_hazard_per_window_step() {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        let s = sample(&c, true);
+        let trace = model.forward(&s);
+        assert_eq!(trace.hazards.len(), c.window);
+        assert!(trace.hazards.iter().all(|&h| h >= 0.0));
+    }
+
+    #[test]
+    fn full_model_gradient_check_survival_loss() {
+        let c = cfg();
+        let mut model = XatuModel::new(&c);
+        let s = sample(&c, true);
+        let loss_fn = |m: &mut XatuModel| {
+            let tr = m.forward(&s);
+            safe_loss_and_grad(&tr.hazards, s.label, s.event_step).loss
+        };
+        let max_rel = check_params_gradient_sampled(
+            &mut model,
+            loss_fn,
+            |m| {
+                let tr = m.forward(&s);
+                let g = safe_loss_and_grad(&tr.hazards, s.label, s.event_step);
+                m.backward(&tr, Some(&g.dl_dhazard), None, false);
+            },
+            1e-4,
+            37,
+        );
+        assert!(max_rel < 1e-4, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn full_model_gradient_check_censored_sample() {
+        let c = cfg();
+        let mut model = XatuModel::new(&c);
+        let s = sample(&c, false);
+        let max_rel = check_params_gradient_sampled(
+            &mut model,
+            |m| {
+                let tr = m.forward(&s);
+                safe_loss_and_grad(&tr.hazards, false, s.event_step).loss
+            },
+            |m| {
+                let tr = m.forward(&s);
+                let g = safe_loss_and_grad(&tr.hazards, false, s.event_step);
+                m.backward(&tr, Some(&g.dl_dhazard), None, false);
+            },
+            1e-4,
+            37,
+        );
+        assert!(max_rel < 1e-4, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn gradient_check_each_timescale_mode() {
+        for mode in [
+            TimescaleMode::ShortOnly,
+            TimescaleMode::NoMedium,
+            TimescaleMode::NoLong,
+            TimescaleMode::NoShort,
+        ] {
+            let mut c = cfg();
+            c.timescale_mode = mode;
+            let mut model = XatuModel::new(&c);
+            let s = sample(&c, true);
+            let max_rel = check_params_gradient_sampled(
+                &mut model,
+                |m| {
+                    let tr = m.forward(&s);
+                    safe_loss_and_grad(&tr.hazards, true, s.event_step).loss
+                },
+                |m| {
+                    let tr = m.forward(&s);
+                    let g = safe_loss_and_grad(&tr.hazards, true, s.event_step);
+                    m.backward(&tr, Some(&g.dl_dhazard), None, false);
+                },
+                1e-4,
+                37,
+            );
+            assert!(max_rel < 1e-4, "{mode:?}: max relative error {max_rel}");
+        }
+    }
+
+    #[test]
+    fn online_stepping_matches_batch_forward() {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        let s = sample(&c, true);
+
+        // Batch.
+        let trace = model.forward(&s);
+
+        // Online: replay context, then the window minute by minute with
+        // bucket completions at the pooled granularities.
+        let short_ctx = Sample::widen(&s.short);
+        let med_ctx = Sample::widen(&s.medium);
+        let long_ctx = Sample::widen(&s.long);
+        let window = Sample::widen(&s.window);
+
+        let mut st = model.new_online_state();
+        for f in &short_ctx {
+            st.short = model.lstm_short.step_online(f, &st.short);
+        }
+        for f in &med_ctx {
+            st.medium = model.lstm_medium.step_online(f, &st.medium);
+        }
+        for f in &long_ctx {
+            st.long = model.lstm_long.step_online(f, &st.long);
+        }
+        let med_gran = c.timescales.1 as usize;
+        let long_gran = c.timescales.2 as usize;
+        for (t, frame) in window.iter().enumerate() {
+            // A bucket completes *before* step t when t % gran == 0, t > 0.
+            let med_bucket = (t > 0 && t % med_gran == 0).then(|| {
+                avg_pool(&window[t - med_gran..t], med_gran)[0].clone()
+            });
+            let long_bucket = (t > 0 && t % long_gran == 0).then(|| {
+                avg_pool(&window[t - long_gran..t], long_gran)[0].clone()
+            });
+            let hz = model.step_online(
+                &mut st,
+                frame,
+                med_bucket.as_deref(),
+                long_bucket.as_deref(),
+            );
+            assert!(
+                (hz - trace.hazards[t]).abs() < 1e-9,
+                "t={t}: online {hz} vs batch {}",
+                trace.hazards[t]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let c = cfg();
+        let mut model = XatuModel::new(&c);
+        let s = sample(&c, true);
+        let targets: Vec<f64> = (0..c.window)
+            .map(|t| if s.label && t + 1 >= s.anomaly_step.unwrap() { 1.0 } else { 0.0 })
+            .collect();
+        let bce = |logits: &[f64]| -> f64 {
+            logits
+                .iter()
+                .zip(&targets)
+                .map(|(&l, &y)| {
+                    // Stable BCE-with-logits.
+                    l.max(0.0) - l * y + (-l.abs()).exp().ln_1p()
+                })
+                .sum()
+        };
+        let max_rel = check_params_gradient_sampled(
+            &mut model,
+            |m| bce(&m.forward(&s).logits),
+            |m| {
+                let tr = m.forward(&s);
+                let dl: Vec<f64> = tr
+                    .logits
+                    .iter()
+                    .zip(&targets)
+                    .map(|(&l, &y)| sigmoid(l) - y)
+                    .collect();
+                m.backward(&tr, None, Some(&dl), false);
+            },
+            1e-4,
+            37,
+        );
+        assert!(max_rel < 1e-4, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        let s = sample(&c, true);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: XatuModel = serde_json::from_str(&json).unwrap();
+        let a = model.hazards(&s);
+        let b = back.hazards(&s);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_gradients_have_trace_shapes() {
+        let c = cfg();
+        let mut model = XatuModel::new(&c);
+        let s = sample(&c, true);
+        let tr = model.forward(&s);
+        let g = safe_loss_and_grad(&tr.hazards, true, s.event_step);
+        let gx = model
+            .backward(&tr, Some(&g.dl_dhazard), None, true)
+            .expect("input grads");
+        assert_eq!(gx.short.len(), c.short_len + c.window);
+        assert_eq!(gx.medium.len(), c.medium_len + c.window / 3);
+        assert_eq!(gx.long.len(), c.long_len + c.window / 6);
+        // Window steps influence the loss, so late short grads are nonzero.
+        let late: f64 = gx.short[c.short_len].iter().map(|v| v.abs()).sum();
+        assert!(late > 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The streaming, auto-regressive Xatu detector.
+//!
+//! One [`OnlineDetector`] instance serves one attack type across all
+//! customers. Per customer it keeps the three LSTM states, a partial
+//! medium/long pooling bucket, and a rolling survival accumulator over the
+//! last `window` hazards. An alert is raised when the rolling survival
+//! drops below the calibrated threshold and ends after it has recovered
+//! for a quiet period — the "consistent detection" behaviour §4.2 asks for.
+//!
+//! Auto-regression (§5.3): the pipeline feeds every alert this detector
+//! raises back into the A2/A4/A5 trackers of the feature extractor it is
+//! served features from.
+
+use crate::config::XatuConfig;
+use crate::model::{StreamingState, XatuModel};
+use std::collections::HashMap;
+use xatu_detectors::alert::Alert;
+use xatu_detectors::traits::DetectorEvent;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_survival::hazard::RollingSurvival;
+
+/// Per-customer streaming state.
+#[derive(Clone)]
+struct CustomerState {
+    lstm: StreamingState,
+    survival: RollingSurvival,
+    /// Partial medium bucket: (sum, count).
+    med_partial: (Vec<f64>, u32),
+    /// Partial long bucket.
+    long_partial: (Vec<f64>, u32),
+    active: Option<Alert>,
+    quiet_run: u32,
+    last_survival: f64,
+    /// Observations seen so far (for warm-up suppression).
+    observed: u32,
+}
+
+/// The streaming detector for one attack type.
+#[derive(Clone)]
+pub struct OnlineDetector {
+    model: XatuModel,
+    attack_type: AttackType,
+    threshold: f64,
+    window: usize,
+    quiet: u32,
+    /// Per-customer observations to ignore before alerting: LSTM states
+    /// need to settle from their cold start (the paper's stabilization
+    /// period serves the same purpose at evaluation scale).
+    warmup: u32,
+    /// Training context lengths: the streaming dual states reset on these
+    /// periods so serving matches the training distribution.
+    ctx_lens: (usize, usize, usize),
+    /// Maximum alert duration: the scrubbing centre stops diverting a
+    /// customer's traffic once it runs clean (§2.1), so a stuck alert is
+    /// force-ended after this many minutes and must re-trigger.
+    max_alert_minutes: u32,
+    customers: HashMap<Ipv4, CustomerState>,
+}
+
+impl OnlineDetector {
+    /// Wraps a trained model with a calibrated threshold.
+    pub fn new(model: XatuModel, attack_type: AttackType, threshold: f64, cfg: &XatuConfig) -> Self {
+        OnlineDetector {
+            model,
+            attack_type,
+            threshold,
+            window: cfg.window,
+            quiet: 5,
+            warmup: 2 * cfg.window as u32,
+            ctx_lens: (cfg.short_len, cfg.medium_len, cfg.long_len),
+            max_alert_minutes: 45,
+            customers: HashMap::new(),
+        }
+    }
+
+    /// Overrides the warm-up length (observations per customer before
+    /// alerts may fire).
+    pub fn set_warmup(&mut self, warmup: u32) {
+        self.warmup = warmup;
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Updates the threshold (re-calibration between periods).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The attack type this detector serves.
+    pub fn attack_type(&self) -> AttackType {
+        self.attack_type
+    }
+
+    /// Feeds one minute's feature frame for `customer`; returns the hazard,
+    /// the rolling survival, and any lifecycle events.
+    pub fn observe(
+        &mut self,
+        customer: Ipv4,
+        minute: u32,
+        frame: &[f64],
+    ) -> (f64, f64, Vec<DetectorEvent>) {
+        let dim = frame.len();
+        let (_, med_gran, long_gran) = self.model.cfg.timescales;
+        let window = self.window;
+        let (sl, ml, ll) = self.ctx_lens;
+        let state = self.customers.entry(customer).or_insert_with(|| CustomerState {
+            lstm: self.model.new_streaming_state(sl, ml, ll),
+            survival: RollingSurvival::new(window),
+            med_partial: (vec![0.0; dim], 0),
+            long_partial: (vec![0.0; dim], 0),
+            active: None,
+            quiet_run: 0,
+            last_survival: 1.0,
+            observed: 0,
+        });
+
+        // Accumulate pooling buckets; complete ones step the coarse LSTMs.
+        let med_bucket = accumulate(&mut state.med_partial, frame, med_gran);
+        let long_bucket = accumulate(&mut state.long_partial, frame, long_gran);
+
+        let hazard = self.model.step_streaming(
+            &mut state.lstm,
+            frame,
+            med_bucket.as_deref(),
+            long_bucket.as_deref(),
+        );
+        let survival = state.survival.push(hazard);
+        state.last_survival = survival;
+        state.observed += 1;
+
+        let mut events = Vec::new();
+        if state.observed <= self.warmup {
+            return (hazard, survival, events);
+        }
+        match state.active {
+            None => {
+                if survival < self.threshold {
+                    let alert = Alert {
+                        customer,
+                        attack_type: self.attack_type,
+                        detected_at: minute,
+                        mitigation_end: None,
+                    };
+                    state.active = Some(alert);
+                    state.quiet_run = 0;
+                    events.push(DetectorEvent::Raised(alert));
+                }
+            }
+            Some(mut alert) => {
+                let over_cap =
+                    minute.saturating_sub(alert.detected_at) >= self.max_alert_minutes;
+                if survival < self.threshold && !over_cap {
+                    state.quiet_run = 0;
+                } else {
+                    state.quiet_run += 1;
+                    if state.quiet_run >= self.quiet || over_cap {
+                        alert.mitigation_end = Some(minute);
+                        state.active = None;
+                        state.quiet_run = 0;
+                        events.push(DetectorEvent::Ended(alert));
+                    }
+                }
+            }
+        }
+        (hazard, survival, events)
+    }
+
+    /// The current rolling survival for a customer (1.0 if unseen).
+    pub fn survival_of(&self, customer: Ipv4) -> f64 {
+        self.customers
+            .get(&customer)
+            .map_or(1.0, |s| s.last_survival)
+    }
+
+    /// Forces any open alerts to end at `minute` (end of evaluation).
+    pub fn close_all(&mut self, minute: u32) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        for state in self.customers.values_mut() {
+            if let Some(mut alert) = state.active.take() {
+                alert.mitigation_end = Some(minute);
+                events.push(DetectorEvent::Ended(alert));
+            }
+        }
+        events
+    }
+}
+
+/// Adds `frame` to a partial bucket; when `gran` frames accumulated,
+/// returns the averaged bucket and resets.
+fn accumulate(partial: &mut (Vec<f64>, u32), frame: &[f64], gran: u32) -> Option<Vec<f64>> {
+    for (a, v) in partial.0.iter_mut().zip(frame) {
+        *a += v;
+    }
+    partial.1 += 1;
+    if partial.1 == gran {
+        let inv = 1.0 / gran as f64;
+        let bucket = partial.0.iter().map(|v| v * inv).collect();
+        partial.0.iter_mut().for_each(|v| *v = 0.0);
+        partial.1 = 0;
+        Some(bucket)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XatuConfig;
+    use crate::sample::{Sample, SampleMeta};
+    use crate::trainer::train;
+    use xatu_features::frame::NUM_FEATURES;
+
+    fn cfg() -> XatuConfig {
+        XatuConfig {
+            timescales: (1, 3, 6),
+            short_len: 8,
+            medium_len: 6,
+            long_len: 4,
+            window: 6,
+            hidden: 5,
+            epochs: 40,
+            batch_size: 4,
+            lr: 2e-2,
+            ..XatuConfig::smoke_test()
+        }
+    }
+
+    fn frame(v: f64) -> Vec<f64> {
+        let mut f = vec![0.0; NUM_FEATURES];
+        f[0] = v;
+        f
+    }
+
+    /// Trains a model to fire when feature 0 ramps.
+    fn trained_model(c: &XatuConfig) -> XatuModel {
+        let mut samples = Vec::new();
+        for i in 0..16 {
+            let label = i % 2 == 0;
+            let f32frame = |v: f32| -> Vec<f32> {
+                let mut f = vec![0.0f32; NUM_FEATURES];
+                f[0] = v;
+                f
+            };
+            let window: Vec<Vec<f32>> = (0..c.window)
+                .map(|t| {
+                    if label && t >= 2 {
+                        f32frame(2.0)
+                    } else {
+                        f32frame(0.05)
+                    }
+                })
+                .collect();
+            samples.push(Sample {
+                short: vec![f32frame(0.05); c.short_len],
+                medium: vec![f32frame(0.05); c.medium_len],
+                long: vec![f32frame(0.05); c.long_len],
+                window,
+                label,
+                event_step: c.window,
+                anomaly_step: label.then_some(3),
+                meta: SampleMeta {
+                    customer: Ipv4(i as u32),
+                    attack_type: AttackType::UdpFlood,
+                    window_start: 0,
+                },
+            });
+        }
+        let mut model = XatuModel::new(c);
+        train(&mut model, &samples, c);
+        model
+    }
+
+    #[test]
+    fn quiet_stream_never_alerts() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        for m in 0..200 {
+            let (_, s, events) = det.observe(Ipv4(1), m, &frame(0.05));
+            assert!(events.is_empty(), "minute {m}: survival {s}");
+            if m > 30 {
+                assert!(s > 0.5, "minute {m}: settled survival {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_triggers_alert_and_recovery_ends_it() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        let mut raised = None;
+        let mut ended = None;
+        for m in 0..300u32 {
+            let v = if (100..140).contains(&m) { 2.0 } else { 0.05 };
+            let (_, _, events) = det.observe(Ipv4(1), m, &frame(v));
+            for e in events {
+                match e {
+                    DetectorEvent::Raised(a) => raised = Some(a.detected_at),
+                    DetectorEvent::Ended(a) => ended = Some(a.mitigation_end.unwrap()),
+                }
+            }
+        }
+        let raised = raised.expect("alert raised");
+        let ended = ended.expect("alert ended");
+        // Dual-state context promotion plus the rolling window add lag in
+        // this tiny configuration; the alert must land on (or right after)
+        // the surge, and must end once survival recovers.
+        assert!((100..155).contains(&raised), "raised at {raised}");
+        assert!(ended > raised, "ended at {ended}");
+    }
+
+    #[test]
+    fn customers_are_independent() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        let mut cust2_alerts = 0;
+        for m in 0..160u32 {
+            let v1 = if m >= 100 { 2.0 } else { 0.05 };
+            det.observe(Ipv4(1), m, &frame(v1));
+            let (_, _, ev) = det.observe(Ipv4(2), m, &frame(0.05));
+            cust2_alerts += ev.len();
+        }
+        assert_eq!(cust2_alerts, 0);
+        assert!(det.survival_of(Ipv4(1)) < det.survival_of(Ipv4(2)));
+    }
+
+    #[test]
+    fn close_all_ends_open_alerts() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        for m in 0..130u32 {
+            let v = if m >= 100 { 2.0 } else { 0.05 };
+            det.observe(Ipv4(1), m, &frame(v));
+        }
+        let events = det.close_all(130);
+        assert_eq!(events.len(), 1);
+        if let DetectorEvent::Ended(a) = events[0] {
+            assert_eq!(a.mitigation_end, Some(130));
+        }
+    }
+
+    #[test]
+    fn threshold_zero_never_fires() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.0, &c);
+        for m in 0..150u32 {
+            let (_, _, ev) = det.observe(Ipv4(1), m, &frame(2.0));
+            assert!(ev.is_empty());
+        }
+    }
+}

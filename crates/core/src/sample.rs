@@ -1,0 +1,122 @@
+//! Training samples: the multi-timescale sequences plus the survival label.
+
+use serde::{Deserialize, Serialize};
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+
+/// One (attack or non-attack) time series, ready for the model.
+///
+/// Feature frames are stored as `f32` to halve memory; the model widens to
+/// `f64` at its input boundary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    /// Short-granularity context, oldest first (length ≤ `short_len`).
+    pub short: Vec<Vec<f32>>,
+    /// Medium-granularity context.
+    pub medium: Vec<Vec<f32>>,
+    /// Long-granularity context.
+    pub long: Vec<Vec<f32>>,
+    /// The detection window at 1-minute granularity (length ≤ `window`).
+    pub window: Vec<Vec<f32>>,
+    /// `c`: true if a CDet alert labels this series as an attack.
+    pub label: bool,
+    /// `t_i`, 1-based step within `window`: CDet detection step for attack
+    /// series, the window length for censored series.
+    pub event_step: usize,
+    /// Step within `window` (1-based) where the ground-truth anomaly
+    /// starts, when known (used by the cross-entropy ablation and metrics).
+    pub anomaly_step: Option<usize>,
+    /// Bookkeeping.
+    pub meta: SampleMeta,
+}
+
+/// Provenance of a sample.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SampleMeta {
+    /// Customer the series belongs to.
+    pub customer: Ipv4,
+    /// Attack type this series is labelled for.
+    pub attack_type: AttackType,
+    /// Absolute minute of the first window frame.
+    pub window_start: u32,
+}
+
+impl Sample {
+    /// Widened views of the sequences for the f64 model.
+    pub fn widen(v: &[Vec<f32>]) -> Vec<Vec<f64>> {
+        v.iter()
+            .map(|f| f.iter().map(|&x| x as f64).collect())
+            .collect()
+    }
+
+    /// Rough memory footprint in bytes (capacity planning).
+    pub fn approx_bytes(&self) -> usize {
+        (self.short.len() + self.medium.len() + self.long.len() + self.window.len())
+            * self.short.first().map_or(273, Vec::len)
+            * std::mem::size_of::<f32>()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on inconsistent event steps.
+    pub fn validate(&self) {
+        assert!(!self.window.is_empty(), "empty detection window");
+        assert!(
+            self.event_step >= 1 && self.event_step <= self.window.len(),
+            "event_step {} outside window of {}",
+            self.event_step,
+            self.window.len()
+        );
+        if let Some(a) = self.anomaly_step {
+            assert!(a >= 1 && a <= self.window.len(), "anomaly_step {a} bad");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample {
+            short: vec![vec![0.0f32; 4]; 3],
+            medium: vec![vec![0.0f32; 4]; 2],
+            long: vec![vec![0.0f32; 4]; 2],
+            window: vec![vec![0.0f32; 4]; 5],
+            label: true,
+            event_step: 3,
+            anomaly_step: Some(2),
+            meta: SampleMeta {
+                customer: Ipv4(1),
+                attack_type: AttackType::UdpFlood,
+                window_start: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn widen_preserves_values() {
+        let w = Sample::widen(&[vec![1.5f32, -2.0]]);
+        assert_eq!(w, vec![vec![1.5f64, -2.0]]);
+    }
+
+    #[test]
+    fn validate_accepts_good_sample() {
+        sample().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "event_step")]
+    fn validate_rejects_bad_event_step() {
+        let mut s = sample();
+        s.event_step = 9;
+        s.validate();
+    }
+
+    #[test]
+    fn approx_bytes_counts_frames() {
+        let s = sample();
+        assert_eq!(s.approx_bytes(), (3 + 2 + 2 + 5) * 4 * 4);
+    }
+}

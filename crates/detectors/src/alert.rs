@@ -1,0 +1,77 @@
+//! Alert records shared by every detector.
+
+use serde::{Deserialize, Serialize};
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::{AttackType, Signature};
+
+/// One detection event with its lifecycle timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Victim customer address.
+    pub customer: Ipv4,
+    /// Detected attack type (drives the signature).
+    pub attack_type: AttackType,
+    /// Minute the detector raised the alert.
+    pub detected_at: u32,
+    /// Minute the mitigation-end notice fired (traffic back to normal),
+    /// `None` while the attack is still considered active.
+    pub mitigation_end: Option<u32>,
+}
+
+impl Alert {
+    /// The anomalous-traffic signature this alert diverts to scrubbing.
+    pub fn signature(&self) -> Signature {
+        self.attack_type.signature()
+    }
+
+    /// Alert duration in minutes, if mitigation has ended.
+    pub fn duration(&self) -> Option<u32> {
+        self.mitigation_end
+            .map(|e| e.saturating_sub(self.detected_at))
+    }
+
+    /// True if the alert is active at `minute` (detected, not yet ended).
+    pub fn active_at(&self, minute: u32) -> bool {
+        minute >= self.detected_at && self.mitigation_end.is_none_or(|e| minute < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert() -> Alert {
+        Alert {
+            customer: Ipv4(7),
+            attack_type: AttackType::UdpFlood,
+            detected_at: 100,
+            mitigation_end: Some(110),
+        }
+    }
+
+    #[test]
+    fn duration_and_activity() {
+        let a = alert();
+        assert_eq!(a.duration(), Some(10));
+        assert!(a.active_at(100));
+        assert!(a.active_at(109));
+        assert!(!a.active_at(110));
+        assert!(!a.active_at(99));
+    }
+
+    #[test]
+    fn open_alert_is_active_indefinitely() {
+        let mut a = alert();
+        a.mitigation_end = None;
+        assert!(a.active_at(1_000_000));
+        assert_eq!(a.duration(), None);
+    }
+
+    #[test]
+    fn signature_comes_from_type() {
+        assert_eq!(
+            alert().signature(),
+            AttackType::UdpFlood.signature()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline DDoS detection systems.
+//!
+//! Xatu is a *booster*, not a replacement — it is evaluated against and
+//! labelled by existing detectors. This crate implements every detector the
+//! paper uses:
+//!
+//! * [`cusum`] — the CUSUM change-point statistic of Appendix A, used
+//!   retrospectively to mark ground-truth anomaly starts before each CDet
+//!   alert.
+//! * [`netscout`] — a conservative commercial-style detector (profiled
+//!   thresholds + sustained-anomaly confirmation), standing in for the Arbor
+//!   NetScout appliance that produced the paper's labels.
+//! * [`fastnetmon`] — a lighter dynamic-threshold detector in the style of
+//!   the open-source FastNetMon, the paper's second CDet (Fig 18(a)).
+//! * [`rf`] — a from-scratch Random Forest (CART trees, gini impurity,
+//!   bootstrap + feature subsampling), the paper's supervised-ML baseline.
+//! * [`alert`] — alert records shared by all detectors.
+//! * [`traits`] — the streaming [`traits::Detector`] interface.
+
+pub mod alert;
+pub mod cusum;
+pub mod fastnetmon;
+pub mod netscout;
+pub mod rf;
+pub mod traits;
+
+pub use alert::Alert;
+pub use cusum::{mark_anomaly_start, Cusum};
+pub use fastnetmon::FastNetMon;
+pub use netscout::NetScout;
+pub use rf::{RandomForest, RfConfig};
+pub use traits::{Detector, DetectorEvent};

@@ -1,0 +1,212 @@
+//! Public-blocklist store (auxiliary signal A1).
+//!
+//! §5.1: Xatu consumes 11 categories of public blocklists, converted to /24
+//! subnets, collected over the observation period. The store keeps one /24
+//! set per category, supports feed updates (blocklists churn), and answers
+//! "is this source blocklisted" with an optional category filter — the
+//! latter drives the per-category ablation of Fig 17 / Appendix E.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use xatu_netflow::addr::{Ipv4, Subnet24};
+
+/// The 11 blocklist categories modelled after the paper's selection
+/// (DDoS sources, reflectors, VoIP attackers, C&C servers, and bots of
+/// specific malware families).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlocklistCategory {
+    /// Known DDoS attack sources.
+    DdosSource,
+    /// Abusable reflectors (open resolvers, NTP, memcached …).
+    Reflector,
+    /// VoIP/SIP attackers.
+    Voip,
+    /// Botnet command-and-control servers.
+    CommandAndControl,
+    /// Generic scanner lists.
+    Scanner,
+    /// Mirai-family bots.
+    BotMirai,
+    /// Gafgyt-family bots.
+    BotGafgyt,
+    /// Generic IoT bots.
+    BotIot,
+    /// Spam sources (weakly correlated but cheap).
+    Spam,
+    /// Bruteforcers (SSH/RDP).
+    Bruteforce,
+    /// Aggregated community blocklists.
+    Community,
+}
+
+impl BlocklistCategory {
+    /// All categories in a fixed order.
+    pub const ALL: [BlocklistCategory; 11] = [
+        BlocklistCategory::DdosSource,
+        BlocklistCategory::Reflector,
+        BlocklistCategory::Voip,
+        BlocklistCategory::CommandAndControl,
+        BlocklistCategory::Scanner,
+        BlocklistCategory::BotMirai,
+        BlocklistCategory::BotGafgyt,
+        BlocklistCategory::BotIot,
+        BlocklistCategory::Spam,
+        BlocklistCategory::Bruteforce,
+        BlocklistCategory::Community,
+    ];
+
+    /// Index into [`BlocklistCategory::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            BlocklistCategory::DdosSource => "ddos-source",
+            BlocklistCategory::Reflector => "reflector",
+            BlocklistCategory::Voip => "voip",
+            BlocklistCategory::CommandAndControl => "c2",
+            BlocklistCategory::Scanner => "scanner",
+            BlocklistCategory::BotMirai => "bot-mirai",
+            BlocklistCategory::BotGafgyt => "bot-gafgyt",
+            BlocklistCategory::BotIot => "bot-iot",
+            BlocklistCategory::Spam => "spam",
+            BlocklistCategory::Bruteforce => "bruteforce",
+            BlocklistCategory::Community => "community",
+        }
+    }
+}
+
+/// The /24-granularity blocklist store.
+#[derive(Clone, Debug, Default)]
+pub struct BlocklistStore {
+    sets: [HashSetWrap; 11],
+    enabled: [bool; 11],
+}
+
+// Newtype so we can derive Default for the fixed-size array.
+#[derive(Clone, Debug, Default)]
+struct HashSetWrap(HashSet<Subnet24>);
+
+impl BlocklistStore {
+    /// Creates an empty store with every category enabled.
+    pub fn new() -> Self {
+        BlocklistStore {
+            sets: Default::default(),
+            enabled: [true; 11],
+        }
+    }
+
+    /// Adds a /24 to a category (feed update).
+    pub fn add(&mut self, category: BlocklistCategory, subnet: Subnet24) {
+        self.sets[category.index()].0.insert(subnet);
+    }
+
+    /// Adds an address by its containing /24 (the paper's normalisation).
+    pub fn add_addr(&mut self, category: BlocklistCategory, addr: Ipv4) {
+        self.add(category, addr.subnet24());
+    }
+
+    /// Removes a /24 from a category (delisting).
+    pub fn remove(&mut self, category: BlocklistCategory, subnet: Subnet24) {
+        self.sets[category.index()].0.remove(&subnet);
+    }
+
+    /// Enables/disables a category — the Fig 17 ablation switch. Disabled
+    /// categories keep their entries but stop matching.
+    pub fn set_enabled(&mut self, category: BlocklistCategory, enabled: bool) {
+        self.enabled[category.index()] = enabled;
+    }
+
+    /// True if `addr`'s /24 is on any *enabled* blocklist.
+    pub fn contains(&self, addr: Ipv4) -> bool {
+        let s = addr.subnet24();
+        self.sets
+            .iter()
+            .zip(&self.enabled)
+            .any(|(set, &en)| en && set.0.contains(&s))
+    }
+
+    /// True if `addr`'s /24 is on the given category (ignores enablement).
+    pub fn contains_in(&self, category: BlocklistCategory, addr: Ipv4) -> bool {
+        self.sets[category.index()].0.contains(&addr.subnet24())
+    }
+
+    /// Number of /24 entries in a category.
+    pub fn category_len(&self, category: BlocklistCategory) -> usize {
+        self.sets[category.index()].0.len()
+    }
+
+    /// Total entries across categories (with multiplicity).
+    pub fn total_len(&self) -> usize {
+        self.sets.iter().map(|s| s.0.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4::from_octets(a, b, c, d)
+    }
+
+    #[test]
+    fn slash24_normalisation() {
+        let mut bl = BlocklistStore::new();
+        bl.add_addr(BlocklistCategory::DdosSource, addr(1, 2, 3, 4));
+        // Any host in the same /24 matches.
+        assert!(bl.contains(addr(1, 2, 3, 200)));
+        assert!(!bl.contains(addr(1, 2, 4, 4)));
+    }
+
+    #[test]
+    fn category_isolation() {
+        let mut bl = BlocklistStore::new();
+        bl.add_addr(BlocklistCategory::Scanner, addr(5, 5, 5, 5));
+        assert!(bl.contains_in(BlocklistCategory::Scanner, addr(5, 5, 5, 9)));
+        assert!(!bl.contains_in(BlocklistCategory::Spam, addr(5, 5, 5, 9)));
+    }
+
+    #[test]
+    fn disabling_a_category_stops_matches() {
+        let mut bl = BlocklistStore::new();
+        bl.add_addr(BlocklistCategory::BotMirai, addr(9, 9, 9, 9));
+        assert!(bl.contains(addr(9, 9, 9, 1)));
+        bl.set_enabled(BlocklistCategory::BotMirai, false);
+        assert!(!bl.contains(addr(9, 9, 9, 1)));
+        // contains_in ignores enablement (used by audits).
+        assert!(bl.contains_in(BlocklistCategory::BotMirai, addr(9, 9, 9, 1)));
+        bl.set_enabled(BlocklistCategory::BotMirai, true);
+        assert!(bl.contains(addr(9, 9, 9, 1)));
+    }
+
+    #[test]
+    fn delisting() {
+        let mut bl = BlocklistStore::new();
+        let s = addr(7, 7, 7, 0).subnet24();
+        bl.add(BlocklistCategory::Community, s);
+        assert_eq!(bl.category_len(BlocklistCategory::Community), 1);
+        bl.remove(BlocklistCategory::Community, s);
+        assert!(!bl.contains(addr(7, 7, 7, 7)));
+        assert_eq!(bl.total_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let mut bl = BlocklistStore::new();
+        bl.add_addr(BlocklistCategory::Voip, addr(3, 3, 3, 3));
+        bl.add_addr(BlocklistCategory::Voip, addr(3, 3, 3, 77));
+        assert_eq!(bl.category_len(BlocklistCategory::Voip), 1);
+    }
+
+    #[test]
+    fn all_categories_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in BlocklistCategory::ALL {
+            assert!(seen.insert(c.index()));
+        }
+        assert_eq!(seen.len(), 11);
+    }
+}

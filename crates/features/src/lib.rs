@@ -1,0 +1,39 @@
+//! Xatu's 273-feature extractor (Table 1 of the paper).
+//!
+//! Per customer and per minute, Xatu extracts a 273-dimensional feature
+//! vector from sampled NetFlow plus auxiliary trackers:
+//!
+//! | block | features | width | offset |
+//! |-------|----------|-------|--------|
+//! | V     | volumetric (unique sources; mean/max traffic; per-proto; popular src/dst ports; TCP flags; 10 countries — bytes & packets) | 63 | 0 |
+//! | A1    | the same volumetric block restricted to flows from *blocklisted* sources | 63 | 63 |
+//! | A2    | … from *previous attackers* of the same customer | 63 | 126 |
+//! | A3    | … from *spoofed* sources | 63 | 189 |
+//! | A4    | attack-history severity (low/med/high × 6 attack types) | 18 | 252 |
+//! | A5    | attacker-group clustering coefficient (dot/min/max) | 3 | 270 |
+//!
+//! Modules:
+//!
+//! * [`frame`] — the fixed feature layout and [`frame::FeatureFrame`] type.
+//! * [`volumetric`] — the 63-feature volumetric block over a flow subset.
+//! * [`blocklist`] — the 11-category public-blocklist store (A1).
+//! * [`prev_attackers`] — per-customer previous-attacker tracker (A2).
+//! * [`spoof`] — bogon / unrouted / invalid-origin spoof classifier (A3).
+//! * [`history`] — per-customer attack-severity history (A4).
+//! * [`clustering`] — bipartite attacker-group clustering coefficient (A5).
+//! * [`table1`] — the [`table1::FeatureExtractor`] tying it all together.
+//! * [`pooled_history`] — per-customer multi-timescale pooled series
+//!   (1/10/60-minute), the model's input buffers.
+
+pub mod blocklist;
+pub mod clustering;
+pub mod frame;
+pub mod history;
+pub mod pooled_history;
+pub mod prev_attackers;
+pub mod spoof;
+pub mod table1;
+pub mod volumetric;
+
+pub use frame::{FeatureFrame, FeatureMask, NUM_FEATURES};
+pub use table1::FeatureExtractor;

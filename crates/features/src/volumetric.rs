@@ -1,0 +1,280 @@
+//! The 63-feature volumetric block.
+//!
+//! Computed over one minute of flows toward one customer, optionally
+//! restricted by a source predicate (the A1/A2/A3 blocks apply the same
+//! computation to blocklisted / previous-attacker / spoofed sources).
+//!
+//! Layout (width 63), with `(†)` meaning a bytes and a packets variant:
+//!
+//! ```text
+//!  0      unique source /32 addresses
+//!  1..5   mean, max of per-flow traffic (†)             — 4
+//!  5..11  UDP, TCP, ICMP traffic (†)                    — 6
+//! 11..21  traffic from 5 popular source ports (†)       — 10
+//! 21..31  traffic to 5 popular destination ports (†)    — 10
+//! 31..43  traffic with 6 TCP flags (†)                  — 12
+//! 43..63  traffic from 10 popular countries (†)         — 20
+//! ```
+//!
+//! Appendix D pins the port list to {0, 53, 80, 123, 443} and the country
+//! list to the ten in [`xatu_netflow::country::Country::POPULAR`]. Byte/packet counts use the
+//! sampling-upscaled estimates, and all counts are log-compressed with
+//! `ln(1+x)` so the LSTM sees bounded dynamic range (raw totals span nine
+//! orders of magnitude).
+
+use crate::frame::VOLUMETRIC_WIDTH;
+use std::collections::HashSet;
+use xatu_netflow::country::CountryMapper;
+use xatu_netflow::record::{FlowRecord, Protocol, TcpFlags};
+
+/// The five "popular ports" of Appendix D.
+pub const POPULAR_PORTS: [u16; 5] = [0, 53, 80, 123, 443];
+
+/// Log-compression applied to every count feature, scaled so typical
+/// byte counts land near 1–3: raw `ln(1+x)` spans ~0–25 across nine
+/// decades of traffic volume, which would saturate the LSTM gates after
+/// the 273-wide input projection (|z| ≈ √n·σ_w·x). The divisor keeps the
+/// post-projection pre-activations in the responsive range of tanh/σ.
+#[inline]
+pub fn compress(x: f64) -> f64 {
+    x.max(0.0).ln_1p() / 8.0
+}
+
+/// Computes the 63-feature volumetric block over the flows selected by
+/// `select`. Pass `|_| true` for the V block.
+pub fn volumetric_block<F>(
+    flows: &[FlowRecord],
+    mapper: &CountryMapper,
+    mut select: F,
+) -> [f64; VOLUMETRIC_WIDTH]
+where
+    F: FnMut(&FlowRecord) -> bool,
+{
+    let mut out = [0.0f64; VOLUMETRIC_WIDTH];
+    let mut sources: HashSet<u32> = HashSet::new();
+    let mut n_flows = 0usize;
+    let mut sum_bytes = 0.0f64;
+    let mut sum_packets = 0.0f64;
+    let mut max_bytes = 0.0f64;
+    let mut max_packets = 0.0f64;
+    // (bytes, packets) accumulators.
+    let mut proto = [[0.0f64; 2]; 3]; // UDP, TCP, ICMP
+    let mut sport = [[0.0f64; 2]; 5];
+    let mut dport = [[0.0f64; 2]; 5];
+    let mut flags = [[0.0f64; 2]; 6];
+    let mut country = [[0.0f64; 2]; 10];
+
+    for f in flows {
+        if !select(f) {
+            continue;
+        }
+        let b = f.est_bytes() as f64;
+        let p = f.est_packets() as f64;
+        sources.insert(f.src.0);
+        n_flows += 1;
+        sum_bytes += b;
+        sum_packets += p;
+        max_bytes = max_bytes.max(b);
+        max_packets = max_packets.max(p);
+        match f.proto {
+            Protocol::Udp => {
+                proto[0][0] += b;
+                proto[0][1] += p;
+            }
+            Protocol::Tcp => {
+                proto[1][0] += b;
+                proto[1][1] += p;
+            }
+            Protocol::Icmp => {
+                proto[2][0] += b;
+                proto[2][1] += p;
+            }
+            Protocol::Other(_) => {}
+        }
+        if let Some(i) = POPULAR_PORTS.iter().position(|&pp| pp == f.src_port) {
+            sport[i][0] += b;
+            sport[i][1] += p;
+        }
+        if let Some(i) = POPULAR_PORTS.iter().position(|&pp| pp == f.dst_port) {
+            dport[i][0] += b;
+            dport[i][1] += p;
+        }
+        if f.proto == Protocol::Tcp {
+            for (i, flag) in TcpFlags::ALL.iter().enumerate() {
+                if f.tcp_flags.has(*flag) {
+                    flags[i][0] += b;
+                    flags[i][1] += p;
+                }
+            }
+        }
+        if let Some(i) = mapper.country(f.src).popular_index() {
+            country[i][0] += b;
+            country[i][1] += p;
+        }
+    }
+
+    let mean_bytes = if n_flows > 0 {
+        sum_bytes / n_flows as f64
+    } else {
+        0.0
+    };
+    let mean_packets = if n_flows > 0 {
+        sum_packets / n_flows as f64
+    } else {
+        0.0
+    };
+
+    out[0] = compress(sources.len() as f64);
+    out[1] = compress(mean_bytes);
+    out[2] = compress(max_bytes);
+    out[3] = compress(mean_packets);
+    out[4] = compress(max_packets);
+    let mut k = 5;
+    for pair in proto.iter().chain(&sport).chain(&dport).chain(&flags).chain(&country) {
+        out[k] = compress(pair[0]);
+        out[k + 1] = compress(pair[1]);
+        k += 2;
+    }
+    debug_assert_eq!(k, VOLUMETRIC_WIDTH);
+    out
+}
+
+/// Feature index helpers into a volumetric block.
+pub mod idx {
+    /// Unique source count.
+    pub const UNIQUE_SOURCES: usize = 0;
+    /// Mean flow bytes.
+    pub const MEAN_BYTES: usize = 1;
+    /// Max flow bytes.
+    pub const MAX_BYTES: usize = 2;
+    /// UDP bytes.
+    pub const UDP_BYTES: usize = 5;
+    /// TCP bytes.
+    pub const TCP_BYTES: usize = 7;
+    /// ICMP bytes.
+    pub const ICMP_BYTES: usize = 9;
+    /// Start of the per-source-port (bytes, packets) pairs.
+    pub const SRC_PORTS: usize = 11;
+    /// Start of the per-destination-port pairs.
+    pub const DST_PORTS: usize = 21;
+    /// Start of the per-TCP-flag pairs.
+    pub const TCP_FLAGS: usize = 31;
+    /// Start of the per-country pairs.
+    pub const COUNTRIES: usize = 43;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xatu_netflow::addr::Ipv4;
+
+    fn flow(src: u32, proto: Protocol, sport: u16, flags: TcpFlags, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            minute: 0,
+            src: Ipv4(src),
+            dst: Ipv4(42),
+            proto,
+            src_port: sport,
+            dst_port: 80,
+            tcp_flags: flags,
+            bytes,
+            packets: bytes / 100,
+            sampling: 1,
+        }
+    }
+
+    #[test]
+    fn empty_flows_give_zero_block() {
+        let mapper = CountryMapper::new();
+        let block = volumetric_block(&[], &mapper, |_| true);
+        assert!(block.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unique_sources_counted_once() {
+        let mapper = CountryMapper::new();
+        let flows = vec![
+            flow(1, Protocol::Udp, 53, TcpFlags::default(), 1000),
+            flow(1, Protocol::Udp, 53, TcpFlags::default(), 1000),
+            flow(2, Protocol::Udp, 53, TcpFlags::default(), 1000),
+        ];
+        let block = volumetric_block(&flows, &mapper, |_| true);
+        assert!((block[idx::UNIQUE_SOURCES] - compress(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protocol_disaggregation() {
+        let mapper = CountryMapper::new();
+        let flows = vec![
+            flow(1, Protocol::Udp, 1, TcpFlags::default(), 1000),
+            flow(2, Protocol::Tcp, 1, TcpFlags::ACK, 2000),
+            flow(3, Protocol::Icmp, 0, TcpFlags::default(), 300),
+        ];
+        let block = volumetric_block(&flows, &mapper, |_| true);
+        assert!((block[idx::UDP_BYTES] - compress(1000.0)).abs() < 1e-12);
+        assert!((block[idx::TCP_BYTES] - compress(2000.0)).abs() < 1e-12);
+        assert!((block[idx::ICMP_BYTES] - compress(300.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popular_src_port_bucketing() {
+        let mapper = CountryMapper::new();
+        let flows = vec![
+            flow(1, Protocol::Udp, 53, TcpFlags::default(), 500),
+            flow(2, Protocol::Udp, 9999, TcpFlags::default(), 700), // unpopular
+        ];
+        let block = volumetric_block(&flows, &mapper, |_| true);
+        // Port 53 is POPULAR_PORTS[1] -> bytes at SRC_PORTS + 2*1.
+        assert!((block[idx::SRC_PORTS + 2] - compress(500.0)).abs() < 1e-12);
+        // Port 0 bucket untouched.
+        assert_eq!(block[idx::SRC_PORTS], 0.0);
+    }
+
+    #[test]
+    fn tcp_flags_only_counted_for_tcp() {
+        let mapper = CountryMapper::new();
+        // A UDP flow with garbage flag bits must not pollute flag features.
+        let flows = vec![flow(1, Protocol::Udp, 1, TcpFlags(0xFF), 1000)];
+        let block = volumetric_block(&flows, &mapper, |_| true);
+        for i in 0..12 {
+            assert_eq!(block[idx::TCP_FLAGS + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_flag_flows_count_in_each_flag_bucket() {
+        let mapper = CountryMapper::new();
+        let flows = vec![flow(
+            1,
+            Protocol::Tcp,
+            1,
+            TcpFlags::SYN.union(TcpFlags::ACK),
+            800,
+        )];
+        let block = volumetric_block(&flows, &mapper, |_| true);
+        // SYN is TcpFlags::ALL[0], ACK is ALL[1].
+        assert!(block[idx::TCP_FLAGS] > 0.0);
+        assert!(block[idx::TCP_FLAGS + 2] > 0.0);
+        assert_eq!(block[idx::TCP_FLAGS + 4], 0.0); // RST untouched
+    }
+
+    #[test]
+    fn selector_restricts_the_block() {
+        let mapper = CountryMapper::new();
+        let flows = vec![
+            flow(1, Protocol::Udp, 1, TcpFlags::default(), 1000),
+            flow(2, Protocol::Udp, 1, TcpFlags::default(), 9000),
+        ];
+        let all = volumetric_block(&flows, &mapper, |_| true);
+        let only1 = volumetric_block(&flows, &mapper, |f| f.src == Ipv4(1));
+        assert!(only1[idx::UDP_BYTES] < all[idx::UDP_BYTES]);
+        assert!((only1[idx::UNIQUE_SOURCES] - compress(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_is_monotone_and_zero_at_zero() {
+        assert_eq!(compress(0.0), 0.0);
+        assert!(compress(10.0) < compress(100.0));
+        assert_eq!(compress(-5.0), 0.0, "negative counts clamp");
+    }
+}

@@ -1,0 +1,117 @@
+//! Detection delay.
+//!
+//! Delay = detection minute − ground-truth anomaly-start minute. Negative
+//! values mean the detector fired *before* the anomaly (possible for Xatu,
+//! which acts on preparation signals). Missed attacks have no delay value;
+//! they are reported separately as a miss count, and optionally penalized
+//! with the attack duration (the "no detection until the end of the time
+//! series" tail behaviour the paper notes for RF).
+
+use crate::percentile::Summary;
+
+/// Per-attack delay observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayObs {
+    /// Attack detected `minutes` after (negative: before) anomaly start.
+    Detected(f64),
+    /// Attack never detected; carries the attack duration in minutes.
+    Missed(u32),
+}
+
+/// Collects delays and summarizes them.
+#[derive(Clone, Debug, Default)]
+pub struct DelayStats {
+    obs: Vec<DelayObs>,
+}
+
+impl DelayStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, obs: DelayObs) {
+        self.obs.push(obs);
+    }
+
+    /// Number of attacks observed.
+    pub fn total(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Number of missed attacks.
+    pub fn misses(&self) -> usize {
+        self.obs
+            .iter()
+            .filter(|o| matches!(o, DelayObs::Missed(_)))
+            .count()
+    }
+
+    /// Delay values, with misses penalized as the full attack duration.
+    pub fn values_with_miss_penalty(&self) -> Vec<f64> {
+        self.obs
+            .iter()
+            .map(|o| match o {
+                DelayObs::Detected(d) => *d,
+                DelayObs::Missed(dur) => *dur as f64,
+            })
+            .collect()
+    }
+
+    /// Delay values over detected attacks only.
+    pub fn detected_values(&self) -> Vec<f64> {
+        self.obs
+            .iter()
+            .filter_map(|o| match o {
+                DelayObs::Detected(d) => Some(*d),
+                DelayObs::Missed(_) => None,
+            })
+            .collect()
+    }
+
+    /// 10/50/90 summary with miss penalty (the paper's reporting style).
+    pub fn summary(&self) -> Summary {
+        Summary::p10_50_90(&self.values_with_miss_penalty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_with_misses_penalized() {
+        let mut d = DelayStats::new();
+        d.push(DelayObs::Detected(-2.0));
+        d.push(DelayObs::Detected(1.0));
+        d.push(DelayObs::Missed(15));
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.misses(), 1);
+        let s = d.summary();
+        assert_eq!(s.median, 1.0);
+        assert_eq!(s.hi, 15.0);
+    }
+
+    #[test]
+    fn detected_only_excludes_misses() {
+        let mut d = DelayStats::new();
+        d.push(DelayObs::Detected(3.0));
+        d.push(DelayObs::Missed(10));
+        assert_eq!(d.detected_values(), vec![3.0]);
+    }
+
+    #[test]
+    fn negative_delay_means_early() {
+        let mut d = DelayStats::new();
+        d.push(DelayObs::Detected(-9.5));
+        assert_eq!(d.summary().median, -9.5);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let d = DelayStats::new();
+        assert_eq!(d.total(), 0);
+        assert!(d.summary().median.is_nan());
+    }
+}

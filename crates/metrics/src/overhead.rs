@@ -1,0 +1,124 @@
+//! Cumulative per-customer scrubbing overhead.
+//!
+//! §2.4: "We report cumulative overhead per customer of a network provider,
+//! over multiple attack instances, i.e. Σ_at C / Σ_at A." Extraneous traffic
+//! from false alerts on never-attacked customers has `A = 0`; those
+//! customers are tracked separately (`false_alert_customers`) because a
+//! ratio is undefined for them.
+
+use crate::areas::AttackAreas;
+use crate::percentile::Summary;
+use std::collections::BTreeMap;
+
+/// Accumulates C and A per customer across attacks.
+#[derive(Clone, Debug, Default)]
+pub struct CustomerOverhead {
+    sums: BTreeMap<u32, (f64, f64)>, // customer -> (sum C, sum A)
+}
+
+impl CustomerOverhead {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one attack's areas for `customer`.
+    pub fn add(&mut self, customer: u32, areas: &AttackAreas) {
+        let e = self.sums.entry(customer).or_insert((0.0, 0.0));
+        e.0 += areas.c;
+        e.1 += areas.a;
+    }
+
+    /// Adds extraneous scrubbed volume not attributable to any attack
+    /// (a false alert on this customer).
+    pub fn add_false_alert(&mut self, customer: u32, extraneous: f64) {
+        let e = self.sums.entry(customer).or_insert((0.0, 0.0));
+        e.0 += extraneous;
+    }
+
+    /// Cumulative overhead per customer, for customers with `A > 0`.
+    pub fn ratios(&self) -> Vec<f64> {
+        self.sums
+            .values()
+            .filter(|(_, a)| *a > 0.0)
+            .map(|(c, a)| c / a)
+            .collect()
+    }
+
+    /// Customers that accumulated extraneous traffic but had no attacks.
+    pub fn false_alert_customers(&self) -> usize {
+        self.sums
+            .values()
+            .filter(|(c, a)| *a == 0.0 && *c > 0.0)
+            .count()
+    }
+
+    /// 25/50/75 summary of per-customer overhead, the paper's box format.
+    pub fn summary(&self) -> Summary {
+        Summary::p25_50_75(&self.ratios())
+    }
+
+    /// The 75th-percentile overhead — the calibration constraint statistic.
+    pub fn p75(&self) -> f64 {
+        crate::percentile::percentile(&self.ratios(), 75.0).unwrap_or(0.0)
+    }
+
+    /// Number of customers with at least one attack.
+    pub fn attacked_customers(&self) -> usize {
+        self.sums.values().filter(|(_, a)| *a > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas(c: f64, a: f64) -> AttackAreas {
+        AttackAreas { a, b: 0.0, c }
+    }
+
+    #[test]
+    fn cumulative_ratio_sums_before_dividing() {
+        let mut o = CustomerOverhead::new();
+        // Two attacks on customer 1: (C=10,A=100) and (C=0,A=100).
+        o.add(1, &areas(10.0, 100.0));
+        o.add(1, &areas(0.0, 100.0));
+        // Cumulative 10/200 = 0.05, NOT mean(0.1, 0.0) computed per attack.
+        assert_eq!(o.ratios(), vec![0.05]);
+    }
+
+    #[test]
+    fn false_alert_customers_tracked_separately() {
+        let mut o = CustomerOverhead::new();
+        o.add_false_alert(7, 55.0);
+        o.add(1, &areas(1.0, 10.0));
+        assert_eq!(o.false_alert_customers(), 1);
+        assert_eq!(o.attacked_customers(), 1);
+        assert_eq!(o.ratios().len(), 1);
+    }
+
+    #[test]
+    fn false_alert_on_attacked_customer_adds_to_their_ratio() {
+        let mut o = CustomerOverhead::new();
+        o.add(1, &areas(0.0, 100.0));
+        o.add_false_alert(1, 25.0);
+        assert_eq!(o.ratios(), vec![0.25]);
+    }
+
+    #[test]
+    fn p75_constraint_statistic() {
+        let mut o = CustomerOverhead::new();
+        for (cust, c) in [(1u32, 0.0), (2, 10.0), (3, 20.0), (4, 90.0)] {
+            o.add(cust, &areas(c, 100.0));
+        }
+        // Ratios: 0, .1, .2, .9 -> p75 (nearest rank of 4) = .2
+        assert!((o.p75() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let o = CustomerOverhead::new();
+        assert!(o.ratios().is_empty());
+        assert_eq!(o.p75(), 0.0);
+    }
+}

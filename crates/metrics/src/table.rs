@@ -1,0 +1,157 @@
+//! Fixed-width text tables for the experiment harness.
+//!
+//! Every figure/table reproduction prints its rows through this renderer so
+//! `EXPERIMENTS.md` entries have a uniform, diff-friendly layout.
+
+use crate::percentile::Summary;
+
+/// A simple fixed-width table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell/header mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience row from string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a [`Summary`] as `median [lo, hi]` with the given precision.
+pub fn fmt_summary(s: &Summary, decimals: usize) -> String {
+    if s.median.is_nan() {
+        return "n/a".to_string();
+    }
+    format!(
+        "{:.d$} [{:.d$}, {:.d$}]",
+        s.median,
+        s.lo,
+        s.hi,
+        d = decimals
+    )
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.d$}%", 100.0 * v, d = decimals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_strs(&["a", "1"]);
+        t.row_strs(&["longer", "22"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/header mismatch")]
+    fn row_length_checked() {
+        Table::new("t", &["a", "b"]).row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn summary_formatting() {
+        let s = Summary {
+            lo: 0.1,
+            median: 0.5,
+            hi: 0.9,
+            n: 10,
+        };
+        assert_eq!(fmt_summary(&s, 2), "0.50 [0.10, 0.90]");
+        let nan = Summary::default_nan();
+        assert_eq!(fmt_summary(&nan, 2), "n/a");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(0.123, 1), "12.3%");
+        assert_eq!(fmt_pct(f64::NAN, 1), "n/a");
+    }
+}
+
+#[cfg(test)]
+impl Summary {
+    fn default_nan() -> Summary {
+        Summary {
+            lo: f64::NAN,
+            median: f64::NAN,
+            hi: f64::NAN,
+            n: 0,
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Packet sampling.
+//!
+//! The paper's routers export *sampled* NetFlow with sampling rates between
+//! 1:1 and 1:10,000. The simulator generates "true" flow volumes and passes
+//! them through a [`PacketSampler`] so the downstream pipeline only ever sees
+//! what a real collector would see. Upscaled estimates (`est_bytes`) are used
+//! for feature extraction, so sampling noise propagates realistically.
+
+use crate::record::FlowRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How packets within a flow are chosen for sampling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// Every `N`-th packet, with a persistent phase counter across flows.
+    /// This is the common router implementation; it is deterministic.
+    Systematic,
+    /// Each packet sampled independently with probability `1/N`.
+    Random,
+}
+
+/// A 1:N packet sampler.
+///
+/// Given a true flow (bytes/packets before sampling), produces the flow as
+/// a sampling collector would record it: `packets/N` packets (to within the
+/// phase of the deterministic counter, or binomially for random sampling),
+/// bytes scaled proportionally, and `sampling` set to `N` so consumers can
+/// upscale. Flows whose sampled packet count rounds to zero are dropped,
+/// exactly as they would be invisible to a real collector.
+#[derive(Clone, Debug)]
+pub struct PacketSampler {
+    rate: u32,
+    mode: SamplingMode,
+    phase: u64,
+    rng: StdRng,
+}
+
+impl PacketSampler {
+    /// Creates a sampler with rate 1:`rate`.
+    ///
+    /// # Panics
+    /// Panics if `rate == 0`.
+    pub fn new(rate: u32, mode: SamplingMode, seed: u64) -> Self {
+        assert!(rate > 0, "sampling rate must be >= 1");
+        PacketSampler {
+            rate,
+            mode,
+            phase: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured sampling rate `N`.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Samples a true (unsampled) flow. Returns `None` if no packet of the
+    /// flow was selected.
+    pub fn sample(&mut self, mut flow: FlowRecord) -> Option<FlowRecord> {
+        debug_assert_eq!(flow.sampling, 1, "input flows must be unsampled");
+        if self.rate == 1 {
+            return Some(flow);
+        }
+        let n = self.rate as u64;
+        let sampled_packets = match self.mode {
+            SamplingMode::Systematic => {
+                // Count multiples of `rate` in (phase, phase + packets].
+                let start = self.phase;
+                let end = self.phase + flow.packets;
+                self.phase = end;
+                end / n - start / n
+            }
+            SamplingMode::Random => {
+                let p = 1.0 / self.rate as f64;
+                // Binomial via per-packet Bernoulli for small counts, normal
+                // approximation for large ones to stay O(1).
+                if flow.packets <= 64 {
+                    (0..flow.packets)
+                        .filter(|_| self.rng.random_bool(p))
+                        .count() as u64
+                } else {
+                    let mean = flow.packets as f64 * p;
+                    let sd = (flow.packets as f64 * p * (1.0 - p)).sqrt();
+                    let z: f64 = standard_normal(&mut self.rng);
+                    (mean + sd * z).round().max(0.0) as u64
+                }
+            }
+        };
+        if sampled_packets == 0 {
+            return None;
+        }
+        let avg_pkt = flow.bytes as f64 / flow.packets as f64;
+        flow.bytes = (avg_pkt * sampled_packets as f64).round() as u64;
+        flow.packets = sampled_packets;
+        flow.sampling = self.rate;
+        Some(flow)
+    }
+}
+
+/// A standard normal draw via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+    use crate::record::{Protocol, TcpFlags};
+
+    fn flow(packets: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            minute: 0,
+            src: Ipv4(1),
+            dst: Ipv4(2),
+            proto: Protocol::Udp,
+            src_port: 1,
+            dst_port: 2,
+            tcp_flags: TcpFlags::default(),
+            bytes,
+            packets,
+            sampling: 1,
+        }
+    }
+
+    #[test]
+    fn rate_one_is_identity() {
+        let mut s = PacketSampler::new(1, SamplingMode::Systematic, 7);
+        let f = flow(10, 1000);
+        assert_eq!(s.sample(f), Some(f));
+    }
+
+    #[test]
+    fn systematic_preserves_long_run_totals() {
+        let mut s = PacketSampler::new(100, SamplingMode::Systematic, 7);
+        let mut est = 0u64;
+        let mut truth = 0u64;
+        for _ in 0..1000 {
+            let f = flow(37, 37 * 500);
+            truth += f.est_packets();
+            if let Some(out) = s.sample(f) {
+                est += out.est_packets();
+            }
+        }
+        // Systematic sampling error is bounded by one period total.
+        let err = (est as i64 - truth as i64).unsigned_abs();
+        assert!(err <= 100 * 37, "err={err}");
+    }
+
+    #[test]
+    fn random_sampling_is_approximately_unbiased() {
+        let mut s = PacketSampler::new(10, SamplingMode::Random, 42);
+        let mut est = 0u64;
+        let mut truth = 0u64;
+        for _ in 0..2000 {
+            let f = flow(30, 30 * 100);
+            truth += f.est_packets();
+            if let Some(out) = s.sample(f) {
+                est += out.est_packets();
+            }
+        }
+        let rel = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn tiny_flows_can_vanish_under_coarse_sampling() {
+        let mut s = PacketSampler::new(10_000, SamplingMode::Systematic, 7);
+        let mut survived = 0;
+        for _ in 0..100 {
+            if s.sample(flow(1, 60)).is_some() {
+                survived += 1;
+            }
+        }
+        // 100 single-packet flows under 1:10,000 — essentially all dropped.
+        assert!(survived <= 1, "survived={survived}");
+    }
+
+    #[test]
+    fn sampled_flow_carries_rate() {
+        let mut s = PacketSampler::new(10, SamplingMode::Systematic, 7);
+        // Push enough packets to guarantee selection.
+        let out = s.sample(flow(100, 100 * 80)).unwrap();
+        assert_eq!(out.sampling, 10);
+        assert_eq!(out.packets, 10);
+        assert_eq!(out.est_packets(), 100);
+    }
+}

@@ -1,0 +1,225 @@
+//! NetFlow v5 datagram encoding and parsing.
+//!
+//! The simulator works with in-memory [`FlowRecord`]s, but a deployment
+//! ingests real router exports. This module implements the classic
+//! NetFlow v5 wire format — 24-byte header + 48-byte records, big-endian —
+//! so the collector side of Xatu can consume genuine exporter output and
+//! the test-suite can round-trip through the actual bytes routers send.
+//!
+//! Fields that v5 carries but the pipeline does not use (ifindex, ASes,
+//! masks, next-hop) are emitted as zero and ignored on parse; sampling
+//! rate is carried in the header's `sampling_interval` field as on real
+//! exporters.
+
+use crate::addr::Ipv4;
+use crate::record::{FlowRecord, Protocol, TcpFlags};
+
+/// v5 header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// v5 record length in bytes.
+pub const RECORD_LEN: usize = 48;
+/// Maximum records per datagram (per the v5 spec: 30).
+pub const MAX_RECORDS: usize = 30;
+
+/// A parse failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum V5Error {
+    /// Datagram shorter than the header.
+    TooShort,
+    /// `version` field is not 5.
+    BadVersion(u16),
+    /// Header count disagrees with the datagram length.
+    CountMismatch {
+        /// Records promised by the header.
+        declared: u16,
+        /// Records that fit in the payload.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for V5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            V5Error::TooShort => write!(f, "datagram shorter than a v5 header"),
+            V5Error::BadVersion(v) => write!(f, "version {v} is not NetFlow v5"),
+            V5Error::CountMismatch {
+                declared,
+                available,
+            } => write!(f, "header declares {declared} records, payload holds {available}"),
+        }
+    }
+}
+
+impl std::error::Error for V5Error {}
+
+/// Encodes up to [`MAX_RECORDS`] flows into one v5 datagram.
+///
+/// `sys_uptime_ms` maps the minute timestamps onto the v5 first/last
+/// uptime fields (1 minute = 60 000 ms); `sampling` goes into the header.
+///
+/// # Panics
+/// Panics if `flows.len() > MAX_RECORDS`.
+pub fn encode_datagram(flows: &[FlowRecord], sequence: u32, sampling: u16) -> Vec<u8> {
+    assert!(flows.len() <= MAX_RECORDS, "v5 datagrams carry at most 30 records");
+    let mut out = Vec::with_capacity(HEADER_LEN + flows.len() * RECORD_LEN);
+    // Header.
+    out.extend_from_slice(&5u16.to_be_bytes()); // version
+    out.extend_from_slice(&(flows.len() as u16).to_be_bytes()); // count
+    let uptime = flows.first().map_or(0, |f| f.minute) * 60_000;
+    out.extend_from_slice(&uptime.to_be_bytes()); // sys_uptime
+    out.extend_from_slice(&0u32.to_be_bytes()); // unix_secs
+    out.extend_from_slice(&0u32.to_be_bytes()); // unix_nsecs
+    out.extend_from_slice(&sequence.to_be_bytes()); // flow_sequence
+    out.push(0); // engine_type
+    out.push(0); // engine_id
+    // sampling_interval: top 2 bits mode (01 = packet interval), low 14 rate.
+    let sampling_field: u16 = 0x4000 | (sampling & 0x3FFF);
+    out.extend_from_slice(&sampling_field.to_be_bytes());
+
+    for f in flows {
+        out.extend_from_slice(&f.src.0.to_be_bytes()); // srcaddr
+        out.extend_from_slice(&f.dst.0.to_be_bytes()); // dstaddr
+        out.extend_from_slice(&0u32.to_be_bytes()); // nexthop
+        out.extend_from_slice(&0u16.to_be_bytes()); // input ifindex
+        out.extend_from_slice(&0u16.to_be_bytes()); // output ifindex
+        out.extend_from_slice(&(f.packets as u32).to_be_bytes()); // dPkts
+        out.extend_from_slice(&(f.bytes as u32).to_be_bytes()); // dOctets
+        let first = f.minute * 60_000;
+        out.extend_from_slice(&first.to_be_bytes()); // first
+        out.extend_from_slice(&(first + 59_999).to_be_bytes()); // last
+        out.extend_from_slice(&f.src_port.to_be_bytes());
+        out.extend_from_slice(&f.dst_port.to_be_bytes());
+        out.push(0); // pad1
+        out.push(f.tcp_flags.0);
+        out.push(f.proto.number());
+        out.push(0); // tos
+        out.extend_from_slice(&0u16.to_be_bytes()); // src_as
+        out.extend_from_slice(&0u16.to_be_bytes()); // dst_as
+        out.push(0); // src_mask
+        out.push(0); // dst_mask
+        out.extend_from_slice(&0u16.to_be_bytes()); // pad2
+    }
+    debug_assert_eq!(out.len(), HEADER_LEN + flows.len() * RECORD_LEN);
+    out
+}
+
+/// Parses a v5 datagram into flow records.
+pub fn parse_datagram(bytes: &[u8]) -> Result<Vec<FlowRecord>, V5Error> {
+    if bytes.len() < HEADER_LEN {
+        return Err(V5Error::TooShort);
+    }
+    let be16 = |o: usize| u16::from_be_bytes([bytes[o], bytes[o + 1]]);
+    let be32 =
+        |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+    let version = be16(0);
+    if version != 5 {
+        return Err(V5Error::BadVersion(version));
+    }
+    let count = be16(2) as usize;
+    let available = (bytes.len() - HEADER_LEN) / RECORD_LEN;
+    if count > available {
+        return Err(V5Error::CountMismatch {
+            declared: count as u16,
+            available,
+        });
+    }
+    let sampling = (be16(22) & 0x3FFF).max(1) as u32;
+
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let o = HEADER_LEN + i * RECORD_LEN;
+        let first_ms = be32(o + 24);
+        out.push(FlowRecord {
+            minute: first_ms / 60_000,
+            src: Ipv4(be32(o)),
+            dst: Ipv4(be32(o + 4)),
+            proto: Protocol::from_number(bytes[o + 38]),
+            src_port: be16(o + 32),
+            dst_port: be16(o + 34),
+            tcp_flags: TcpFlags(bytes[o + 37]),
+            bytes: be32(o + 20) as u64,
+            packets: be32(o + 16) as u64,
+            sampling,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| FlowRecord {
+                minute: 7,
+                src: Ipv4(0x0A01_0000 + i as u32),
+                dst: Ipv4(0x1400_0001),
+                proto: if i % 2 == 0 { Protocol::Udp } else { Protocol::Tcp },
+                src_port: 53,
+                dst_port: 1000 + i as u16,
+                tcp_flags: TcpFlags(0x10),
+                bytes: 1500 * (i as u64 + 1),
+                packets: i as u64 + 1,
+                sampling: 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = flows(5);
+        let dgram = encode_datagram(&fs, 42, 100);
+        assert_eq!(dgram.len(), HEADER_LEN + 5 * RECORD_LEN);
+        let back = parse_datagram(&dgram).unwrap();
+        assert_eq!(back, fs);
+    }
+
+    #[test]
+    fn empty_datagram_roundtrips() {
+        let dgram = encode_datagram(&[], 0, 1);
+        assert_eq!(parse_datagram(&dgram).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn max_records_roundtrip() {
+        let fs = flows(MAX_RECORDS);
+        let back = parse_datagram(&encode_datagram(&fs, 1, 10)).unwrap();
+        assert_eq!(back.len(), MAX_RECORDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 30")]
+    fn over_max_panics() {
+        encode_datagram(&flows(31), 0, 1);
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(parse_datagram(&[0u8; 10]), Err(V5Error::TooShort));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut dgram = encode_datagram(&flows(1), 0, 1);
+        dgram[1] = 9;
+        assert_eq!(parse_datagram(&dgram), Err(V5Error::BadVersion(9)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let dgram = encode_datagram(&flows(3), 0, 1);
+        let truncated = &dgram[..dgram.len() - RECORD_LEN];
+        assert!(matches!(
+            parse_datagram(truncated),
+            Err(V5Error::CountMismatch { declared: 3, available: 2 })
+        ));
+    }
+
+    #[test]
+    fn sampling_survives_header_encoding() {
+        let fs = flows(1);
+        let back = parse_datagram(&encode_datagram(&fs, 0, 1000)).unwrap();
+        assert_eq!(back[0].sampling, 1000);
+    }
+}

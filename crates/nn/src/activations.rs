@@ -1,0 +1,93 @@
+//! Numerically-stable scalar activations and their derivatives.
+
+/// Logistic sigmoid, stable for large |x|.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid given its *output* `s = sigmoid(x)`.
+#[inline]
+pub fn dsigmoid_from_out(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent (std impl is already stable).
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh given its *output* `t = tanh(x)`.
+#[inline]
+pub fn dtanh_from_out(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Softplus `ln(1 + e^x)`, stable for large |x|:
+/// `softplus(x) = max(x, 0) + ln(1 + e^{-|x|})`.
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+/// Derivative of softplus, which is the sigmoid of the *input*.
+#[inline]
+pub fn dsoftplus(x: f64) -> f64 {
+    sigmoid(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        for x in [-50.0, -5.0, -0.1, 0.1, 5.0, 50.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+        // No overflow at extremes.
+        assert_eq!(sigmoid(1e4), 1.0);
+        assert_eq!(sigmoid(-1e4), 0.0);
+    }
+
+    #[test]
+    fn softplus_matches_naive_in_safe_range() {
+        for x in [-10.0f64, -1.0, 0.0, 1.0, 10.0] {
+            let naive = (1.0f64 + x.exp()).ln();
+            assert!((softplus(x) - naive).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softplus_stable_at_extremes() {
+        assert!((softplus(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(softplus(-1000.0) >= 0.0);
+        assert!(softplus(-1000.0) < 1e-300 + 1e-12);
+        assert!(softplus(-5.0) > 0.0, "softplus is strictly positive");
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for x in [-3.0, -0.5, 0.0, 0.7, 2.5] {
+            let num_ds = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((dsigmoid_from_out(sigmoid(x)) - num_ds).abs() < 1e-8);
+
+            let num_dt = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((dtanh_from_out(tanh(x)) - num_dt).abs() < 1e-8);
+
+            let num_dp = (softplus(x + eps) - softplus(x - eps)) / (2.0 * eps);
+            assert!((dsoftplus(x) - num_dp).abs() < 1e-8);
+        }
+    }
+}

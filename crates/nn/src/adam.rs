@@ -1,0 +1,173 @@
+//! The Adam optimizer (Kingma & Ba), the optimizer the paper trains with
+//! (§5.3: Adam, learning rate 1e-4, batch size 64).
+
+use crate::Params;
+
+/// Adam with bias-corrected first/second moments.
+///
+/// Moment buffers are allocated lazily on the first step, in the visit order
+/// of the [`Params`] implementation, so one optimizer instance is bound to
+/// one model.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper's defaults besides the learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets custom betas (for sensitivity experiments).
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update using the gradients currently stored in `params`.
+    /// Gradients are *not* zeroed; call [`Params::zero_grads`] afterwards.
+    pub fn step(&mut self, params: &mut dyn Params) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let mut idx = 0;
+        let (m, v) = (&mut self.m, &mut self.v);
+        params.visit(&mut |p, g| {
+            if idx == m.len() {
+                m.push(vec![0.0; p.len()]);
+                v.push(vec![0.0; p.len()]);
+            }
+            let (mi, vi) = (&mut m[idx], &mut v[idx]);
+            assert_eq!(mi.len(), p.len(), "param set changed shape between steps");
+            for k in 0..p.len() {
+                mi[k] = b1 * mi[k] + (1.0 - b1) * g[k];
+                vi[k] = b2 * vi[k] + (1.0 - b2) * g[k] * g[k];
+                let m_hat = mi[k] / bc1;
+                let v_hat = vi[k] / bc2;
+                p[k] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial 2-parameter quadratic "model" for optimizer tests.
+    struct Quad {
+        p: Vec<f64>,
+        g: Vec<f64>,
+        target: Vec<f64>,
+    }
+
+    impl Quad {
+        fn loss(&self) -> f64 {
+            self.p
+                .iter()
+                .zip(&self.target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        }
+
+        fn compute_grads(&mut self) {
+            for k in 0..self.p.len() {
+                self.g[k] = 2.0 * (self.p[k] - self.target[k]);
+            }
+        }
+    }
+
+    impl Params for Quad {
+        fn visit(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+            f(&mut self.p, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut q = Quad {
+            p: vec![5.0, -3.0],
+            g: vec![0.0; 2],
+            target: vec![1.0, 2.0],
+        };
+        let mut adam = Adam::new(0.05);
+        for _ in 0..2000 {
+            q.compute_grads();
+            adam.step(&mut q);
+        }
+        assert!(q.loss() < 1e-6, "loss={}", q.loss());
+    }
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut q = Quad {
+            p: vec![10.0],
+            g: vec![0.0],
+            target: vec![0.0],
+        };
+        let mut adam = Adam::new(0.1);
+        q.compute_grads();
+        adam.step(&mut q);
+        assert!((q.p[0] - 9.9).abs() < 1e-6, "p={}", q.p[0]);
+    }
+
+    #[test]
+    fn zero_grad_means_no_motion() {
+        let mut q = Quad {
+            p: vec![1.0, 2.0],
+            g: vec![0.0; 2],
+            target: vec![1.0, 2.0],
+        };
+        let mut adam = Adam::new(0.1);
+        q.compute_grads(); // zero at the optimum
+        adam.step(&mut q);
+        assert_eq!(q.p, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut q = Quad {
+            p: vec![1.0],
+            g: vec![1.0],
+            target: vec![0.0],
+        };
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut q);
+        adam.step(&mut q);
+        assert_eq!(adam.steps(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fully-connected layer.
+
+use crate::init::Initializer;
+use crate::matrix::Matrix;
+use crate::Params;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = W·x + b` with gradient buffers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    #[serde(skip, default = "Matrix::default_grad")]
+    gw: Matrix,
+    #[serde(skip)]
+    gb: Vec<f64>,
+}
+
+impl Matrix {
+    /// Serde default for skipped gradient fields; resized on first use.
+    fn default_grad() -> Matrix {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(input: usize, output: usize, init: &mut Initializer) -> Self {
+        Dense {
+            w: init.xavier(output, input),
+            b: vec![0.0; output],
+            gw: Matrix::zeros(output, input),
+            gb: vec![0.0; output],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Re-creates gradient buffers after deserialization.
+    pub fn ensure_grads(&mut self) {
+        if self.gw.rows() != self.w.rows() || self.gw.cols() != self.w.cols() {
+            self.gw = Matrix::zeros(self.w.rows(), self.w.cols());
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.b.clone();
+        self.w.matvec_acc(x, &mut y);
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients from upstream `dy`
+    /// and the cached input `x`; returns `dx`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        self.gw.rank1_acc(1.0, dy, x);
+        for (g, d) in self.gb.iter_mut().zip(dy) {
+            *g += d;
+        }
+        let mut dx = vec![0.0; self.w.cols()];
+        self.w.matvec_t_acc(dy, &mut dx);
+        dx
+    }
+
+    /// Immutable weight access (for attribution / inspection).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable bias access (e.g. rare-event output-bias initialisation).
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.b
+    }
+}
+
+impl Params for Dense {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.ensure_grads();
+        f(self.w.data_mut(), self.gw.data_mut());
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_params_gradient;
+
+    #[test]
+    fn forward_known_values() {
+        let mut init = Initializer::new(0);
+        let mut d = Dense::new(2, 2, &mut init);
+        // Overwrite with known weights.
+        d.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        d.b = vec![0.5, -0.5];
+        assert_eq!(d.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut init = Initializer::new(42);
+        let mut d = Dense::new(4, 3, &mut init);
+        let x = vec![0.3, -0.7, 1.1, 0.05];
+        // Loss = sum of outputs squared / 2 -> dy = y.
+        let max_rel = check_params_gradient(
+            &mut d,
+            |d| {
+                let y = d.forward(&x);
+                0.5 * y.iter().map(|v| v * v).sum::<f64>()
+            },
+            |d| {
+                let y = d.forward(&x);
+                d.backward(&x, &y);
+            },
+            1e-5,
+        );
+        assert!(max_rel < 1e-6, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn backward_dx_matches_finite_differences() {
+        let mut init = Initializer::new(7);
+        let mut d = Dense::new(3, 2, &mut init);
+        let x = vec![0.2, -0.4, 0.9];
+        let y = d.forward(&x);
+        let dx = d.backward(&x, &y);
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let lp = 0.5 * d.forward(&xp).iter().map(|v| v * v).sum::<f64>();
+            let lm = 0.5 * d.forward(&xm).iter().map(|v| v * v).sum::<f64>();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((dx[i] - num).abs() < 1e-6, "i={i} {} vs {num}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn params_visit_counts() {
+        let mut init = Initializer::new(0);
+        let mut d = Dense::new(5, 3, &mut init);
+        assert_eq!(d.param_count(), 5 * 3 + 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut init = Initializer::new(11);
+        let d = Dense::new(3, 2, &mut init);
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: Dense = serde_json::from_str(&json).unwrap();
+        back.ensure_grads();
+        assert_eq!(back.forward(&[1.0, 2.0, 3.0]), d.forward(&[1.0, 2.0, 3.0]));
+    }
+}

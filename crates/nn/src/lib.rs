@@ -1,0 +1,80 @@
+//! From-scratch neural-network substrate for Xatu.
+//!
+//! The paper's model is a multi-timescale LSTM trained with a survival loss.
+//! No deep-learning crate is available offline, so this crate implements the
+//! required pieces from first principles:
+//!
+//! * [`matrix::Matrix`] — row-major dense matrices with the handful of BLAS
+//!   kernels the layers need (`matvec`, transposed `matvec`, rank-1 update).
+//! * [`activations`] — numerically-stable sigmoid / tanh / softplus with
+//!   derivatives.
+//! * [`dense::Dense`] — fully-connected layer with bias.
+//! * [`lstm::Lstm`] — an LSTM with hand-derived backpropagation through time,
+//!   verified against central finite differences in the test-suite.
+//! * [`pooling`] — 1-D average pooling over feature time-series (the
+//!   "aggregation layers" of §4.1) with gradient support for attribution.
+//! * [`adam::Adam`] — the Adam optimizer of Kingma & Ba, the paper's choice.
+//! * [`init`] — Xavier/Glorot initialisation from a seeded RNG.
+//! * [`gradcheck`] — finite-difference utilities used pervasively in tests.
+//! * [`serialize`] — JSON weight (de)serialization for saved models.
+//!
+//! All math is `f64`: the models in this workspace are small (≤64 hidden
+//! units), so the extra width costs little and makes gradient verification
+//! exact to ~1e-8.
+
+pub mod activations;
+pub mod adam;
+pub mod dense;
+pub mod gradcheck;
+pub mod init;
+pub mod lstm;
+pub mod matrix;
+pub mod pooling;
+pub mod serialize;
+
+pub use adam::Adam;
+pub use dense::Dense;
+pub use lstm::{Lstm, LstmState, LstmTrace};
+pub use matrix::Matrix;
+
+/// A parameter container that exposes its (parameter, gradient) pairs.
+///
+/// Layers implement this; composite models implement it by delegating to
+/// their layers in a fixed order. The optimizer and the gradient checker both
+/// drive training exclusively through this trait, so they work for any model.
+pub trait Params {
+    /// Visits every (parameters, gradients) slice pair in a fixed order.
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64]));
+
+    /// Zeroes all gradient buffers.
+    fn zero_grads(&mut self) {
+        self.visit(&mut |_, g| g.iter_mut().for_each(|x| *x = 0.0));
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Scales all gradients by `s` (e.g. 1/batch-size averaging).
+    fn scale_grads(&mut self, s: f64) {
+        self.visit(&mut |_, g| g.iter_mut().for_each(|x| *x *= s));
+    }
+
+    /// Global L2 norm of the gradient, used for clipping diagnostics.
+    fn grad_norm(&mut self) -> f64 {
+        let mut acc = 0.0;
+        self.visit(&mut |_, g| acc += g.iter().map(|x| x * x).sum::<f64>());
+        acc.sqrt()
+    }
+
+    /// Clips the global gradient norm to `max_norm` if it exceeds it.
+    fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale_grads(max_norm / norm);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! LSTM with hand-derived backpropagation through time.
+//!
+//! Gate layout follows the classic formulation (Gers et al., which the paper
+//! cites for LSTM): input gate `i`, forget gate `f`, candidate `g`, output
+//! gate `o`, stacked in that order in the `4h`-row weight matrices:
+//!
+//! ```text
+//! z   = Wx·x_t + Wh·h_{t−1} + b          (z split into z_i z_f z_g z_o)
+//! i,f,o = σ(z_{i,f,o});  g = tanh(z_g)
+//! c_t = f ⊙ c_{t−1} + i ⊙ g
+//! h_t = o ⊙ tanh(c_t)
+//! ```
+//!
+//! The backward pass is derived by hand and verified against central finite
+//! differences in this module's tests (and again end-to-end in `xatu-core`).
+//! The forget-gate bias is initialised to 1.0, the standard trick for
+//! retaining long-range memory early in training — essential here because
+//! auxiliary signals appear days before the label.
+
+use crate::activations::{dsigmoid_from_out, dtanh_from_out, sigmoid, tanh};
+use crate::init::Initializer;
+use crate::matrix::Matrix;
+use crate::Params;
+use serde::{Deserialize, Serialize};
+
+/// Recurrent state `(h, c)` of an LSTM.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LstmState {
+    /// Hidden state, length = hidden dim.
+    pub h: Vec<f64>,
+    /// Cell state, length = hidden dim.
+    pub c: Vec<f64>,
+}
+
+impl LstmState {
+    /// The zero state for a given hidden dimension.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+/// Cached values for one timestep, needed by the backward pass.
+#[derive(Clone, Debug)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// Forward-pass trace over a sequence: per-step hidden outputs plus the
+/// caches required for BPTT.
+#[derive(Clone, Debug, Default)]
+pub struct LstmTrace {
+    /// Hidden output at each step.
+    pub hs: Vec<Vec<f64>>,
+    caches: Vec<StepCache>,
+    /// State after the last step (for chaining sequences).
+    pub final_state: LstmState,
+}
+
+impl LstmTrace {
+    /// Sequence length covered by this trace.
+    pub fn len(&self) -> usize {
+        self.hs.len()
+    }
+
+    /// True if no steps were traced.
+    pub fn is_empty(&self) -> bool {
+        self.hs.is_empty()
+    }
+}
+
+impl Default for LstmState {
+    fn default() -> Self {
+        LstmState::zeros(0)
+    }
+}
+
+/// An LSTM layer: weights, biases and their gradient buffers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lstm {
+    input: usize,
+    hidden: usize,
+    wx: Matrix, // 4h × input
+    wh: Matrix, // 4h × hidden
+    b: Vec<f64>, // 4h
+    #[serde(skip)]
+    gwx: Option<Matrix>,
+    #[serde(skip)]
+    gwh: Option<Matrix>,
+    #[serde(skip)]
+    gb: Vec<f64>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier weights and forget bias 1.0.
+    pub fn new(input: usize, hidden: usize, init: &mut Initializer) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate block is rows [hidden, 2*hidden).
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Lstm {
+            input,
+            hidden,
+            wx: init.xavier(4 * hidden, input),
+            wh: init.xavier(4 * hidden, hidden),
+            b,
+            gwx: Some(Matrix::zeros(4 * hidden, input)),
+            gwh: Some(Matrix::zeros(4 * hidden, hidden)),
+            gb: vec![0.0; 4 * hidden],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Re-creates gradient buffers (e.g. after deserialization).
+    pub fn ensure_grads(&mut self) {
+        if self.gwx.is_none() {
+            self.gwx = Some(Matrix::zeros(4 * self.hidden, self.input));
+        }
+        if self.gwh.is_none() {
+            self.gwh = Some(Matrix::zeros(4 * self.hidden, self.hidden));
+        }
+        if self.gb.len() != 4 * self.hidden {
+            self.gb = vec![0.0; 4 * self.hidden];
+        }
+    }
+
+    /// One forward step from `state`, returning the new state and pushing
+    /// the cache onto `trace`.
+    fn step(&self, x: &[f64], state: &LstmState, trace: &mut LstmTrace) -> LstmState {
+        assert_eq!(x.len(), self.input, "lstm: input dim");
+        let h = self.hidden;
+        let mut z = self.b.clone();
+        self.wx.matvec_acc(x, &mut z);
+        self.wh.matvec_acc(&state.h, &mut z);
+
+        let mut i = vec![0.0; h];
+        let mut f = vec![0.0; h];
+        let mut g = vec![0.0; h];
+        let mut o = vec![0.0; h];
+        for k in 0..h {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[h + k]);
+            g[k] = tanh(z[2 * h + k]);
+            o[k] = sigmoid(z[3 * h + k]);
+        }
+        let mut c = vec![0.0; h];
+        let mut tanh_c = vec![0.0; h];
+        let mut h_out = vec![0.0; h];
+        for k in 0..h {
+            c[k] = f[k] * state.c[k] + i[k] * g[k];
+            tanh_c[k] = tanh(c[k]);
+            h_out[k] = o[k] * tanh_c[k];
+        }
+        trace.caches.push(StepCache {
+            x: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        });
+        trace.hs.push(h_out.clone());
+        LstmState { h: h_out, c }
+    }
+
+    /// Runs the whole sequence `xs` from the zero state.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> LstmTrace {
+        self.forward_from(xs, &LstmState::zeros(self.hidden))
+    }
+
+    /// Runs the whole sequence `xs` from an explicit initial state, so
+    /// context sequences and detection windows can be chained.
+    pub fn forward_from(&self, xs: &[Vec<f64>], initial: &LstmState) -> LstmTrace {
+        let mut trace = LstmTrace {
+            hs: Vec::with_capacity(xs.len()),
+            caches: Vec::with_capacity(xs.len()),
+            final_state: initial.clone(),
+        };
+        let mut state = initial.clone();
+        for x in xs {
+            state = self.step(x, &state, &mut trace);
+        }
+        trace.final_state = state;
+        trace
+    }
+
+    /// Stateless single-step API for online (auto-regressive) operation.
+    pub fn step_online(&self, x: &[f64], state: &LstmState) -> LstmState {
+        let mut scratch = LstmTrace::default();
+        self.step(x, state, &mut scratch)
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `dhs[t]` is ∂Loss/∂h_t from the layers above (may be all-zero for
+    /// steps without a head attached). Accumulates weight gradients and
+    /// returns `(dxs, d_initial_state)`; `dxs` is only materialised when
+    /// `want_dx` is set (used for input attribution, Fig 11).
+    pub fn backward(
+        &mut self,
+        trace: &LstmTrace,
+        dhs: &[Vec<f64>],
+        want_dx: bool,
+    ) -> (Option<Vec<Vec<f64>>>, LstmState) {
+        assert_eq!(dhs.len(), trace.len(), "lstm: dhs length");
+        self.ensure_grads();
+        let h = self.hidden;
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        let mut dxs = if want_dx {
+            Some(vec![vec![0.0; self.input]; trace.len()])
+        } else {
+            None
+        };
+
+        let gwx = self.gwx.as_mut().expect("grads ensured");
+        let gwh = self.gwh.as_mut().expect("grads ensured");
+
+        for t in (0..trace.len()).rev() {
+            let cache = &trace.caches[t];
+            // Total gradient flowing into h_t.
+            let mut dh = dhs[t].clone();
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+
+            let mut dz = vec![0.0; 4 * h];
+            let mut dc_prev = vec![0.0; h];
+            for k in 0..h {
+                let do_ = dh[k] * cache.tanh_c[k];
+                let dc = dh[k] * cache.o[k] * dtanh_from_out(cache.tanh_c[k]) + dc_next[k];
+                let di = dc * cache.g[k];
+                let df = dc * cache.c_prev[k];
+                let dg = dc * cache.i[k];
+                dz[k] = di * dsigmoid_from_out(cache.i[k]);
+                dz[h + k] = df * dsigmoid_from_out(cache.f[k]);
+                dz[2 * h + k] = dg * dtanh_from_out(cache.g[k]);
+                dz[3 * h + k] = do_ * dsigmoid_from_out(cache.o[k]);
+                dc_prev[k] = dc * cache.f[k];
+            }
+
+            gwx.rank1_acc(1.0, &dz, &cache.x);
+            gwh.rank1_acc(1.0, &dz, &cache.h_prev);
+            for (g, d) in self.gb.iter_mut().zip(&dz) {
+                *g += d;
+            }
+
+            let mut dh_prev = vec![0.0; h];
+            self.wh.matvec_t_acc(&dz, &mut dh_prev);
+            if let Some(dxs) = dxs.as_mut() {
+                self.wx.matvec_t_acc(&dz, &mut dxs[t]);
+            }
+
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        (
+            dxs,
+            LstmState {
+                h: dh_next,
+                c: dc_next,
+            },
+        )
+    }
+}
+
+impl Params for Lstm {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.ensure_grads();
+        f(
+            self.wx.data_mut(),
+            self.gwx.as_mut().expect("grads ensured").data_mut(),
+        );
+        f(
+            self.wh.data_mut(),
+            self.gwh.as_mut().expect("grads ensured").data_mut(),
+        );
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_params_gradient;
+
+    fn seq(input: usize, len: usize, scale: f64) -> Vec<Vec<f64>> {
+        (0..len)
+            .map(|t| {
+                (0..input)
+                    .map(|k| scale * ((t * input + k) as f64 * 0.7).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Sum of all hidden outputs over the sequence — a simple scalar loss.
+    fn loss_of(lstm: &Lstm, xs: &[Vec<f64>]) -> f64 {
+        let trace = lstm.forward(xs);
+        trace.hs.iter().flatten().sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut init = Initializer::new(0);
+        let lstm = Lstm::new(3, 5, &mut init);
+        let trace = lstm.forward(&seq(3, 7, 1.0));
+        assert_eq!(trace.len(), 7);
+        assert_eq!(trace.hs[0].len(), 5);
+        assert_eq!(trace.final_state.h.len(), 5);
+        assert_eq!(trace.final_state.c.len(), 5);
+    }
+
+    #[test]
+    fn outputs_are_bounded_by_one() {
+        // |h| = |o * tanh(c)| <= 1 element-wise.
+        let mut init = Initializer::new(1);
+        let lstm = Lstm::new(4, 6, &mut init);
+        let trace = lstm.forward(&seq(4, 50, 10.0));
+        for hs in &trace.hs {
+            assert!(hs.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut init = Initializer::new(2);
+        let lstm = Lstm::new(2, 3, &mut init);
+        assert_eq!(&lstm.b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&lstm.b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let mut init = Initializer::new(42);
+        let mut lstm = Lstm::new(3, 4, &mut init);
+        let xs = seq(3, 6, 0.8);
+        let max_rel = check_params_gradient(
+            &mut lstm,
+            |l| loss_of(l, &xs),
+            |l| {
+                let trace = l.forward(&xs);
+                let dhs = vec![vec![1.0; 4]; trace.len()];
+                l.backward(&trace, &dhs, false);
+            },
+            1e-5,
+        );
+        assert!(max_rel < 1e-5, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn bptt_with_initial_state_matches_finite_differences() {
+        let mut init = Initializer::new(43);
+        let mut lstm = Lstm::new(2, 3, &mut init);
+        let xs = seq(2, 5, 0.5);
+        let s0 = LstmState {
+            h: vec![0.3, -0.2, 0.1],
+            c: vec![0.5, 0.4, -0.6],
+        };
+        let max_rel = check_params_gradient(
+            &mut lstm,
+            |l| {
+                let trace = l.forward_from(&xs, &s0);
+                trace.hs.iter().flatten().sum()
+            },
+            |l| {
+                let trace = l.forward_from(&xs, &s0);
+                let dhs = vec![vec![1.0; 3]; trace.len()];
+                l.backward(&trace, &dhs, false);
+            },
+            1e-5,
+        );
+        assert!(max_rel < 1e-5, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let mut init = Initializer::new(44);
+        let mut lstm = Lstm::new(2, 3, &mut init);
+        let xs = seq(2, 4, 0.6);
+        let trace = lstm.forward(&xs);
+        let dhs = vec![vec![1.0; 3]; trace.len()];
+        let (dxs, _) = lstm.backward(&trace, &dhs, true);
+        let dxs = dxs.unwrap();
+        let eps = 1e-6;
+        for t in 0..xs.len() {
+            for k in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][k] += eps;
+                let mut xm = xs.clone();
+                xm[t][k] -= eps;
+                let num = (loss_of(&lstm, &xp) - loss_of(&lstm, &xm)) / (2.0 * eps);
+                assert!(
+                    (dxs[t][k] - num).abs() < 1e-6,
+                    "t={t} k={k} {} vs {num}",
+                    dxs[t][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_gradient_matches_finite_differences() {
+        let mut init = Initializer::new(45);
+        let mut lstm = Lstm::new(2, 3, &mut init);
+        let xs = seq(2, 4, 0.5);
+        let s0 = LstmState {
+            h: vec![0.1, 0.2, -0.3],
+            c: vec![-0.4, 0.5, 0.6],
+        };
+        let trace = lstm.forward_from(&xs, &s0);
+        let dhs = vec![vec![1.0; 3]; trace.len()];
+        let (_, ds0) = lstm.backward(&trace, &dhs, false);
+        let eps = 1e-6;
+        for k in 0..3 {
+            let mut sp = s0.clone();
+            sp.h[k] += eps;
+            let mut sm = s0.clone();
+            sm.h[k] -= eps;
+            let lp: f64 = lstm.forward_from(&xs, &sp).hs.iter().flatten().sum();
+            let lm: f64 = lstm.forward_from(&xs, &sm).hs.iter().flatten().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((ds0.h[k] - num).abs() < 1e-6, "h k={k}");
+
+            let mut sp = s0.clone();
+            sp.c[k] += eps;
+            let mut sm = s0.clone();
+            sm.c[k] -= eps;
+            let lp: f64 = lstm.forward_from(&xs, &sp).hs.iter().flatten().sum();
+            let lm: f64 = lstm.forward_from(&xs, &sm).hs.iter().flatten().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((ds0.c[k] - num).abs() < 1e-6, "c k={k}");
+        }
+    }
+
+    #[test]
+    fn online_stepping_equals_batch_forward() {
+        let mut init = Initializer::new(5);
+        let lstm = Lstm::new(3, 4, &mut init);
+        let xs = seq(3, 10, 1.0);
+        let trace = lstm.forward(&xs);
+        let mut state = LstmState::zeros(4);
+        for (t, x) in xs.iter().enumerate() {
+            state = lstm.step_online(x, &state);
+            assert_eq!(state.h, trace.hs[t]);
+        }
+        assert_eq!(state.h, trace.final_state.h);
+        assert_eq!(state.c, trace.final_state.c);
+    }
+
+    #[test]
+    fn memory_cell_retains_early_signal() {
+        // A pulse at t=0 must still influence the state at t=20 (the whole
+        // point of LSTMs for long-range auxiliary signals).
+        let mut init = Initializer::new(6);
+        let lstm = Lstm::new(1, 8, &mut init);
+        let mut quiet = vec![vec![0.0]; 21];
+        let trace_quiet = lstm.forward(&quiet);
+        quiet[0][0] = 5.0;
+        let trace_pulse = lstm.forward(&quiet);
+        let diff: f64 = trace_quiet.hs[20]
+            .iter()
+            .zip(&trace_pulse.hs[20])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "pulse vanished entirely: diff={diff}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut init = Initializer::new(8);
+        let lstm = Lstm::new(2, 3, &mut init);
+        let json = serde_json::to_string(&lstm).unwrap();
+        let back: Lstm = serde_json::from_str(&json).unwrap();
+        let xs = seq(2, 5, 1.0);
+        // JSON text roundtrips can perturb the last ULP of a double.
+        for (a, b) in lstm
+            .forward(&xs)
+            .hs
+            .iter()
+            .flatten()
+            .zip(back.forward(&xs).hs.iter().flatten())
+        {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Row-major dense matrices.
+//!
+//! Only the kernels the layers actually need are implemented, each written
+//! so the inner loop is over contiguous memory.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable flat data access.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data access.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y += A·x` — matrix-vector multiply-accumulate.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr += acc;
+        }
+    }
+
+    /// `y = A·x` — matrix-vector multiply into a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_acc(x, &mut y);
+        y
+    }
+
+    /// `y += Aᵀ·x` — transposed matrix-vector multiply-accumulate.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn matvec_t_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length");
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += xr * a;
+            }
+        }
+    }
+
+    /// `self += α · a·bᵀ` — rank-1 update (outer product accumulate).
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn rank1_acc(&mut self, alpha: f64, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), self.rows, "rank1: a length");
+        assert_eq!(b.len(), self.cols, "rank1: b length");
+        for (r, &ar) in a.iter().enumerate() {
+            let coef = alpha * ar;
+            if coef == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (m, &bv) in row.iter_mut().zip(b) {
+                *m += coef * bv;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// `y += α·x` on raw vectors.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let mut i3 = Matrix::zeros(3, 3);
+        for k in 0..3 {
+            i3.set(k, k, 1.0);
+        }
+        assert_eq!(i3.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_of_matvec() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 3];
+        a.matvec_t_acc(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rank1_builds_outer_product() {
+        let mut g = Matrix::zeros(2, 2);
+        g.rank1_acc(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(g.data(), &[8.0, 10.0, 24.0, 30.0]);
+    }
+
+    #[test]
+    fn transpose_adjoint_identity() {
+        // <A x, y> == <x, A^T y> for random-ish fixed values.
+        let a = Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.25, -0.75, 1.5]);
+        let x = [1.0, -2.0];
+        let y = [0.3, 0.7, -0.2];
+        let ax = a.matvec(&x);
+        let mut aty = vec![0.0; 2];
+        a.matvec_t_acc(&y, &mut aty);
+        let lhs = dot(&ax, &y);
+        let rhs = dot(&x, &aty);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec: x length")]
+    fn matvec_shape_panics() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((a.frobenius() - 5.0).abs() < 1e-12);
+    }
+}

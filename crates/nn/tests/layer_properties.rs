@@ -1,0 +1,107 @@
+//! Property-based tests on the neural substrate.
+
+use proptest::prelude::*;
+use xatu_nn::activations::{sigmoid, softplus};
+use xatu_nn::init::Initializer;
+use xatu_nn::lstm::Lstm;
+use xatu_nn::matrix::{dot, Matrix};
+use xatu_nn::pooling::avg_pool;
+
+proptest! {
+    /// <A·x, y> == <x, Aᵀ·y> for arbitrary shapes/values.
+    #[test]
+    fn matvec_adjoint_identity(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut init = Initializer::new(seed);
+        let a = init.uniform(rows, cols, 1.0);
+        let x: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.7 + seed as f64 * 0.01).sin()).collect();
+        let y: Vec<f64> = (0..rows).map(|i| (i as f64 * 1.3 - 0.5).cos()).collect();
+        let ax = a.matvec(&x);
+        let mut aty = vec![0.0; cols];
+        a.matvec_t_acc(&y, &mut aty);
+        prop_assert!((dot(&ax, &y) - dot(&x, &aty)).abs() < 1e-9);
+    }
+
+    /// matvec is linear: A(αx + y) == αAx + Ay.
+    #[test]
+    fn matvec_linearity(seed in 0u64..1000, alpha in -3.0f64..3.0) {
+        let mut init = Initializer::new(seed);
+        let a = init.uniform(5, 4, 1.0);
+        let x: Vec<f64> = (0..4).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..4).map(|i| (i as f64 * 2.0).cos()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a_, b)| alpha * a_ + b).collect();
+        let lhs = a.matvec(&combo);
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        for i in 0..5 {
+            prop_assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-9);
+        }
+    }
+
+    /// Softplus is positive, monotone, and dominated by ReLU + ln 2.
+    #[test]
+    fn softplus_bounds(x in -50.0f64..50.0) {
+        let s = softplus(x);
+        prop_assert!(s > 0.0);
+        prop_assert!(s >= x.max(0.0));
+        prop_assert!(s <= x.max(0.0) + std::f64::consts::LN_2 + 1e-12);
+        prop_assert!(softplus(x + 0.5) > s);
+    }
+
+    /// Sigmoid maps into (0,1) and satisfies σ(−x) = 1 − σ(x).
+    #[test]
+    fn sigmoid_symmetry(x in -100.0f64..100.0) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-12);
+    }
+
+    /// LSTM hidden outputs are always bounded by 1 in magnitude, for any
+    /// input scale (gates saturate, they never explode).
+    #[test]
+    fn lstm_outputs_bounded(scale in 0.0f64..100.0, seed in 0u64..100) {
+        let mut init = Initializer::new(seed);
+        let lstm = Lstm::new(4, 5, &mut init);
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|t| (0..4).map(|k| scale * ((t * 4 + k) as f64).sin()).collect())
+            .collect();
+        let trace = lstm.forward(&xs);
+        for h in &trace.hs {
+            prop_assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    /// Pooling then pooling again equals pooling with the product window
+    /// when windows divide the length exactly.
+    #[test]
+    fn pooling_composes(reps in 1usize..6) {
+        let w1 = 2usize;
+        let w2 = 3usize;
+        let len = w1 * w2 * reps;
+        let series: Vec<Vec<f64>> = (0..len).map(|t| vec![t as f64, (t * t) as f64]).collect();
+        let once = avg_pool(&avg_pool(&series, w1), w2);
+        let direct = avg_pool(&series, w1 * w2);
+        prop_assert_eq!(once.len(), direct.len());
+        for (a, b) in once.iter().zip(&direct) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Frobenius norm is absolutely homogeneous: ‖αA‖ = |α|·‖A‖.
+    #[test]
+    fn frobenius_homogeneity(alpha in -5.0f64..5.0, seed in 0u64..100) {
+        let mut init = Initializer::new(seed);
+        let a = init.uniform(3, 4, 2.0);
+        let scaled = Matrix::from_vec(
+            3,
+            4,
+            a.data().iter().map(|v| alpha * v).collect(),
+        );
+        prop_assert!((scaled.frobenius() - alpha.abs() * a.frobenius()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! The attacker ecosystem: botnets, resolver pools and blocklist presence.
+//!
+//! Address plan (all deterministic from the seed):
+//!
+//! * customers: `20.0.x.y` (AS 64500)
+//! * benign sources: `30.0.0.0/8` (AS 64501)
+//! * botnet subnets: `/24`s inside `60.0.0.0/8` (AS 64510)
+//! * DNS resolvers (amplifiers): `/24`s inside `70.0.0.0/8` (AS 64520)
+//! * detectably-spoofed sources: RFC 1918 bogons and unannounced
+//!   `90.0.0.0/8`
+//! * undetectably-spoofed sources: random addresses inside the announced
+//!   benign space (the classifier cannot tell, matching §5.1's caveat)
+
+use crate::config::WorldConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xatu_netflow::addr::{Ipv4, Prefix, Subnet24};
+
+/// Categories re-exported for the blocklist feed without importing the
+/// features crate (which would invert the dependency order): index into
+/// `xatu_features::blocklist::BlocklistCategory::ALL`.
+pub type BlocklistCategoryIndex = usize;
+
+/// One botnet: a reusable set of attacker /24s.
+#[derive(Clone, Debug)]
+pub struct Botnet {
+    /// Stable id.
+    pub id: usize,
+    /// Member subnets.
+    pub subnets: Vec<Subnet24>,
+    /// Subnets that appear on public blocklists, with category index.
+    pub blocklisted: Vec<(Subnet24, BlocklistCategoryIndex)>,
+}
+
+impl Botnet {
+    /// A concrete host address of member `subnet_idx` (host id hashed in).
+    pub fn host(&self, subnet_idx: usize, host: u8) -> Ipv4 {
+        self.subnets[subnet_idx % self.subnets.len()].host(host.max(1))
+    }
+}
+
+/// The full attacker ecosystem.
+#[derive(Clone, Debug)]
+pub struct Ecosystem {
+    /// All botnets.
+    pub botnets: Vec<Botnet>,
+    /// Open-resolver subnets used by DNS amplification.
+    pub resolvers: Vec<Subnet24>,
+}
+
+impl Ecosystem {
+    /// Builds the ecosystem deterministically.
+    pub fn build(cfg: &WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let mut used = std::collections::HashSet::new();
+        let mut alloc_24 = |rng: &mut StdRng, base_octet: u32| -> Subnet24 {
+            loop {
+                let s = Subnet24((base_octet << 16) | rng.random_range(0..65536u32));
+                if used.insert(s) {
+                    return s;
+                }
+            }
+        };
+
+        let mut botnets = Vec::with_capacity(cfg.n_botnets);
+        for id in 0..cfg.n_botnets {
+            let subnets: Vec<Subnet24> = (0..cfg.botnet_subnets)
+                .map(|_| alloc_24(&mut rng, 60))
+                .collect();
+            let mut blocklisted = Vec::new();
+            for s in &subnets {
+                if rng.random_bool(cfg.blocklisted_frac) {
+                    blocklisted.push((*s, rng.random_range(0..11usize)));
+                }
+            }
+            botnets.push(Botnet {
+                id,
+                subnets,
+                blocklisted,
+            });
+        }
+        let resolvers = (0..64).map(|_| alloc_24(&mut rng, 70)).collect();
+        Ecosystem { botnets, resolvers }
+    }
+
+    /// Every blocklist entry across botnets: `(category index, subnet)`.
+    pub fn blocklist_feed(&self) -> Vec<(BlocklistCategoryIndex, Subnet24)> {
+        self.botnets
+            .iter()
+            .flat_map(|b| b.blocklisted.iter().map(|(s, c)| (*c, *s)))
+            .collect()
+    }
+
+    /// The BGP announcements a realistic routing table would contain for
+    /// this world — everything except the deliberately-unrouted 90/8.
+    pub fn routed_prefixes() -> Vec<(Prefix, u32)> {
+        vec![
+            (Prefix::new(Ipv4::from_octets(20, 0, 0, 0), 8), 64500),
+            (Prefix::new(Ipv4::from_octets(30, 0, 0, 0), 8), 64501),
+            (Prefix::new(Ipv4::from_octets(60, 0, 0, 0), 8), 64510),
+            (Prefix::new(Ipv4::from_octets(70, 0, 0, 0), 8), 64520),
+        ]
+    }
+
+    /// A deterministic benign source address from a 64-bit stream value.
+    pub fn benign_source(stream: u64) -> Ipv4 {
+        // 30.0.0.0/8, spread over the /8 by a mix.
+        Ipv4(0x1E00_0000 | (mix(stream) as u32 & 0x00FF_FFFF))
+    }
+
+    /// A detectably-spoofed source: alternates RFC 1918 and unrouted 90/8.
+    pub fn spoofed_detectable(stream: u64) -> Ipv4 {
+        let m = mix(stream);
+        if m & 1 == 0 {
+            // 10.0.0.0/8 bogon.
+            Ipv4(0x0A00_0000 | (m as u32 & 0x00FF_FFFF))
+        } else {
+            // Unrouted 90.0.0.0/8.
+            Ipv4(0x5A00_0000 | (m as u32 & 0x00FF_FFFF))
+        }
+    }
+
+    /// An undetectably-spoofed source: random routed benign space.
+    pub fn spoofed_undetectable(stream: u64) -> Ipv4 {
+        Self::benign_source(mix(stream))
+    }
+}
+
+/// SplitMix64 mix for deterministic address streams.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The customer address for index `i`: `20.0.hi.lo`.
+pub fn customer_addr(i: usize) -> Ipv4 {
+    Ipv4::from_octets(20, 0, (i >> 8) as u8, (i & 0xFF) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorldConfig {
+        WorldConfig::smoke_test(3)
+    }
+
+    #[test]
+    fn ecosystem_is_deterministic() {
+        let a = Ecosystem::build(&cfg());
+        let b = Ecosystem::build(&cfg());
+        assert_eq!(a.botnets.len(), b.botnets.len());
+        for (x, y) in a.botnets.iter().zip(&b.botnets) {
+            assert_eq!(x.subnets, y.subnets);
+            assert_eq!(x.blocklisted, y.blocklisted);
+        }
+    }
+
+    #[test]
+    fn botnet_subnets_live_in_60_slash_8() {
+        let eco = Ecosystem::build(&cfg());
+        for b in &eco.botnets {
+            for s in &b.subnets {
+                assert_eq!(s.base().octets()[0], 60);
+            }
+        }
+    }
+
+    #[test]
+    fn subnets_are_unique_across_botnets() {
+        let eco = Ecosystem::build(&cfg());
+        let mut seen = std::collections::HashSet::new();
+        for b in &eco.botnets {
+            for s in &b.subnets {
+                assert!(seen.insert(*s), "duplicate subnet {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocklist_feed_fraction_roughly_matches() {
+        let mut c = WorldConfig::default();
+        c.n_botnets = 20;
+        c.botnet_subnets = 50;
+        c.blocklisted_frac = 0.5;
+        let eco = Ecosystem::build(&c);
+        let total: usize = eco.botnets.iter().map(|b| b.subnets.len()).sum();
+        let listed = eco.blocklist_feed().len();
+        let frac = listed as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.1, "frac={frac}");
+    }
+
+    #[test]
+    fn spoofed_detectable_sources_are_bogon_or_unrouted() {
+        for i in 0..100 {
+            let a = Ecosystem::spoofed_detectable(i);
+            let first = a.octets()[0];
+            assert!(a.is_bogon() || first == 90, "{a}");
+        }
+    }
+
+    #[test]
+    fn benign_sources_live_in_30_slash_8() {
+        for i in 0..100 {
+            assert_eq!(Ecosystem::benign_source(i).octets()[0], 30);
+        }
+    }
+
+    #[test]
+    fn routed_prefixes_cover_benign_and_bots_but_not_90() {
+        let prefixes = Ecosystem::routed_prefixes();
+        let covers = |a: Ipv4| prefixes.iter().any(|(p, _)| p.contains(a));
+        assert!(covers(Ecosystem::benign_source(5)));
+        assert!(covers(Ipv4::from_octets(60, 1, 2, 3)));
+        assert!(!covers(Ipv4::from_octets(90, 1, 2, 3)));
+    }
+
+    #[test]
+    fn customer_addresses_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(customer_addr(i)));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Early warning on a single scripted UDP flood — the paper's Fig 2/Fig 11
+//! scenario as a runnable demo.
+//!
+//! ```text
+//! cargo run --release --example early_warning
+//! ```
+//!
+//! A 10-day preparation campaign precedes a 20 Mbps UDP flood against one
+//! customer. The demo shows the three views the paper contrasts:
+//!
+//! 1. the raw volumetric series (what a threshold detector sees),
+//! 2. the auxiliary-signal activity (probing from future attack sources),
+//! 3. the CUSUM-marked anomaly onset vs the CDet detection time.
+
+use xatu::detectors::cusum::mark_anomaly_start;
+use xatu::detectors::netscout::NetScout;
+use xatu::detectors::traits::{Detector, DetectorEvent, MinuteObservation};
+use xatu::netflow::attack::AttackType;
+use xatu::simnet::scenario::single_udp_attack;
+
+fn main() {
+    let (mut world, event) = single_udp_attack(42);
+    println!(
+        "scripted UDP flood: victim {}, prep from minute {}, onset {}, peak {:.0} Mbps",
+        event.victim,
+        event.prep_start,
+        event.onset,
+        event.peak_bpm * 8.0 / 60.0 / 1e6
+    );
+
+    let sig = AttackType::UdpFlood.signature();
+    let total = world.total_minutes();
+    let mut volume = vec![0.0f64; total as usize];
+    let mut prep_sources = vec![0usize; total as usize];
+    let mut netscout = NetScout::new();
+    let mut detection: Option<u32> = None;
+
+    while !world.finished() {
+        let bins = world.step();
+        let minute = bins[0].minute as usize;
+        let bin = bins.iter().find(|b| b.customer == event.victim).unwrap();
+        let mut bytes = 0.0;
+        let mut packets = 0.0;
+        let mut probes = std::collections::HashSet::new();
+        for f in &bin.flows {
+            if sig.matches(f) {
+                bytes += f.est_bytes() as f64;
+                packets += f.est_packets() as f64;
+                if f.src.octets()[0] == 60 {
+                    probes.insert(f.src.subnet24());
+                }
+            }
+        }
+        volume[minute] = bytes;
+        prep_sources[minute] = probes.len();
+        for ev in netscout.observe(&MinuteObservation {
+            minute: minute as u32,
+            customer: event.victim,
+            attack_type: AttackType::UdpFlood,
+            bytes,
+            packets,
+        }) {
+            if let DetectorEvent::Raised(a) = ev {
+                detection.get_or_insert(a.detected_at);
+            }
+        }
+    }
+
+    // Auxiliary activity by day (distinct probing /24s per day).
+    println!("\npreparation activity (distinct attacker /24s probing per day):");
+    for day in 0..(event.onset / 1440) {
+        let start = (day * 1440) as usize;
+        let end = ((day + 1) * 1440).min(event.onset) as usize;
+        let max_probes = prep_sources[start..end].iter().max().copied().unwrap_or(0);
+        let total_probe_minutes: usize = prep_sources[start..end].iter().filter(|&&p| p > 0).count();
+        if total_probe_minutes > 0 {
+            println!(
+                "  day {day:>2}: up to {max_probes:>2} subnets, {total_probe_minutes:>3} active minutes {}",
+                "#".repeat(max_probes.min(30))
+            );
+        }
+    }
+
+    let detected = detection.expect("CDet detected the flood");
+    let onset = mark_anomaly_start(&volume, 0, detected, AttackType::UdpFlood);
+    println!("\nvolumetric view around the attack (Mbps):");
+    for m in onset.saturating_sub(6)..(event.end + 2).min(total) {
+        let mbps = volume[m as usize] * 8.0 / 60.0 / 1e6;
+        let bar = "#".repeat((mbps / 1.0) as usize);
+        let mark = if m == onset {
+            "  <- anomaly starts (CUSUM)"
+        } else if m == detected {
+            "  <- CDet detection"
+        } else {
+            ""
+        };
+        println!("  t{:+3}: {mbps:6.2} {bar}{mark}", m as i64 - onset as i64);
+    }
+    println!(
+        "\nCDet detected {} minutes after the anomaly started — every minute of which reached \
+         the victim unscrubbed. Xatu's auxiliary signals (above) were visible for days.",
+        detected - onset
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate a small ISP, boost its DDoS detection with Xatu,
+//! and print the evaluation report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This runs the whole paper pipeline at smoke-test scale (a few minutes
+//! of wall clock): a seeded world is simulated, a NetScout-style CDet
+//! labels its attacks, per-type multi-timescale LSTM survival models are
+//! trained on the first half of the period, thresholds are calibrated on
+//! the validation slice under a scrubbing-overhead bound, and both systems
+//! are scored on the held-out test period.
+
+use xatu::core::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11u64); // a seed whose mini world exercises every system
+
+    println!("building a mini-scale world (seed {seed}) …");
+    // `mini` is the smallest preset whose test period reliably contains
+    // ground-truth events (the smoke preset only checks mechanics).
+    let mut cfg = PipelineConfig::mini(seed);
+    // The scaled equivalent of the paper's mid-range bound (DESIGN.md §8):
+    // this world has far less cumulative attack volume per customer, so
+    // operating points sit at proportionally larger overhead ratios.
+    cfg.overhead_bound = 0.1;
+    cfg.verbose = true;
+
+    let report = Pipeline::new(cfg).run();
+
+    println!();
+    println!("per-type calibrated thresholds:");
+    for (ty, th) in &report.xatu_thresholds {
+        println!("  {:>8}: S_t < {th:.5}", ty.label());
+    }
+    println!();
+    println!("{}", report.summary());
+    println!(
+        "(each line: median [p10, p90] mitigation effectiveness, median detection delay, \
+         75th-percentile per-customer scrubbing overhead, events detected)"
+    );
+}

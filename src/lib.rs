@@ -1,0 +1,37 @@
+//! # Xatu
+//!
+//! A faithful Rust reproduction of **"Xatu: Boosting Existing DDoS Detection
+//! Systems Using Auxiliary Signals"** (CoNEXT 2022).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`netflow`] — NetFlow records, sampling, binning, export.
+//! * [`simnet`] — seedable ISP traffic & attack-ecosystem simulator.
+//! * [`nn`] — from-scratch neural substrate (dense, LSTM with BPTT, Adam).
+//! * [`survival`] — survival analysis: hazards, SAFE loss, calibration.
+//! * [`features`] — the 273-feature extractor (volumetric + A1–A5).
+//! * [`detectors`] — CUSUM, NetScout-style, FastNetMon-style, Random Forest.
+//! * [`core`] — the Xatu model, trainer, online detector and pipeline.
+//! * [`metrics`] — effectiveness, scrubbing overhead, delay, ROC.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use xatu::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let cfg = PipelineConfig::smoke_test(7);
+//! let report = Pipeline::new(cfg).run();
+//! println!("{}", report.summary());
+//! ```
+//!
+//! See `examples/quickstart.rs` for a narrated end-to-end run.
+
+pub use xatu_core as core;
+pub use xatu_detectors as detectors;
+pub use xatu_features as features;
+pub use xatu_metrics as metrics;
+pub use xatu_netflow as netflow;
+pub use xatu_nn as nn;
+pub use xatu_simnet as simnet;
+pub use xatu_survival as survival;

@@ -1,0 +1,87 @@
+//! Integration tests spanning every crate: simulate → detect → extract →
+//! train → calibrate → evaluate, plus determinism and failure injection.
+
+use xatu::core::pipeline::{Pipeline, PipelineConfig};
+use xatu::simnet::{scenario, World};
+
+#[test]
+fn pipeline_end_to_end_smoke() {
+    let report = Pipeline::new(PipelineConfig::smoke_test(3)).run();
+    let netscout = report.system("NetScout").expect("netscout evaluated");
+    let xatu = report.system("Xatu").expect("xatu evaluated");
+    // Every metric well-formed.
+    for v in netscout
+        .effectiveness_values()
+        .iter()
+        .chain(xatu.effectiveness_values().iter())
+    {
+        assert!((0.0..=1.0).contains(v), "effectiveness {v}");
+    }
+    for r in netscout.overhead.ratios() {
+        assert!(r >= 0.0 && r.is_finite());
+    }
+    // The labelling CDet detects its own ground truth by construction.
+    assert_eq!(netscout.detected, netscout.delay.total());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = Pipeline::new(PipelineConfig::smoke_test(9)).run();
+    let b = Pipeline::new(PipelineConfig::smoke_test(9)).run();
+    assert_eq!(a.gt_test.len(), b.gt_test.len());
+    assert_eq!(a.xatu_thresholds.len(), b.xatu_thresholds.len());
+    for ((ty_a, th_a), (ty_b, th_b)) in a.xatu_thresholds.iter().zip(&b.xatu_thresholds) {
+        assert_eq!(ty_a, ty_b);
+        assert_eq!(th_a, th_b);
+    }
+    let ea: Vec<f64> = a.system("Xatu").unwrap().effectiveness_values();
+    let eb: Vec<f64> = b.system("Xatu").unwrap().effectiveness_values();
+    assert_eq!(ea, eb);
+}
+
+#[test]
+fn benign_only_world_produces_no_ground_truth() {
+    let mut cfg = PipelineConfig::smoke_test(4);
+    cfg.world.n_chains = 0;
+    let prepared = Pipeline::new(cfg).prepare();
+    assert!(prepared.ground_truth.is_empty(), "no attacks → no events");
+    assert!(prepared.models.is_empty(), "nothing to train on");
+    // Evaluation still works and reports empty systems.
+    let report = prepared.evaluate(0.01);
+    assert_eq!(report.gt_test.len(), 0);
+}
+
+#[test]
+fn no_prep_attacker_still_detected_by_cdet() {
+    let mut cfg = PipelineConfig::smoke_test(5);
+    cfg.world.prep_intensity = 0.0;
+    let prepared = Pipeline::new(cfg).prepare();
+    // The volumetric CDet does not rely on auxiliary signals at all.
+    assert!(
+        !prepared.cdet_alerts.is_empty(),
+        "CDet must detect prep-silent attacks"
+    );
+}
+
+#[test]
+fn worlds_with_different_seeds_schedule_different_attacks() {
+    let a = World::new(scenario::sweep(1));
+    let b = World::new(scenario::sweep(2));
+    let onsets_a: Vec<u32> = a.events().iter().map(|e| e.onset).collect();
+    let onsets_b: Vec<u32> = b.events().iter().map(|e| e.onset).collect();
+    assert_ne!(onsets_a, onsets_b);
+}
+
+#[test]
+fn table2_is_consistent_with_split() {
+    let prepared = Pipeline::new(PipelineConfig::smoke_test(6)).prepare();
+    let split = prepared.split();
+    let t2 = prepared.table2;
+    let train: usize = t2.counts.iter().map(|r| r[0]).sum();
+    let alerts_in_train = prepared
+        .cdet_alerts
+        .iter()
+        .filter(|a| a.detected_at < split.train_end)
+        .count();
+    assert_eq!(train, alerts_in_train);
+}
