@@ -10,6 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use xatu_core::config::XatuConfig;
 use xatu_core::model::XatuModel;
+use xatu_core::pipeline::{Pipeline, PipelineConfig};
+use xatu_core::sample::{Sample, SampleMeta};
+use xatu_core::trainer::train;
 use xatu_detectors::cusum::Cusum;
 use xatu_detectors::rf::{RandomForest, RfConfig};
 use xatu_features::table1::FeatureExtractor;
@@ -116,10 +119,91 @@ fn bench_safe_loss(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------
+// Data-parallel layer benches: the same seeded work at 1 thread and at 4,
+// so a `cargo bench` run shows the scaling (and, because every layer is
+// bit-deterministic, any thread count computes the identical result).
+// ---------------------------------------------------------------------
+
+fn parallel_bench_cfg(threads: usize) -> XatuConfig {
+    XatuConfig {
+        timescales: (1, 3, 6),
+        short_len: 16,
+        medium_len: 10,
+        long_len: 6,
+        window: 10,
+        hidden: 12,
+        epochs: 1,
+        batch_size: 8,
+        lr: 2e-2,
+        threads,
+        ..XatuConfig::smoke_test()
+    }
+}
+
+fn training_dataset(c: &XatuConfig, n: usize) -> Vec<Sample> {
+    use xatu_features::frame::NUM_FEATURES;
+    (0..n)
+        .map(|i| {
+            let label = i % 2 == 0;
+            let frame = |hot: f32| -> Vec<f32> {
+                let mut f = vec![0.1f32; NUM_FEATURES];
+                f[130] = hot;
+                f
+            };
+            let hot = if label { 1.5 } else { 0.0 };
+            Sample {
+                short: vec![frame(hot); c.short_len],
+                medium: vec![frame(hot); c.medium_len],
+                long: vec![frame(0.0); c.long_len],
+                window: vec![frame(hot); c.window],
+                label,
+                event_step: c.window,
+                anomaly_step: label.then_some(3),
+                meta: SampleMeta {
+                    customer: Ipv4(i as u32),
+                    attack_type: xatu_netflow::attack::AttackType::UdpFlood,
+                    window_start: 0,
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_training_epoch_by_threads(c: &mut Criterion) {
+    for threads in [1usize, 4] {
+        let cfg = parallel_bench_cfg(threads);
+        let samples = training_dataset(&cfg, 48);
+        c.bench_function(&format!("train_one_epoch_48samples_t{threads}"), |b| {
+            b.iter(|| {
+                let mut model = XatuModel::new(&cfg);
+                black_box(train(&mut model, &samples, &cfg))
+            })
+        });
+    }
+}
+
+fn bench_prepare_by_threads(c: &mut Criterion) {
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("pipeline_prepare_smoke_t{threads}"), |b| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::smoke_test(3);
+                cfg.xatu.threads = threads;
+                black_box(Pipeline::new(cfg).prepare())
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
               bench_cusum, bench_rf_inference, bench_sampler, bench_safe_loss
 }
-criterion_main!(benches);
+criterion_group! {
+    name = parallel_benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_training_epoch_by_threads, bench_prepare_by_threads
+}
+criterion_main!(benches, parallel_benches);

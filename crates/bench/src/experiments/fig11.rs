@@ -24,7 +24,6 @@ pub fn run(seed: u64) -> String {
         .find(|(t, _)| *t == AttackType::UdpFlood)
         .or_else(|| prepared.models.first())
         .cloned()
-        .map(|(t, m)| (t, m))
         .expect("at least one trained model");
     let mut model = model;
 

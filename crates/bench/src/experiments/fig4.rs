@@ -163,10 +163,10 @@ pub fn run_4b(seed: u64) -> String {
             continue;
         }
         let mut cells = vec![from.label().to_string()];
-        for j in 0..6 {
+        for &count in &matrix[i] {
             cells.push(format!(
                 "{:.1}%",
-                100.0 * matrix[i][j] as f64 / row_total as f64
+                100.0 * count as f64 / row_total as f64
             ));
         }
         table.row(&cells);

@@ -77,6 +77,11 @@ pub struct XatuConfig {
     pub loss: LossKind,
     /// Minimum positive samples required to train a per-type model.
     pub min_positives: usize,
+    /// Worker threads for data-parallel training, feature extraction and
+    /// threshold sweeps. `0` = auto: the `XATU_THREADS` environment
+    /// variable if set, else all available cores. Results are bit-identical
+    /// for every value — parallelism only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for XatuConfig {
@@ -97,6 +102,7 @@ impl Default for XatuConfig {
             timescale_mode: TimescaleMode::All,
             loss: LossKind::Survival,
             min_positives: 8,
+            threads: 0,
         }
     }
 }

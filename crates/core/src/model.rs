@@ -483,7 +483,7 @@ fn short_pos(ctx: usize, t: usize, trace_len: usize) -> Option<usize> {
 }
 
 /// The short hidden state at window step `t`.
-fn short_hidden<'a>(trace: &'a LstmTrace, ctx: usize, t: usize) -> &'a [f64] {
+fn short_hidden(trace: &LstmTrace, ctx: usize, t: usize) -> &[f64] {
     &trace.hs[ctx + t]
 }
 
@@ -500,7 +500,7 @@ fn coarse_pos(ctx: usize, t: usize, gran: usize, trace_len: usize) -> Option<usi
 }
 
 /// The coarse (medium/long) hidden state current at window step `t`.
-fn coarse_hidden<'a>(trace: &'a LstmTrace, ctx: usize, t: usize, gran: usize) -> &'a [f64] {
+fn coarse_hidden(trace: &LstmTrace, ctx: usize, t: usize, gran: usize) -> &[f64] {
     static EMPTY: [f64; 0] = [];
     match coarse_pos(ctx, t, gran, trace.len()) {
         Some(pos) if !trace.is_empty() => &trace.hs[pos],

@@ -44,6 +44,7 @@ use xatu_metrics::roc::{roc_curve, RocPoint};
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::{AttackType, Severity};
 use xatu_netflow::binning::MinuteFlows;
+use xatu_par::{par_map, resolve_threads};
 use xatu_simnet::{World, WorldConfig};
 use xatu_survival::calibrate::{pick_threshold, threshold_grid, CandidateEval, QuantileBound};
 
@@ -245,6 +246,7 @@ impl Pipeline {
     /// multiple overhead bounds cheaply.
     pub fn prepare(self) -> Prepared {
         let cfg = self.cfg;
+        let threads = resolve_threads(cfg.xatu.threads);
         let split = SplitBoundaries::from_days(cfg.world.days);
         let log = |msg: &str| {
             if cfg.verbose {
@@ -317,10 +319,16 @@ impl Pipeline {
                     }
                 }
             }
-            // Tracker upkeep + feature extraction + sample collection.
+            // Tracker upkeep first (mutates shared per-customer state),
+            // then feature extraction fanned out across customers — frames
+            // come back in bin order, so the sequential consumption below
+            // is identical for every thread count.
             for bin in &bins {
                 update_trackers(&mut extractor, bin, &mut active_cdet, &volumes, false);
-                let frame = extractor.extract(bin);
+            }
+            extractor.spoof.ensure_built();
+            let frames = par_map(threads, &bins, |_, bin| extractor.extract_shared(bin));
+            for (bin, frame) in bins.iter().zip(frames) {
                 let total = bin.total_bytes() as f64;
                 let ewma = volume_ewma.entry(bin.customer).or_insert(total);
                 let surge = total > 4.0 * *ewma + 1e5;
@@ -363,7 +371,7 @@ impl Pipeline {
         // ---------------- FastNetMon (offline over stored volumes) -------
         let fnm_alerts = if cfg.with_fnm {
             log("running FastNetMon over stored volumes");
-            run_fnm(&volumes, &world, split.total)
+            run_fnm(&volumes, &world, split.total, threads)
         } else {
             Vec::new()
         };
@@ -373,7 +381,7 @@ impl Pipeline {
         let models = train_models(&bundle, &cfg.xatu);
         let rf_models = if cfg.with_rf {
             log("training RF baselines");
-            train_rf_models(&bundle, &cfg.xatu)
+            train_rf_models(&bundle, &cfg.xatu, threads)
         } else {
             Vec::new()
         };
@@ -407,7 +415,10 @@ impl Pipeline {
             );
             for bin in &bins {
                 update_trackers(&mut extractor_b, bin, &mut active_b, &volumes, false);
-                let frame = extractor_b.extract(bin);
+            }
+            extractor_b.spoof.ensure_built();
+            let frames = par_map(threads, &bins, |_, bin| extractor_b.extract_shared(bin));
+            for (bin, frame) in bins.iter().zip(frames) {
                 for det in detectors.iter_mut() {
                     let (_, survival, _) = det.observe(bin.customer, minute, &frame.0);
                     if minute >= split.train_end {
@@ -423,8 +434,10 @@ impl Pipeline {
                         .or_insert_with(|| PooledHistory::new(ts, 64, 8));
                     h.push(frame);
                     if minute >= split.train_end {
+                        // One feature vector serves every per-type RF: the
+                        // features depend only on the history, not the type.
+                        let feats = rf_online_features(h);
                         for (ty, rf) in &rf_models {
-                            let feats = rf_online_features(h);
                             let score = 1.0 - rf.predict_proba(&feats);
                             val_scores_rf
                                 .entry((bin.customer, *ty))
@@ -680,9 +693,13 @@ impl Prepared {
             .filter(|e| only_type.is_none_or(|t| e.attack_type == t))
             .copied()
             .collect();
-        let candidates: Vec<CandidateEval> = threshold_grid(24)
-            .into_iter()
-            .map(|threshold| {
+        // Each candidate threshold is scored independently over the same
+        // read-only validation scores, so the sweep fans out across
+        // threads; candidates come back in grid order, making
+        // `pick_threshold` see the identical list for any thread count.
+        let grid = threshold_grid(24);
+        let candidates: Vec<CandidateEval> =
+            par_map(resolve_threads(self.cfg.xatu.threads), &grid, |_, &threshold| {
                 let mut alerts: SystemAlerts = HashMap::new();
                 for (&key, series) in scores {
                     if only_type.is_some_and(|t| key.1 != t) {
@@ -710,8 +727,7 @@ impl Prepared {
                     objective: if eff.median.is_nan() { 0.0 } else { eff.median },
                     per_customer_cost: eval.overhead.ratios(),
                 }
-            })
-            .collect();
+            });
         pick_threshold(&candidates, q)
     }
 
@@ -730,6 +746,10 @@ impl Prepared {
         HashMap<(Ipv4, AttackType), Vec<f32>>,
     ) {
         let cfg = &self.cfg;
+        // These checkpoint clones are load-bearing, not waste:
+        // [`Prepared::evaluate`] runs once per overhead bound over the same
+        // `Prepared`, so every test run must fork the frozen stream state
+        // rather than consume it.
         let mut world = self.checkpoint.world.clone();
         // Fork the extractor: CDet-fed for RF, Xatu-fed for Xatu (§5.3:
         // "for stabilization and testing periods, we rely on Xatu's
@@ -757,6 +777,7 @@ impl Prepared {
         let mut xatu_alert_list: Vec<Alert> = Vec::new();
         let mut test_scores_xatu: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
         let mut test_scores_rf: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
+        let threads = resolve_threads(cfg.xatu.threads);
 
         while !world.finished() {
             let bins = world.step();
@@ -781,17 +802,37 @@ impl Prepared {
                     &mut active_xatu,
                 );
             }
+            // Tracker upkeep for both extractor forks, then one extraction
+            // fan-out per fork; frames return in bin order so the
+            // sequential consumption below matches every thread count.
+            if cfg.with_rf {
+                for bin in &bins {
+                    update_trackers(&mut extractor_cdet, bin, &mut active_cdet, &self.volumes, false);
+                }
+            }
             for bin in &bins {
+                update_trackers(&mut extractor_xatu, bin, &mut active_xatu, &self.volumes, true);
+            }
+            let frames_cdet = if cfg.with_rf {
+                extractor_cdet.spoof.ensure_built();
+                par_map(threads, &bins, |_, bin| extractor_cdet.extract_shared(bin))
+            } else {
+                Vec::new()
+            };
+            extractor_xatu.spoof.ensure_built();
+            let frames_xatu = par_map(threads, &bins, |_, bin| extractor_xatu.extract_shared(bin));
+            let mut frames_cdet = frames_cdet.into_iter();
+            for (bin, frame_xatu) in bins.iter().zip(frames_xatu) {
                 // --- CDet-fed side: RF baseline. ---
                 if cfg.with_rf {
-                    update_trackers(&mut extractor_cdet, bin, &mut active_cdet, &self.volumes, false);
-                    let frame_cdet = extractor_cdet.extract(bin);
+                    let frame_cdet = frames_cdet.next().expect("one CDet frame per bin");
                     let h = rf_histories
                         .entry(bin.customer)
                         .or_insert_with(|| PooledHistory::new(ts, 64, 8));
                     h.push(frame_cdet);
+                    // One feature vector serves every per-type RF.
+                    let feats = rf_online_features(h);
                     for (ty, rf) in &self.rf_models {
-                        let feats = rf_online_features(h);
                         let score = 1.0 - rf.predict_proba(&feats);
                         test_scores_rf
                             .entry((bin.customer, *ty))
@@ -801,8 +842,6 @@ impl Prepared {
                 }
 
                 // --- Xatu-fed side: auto-regressive detection. ---
-                update_trackers(&mut extractor_xatu, bin, &mut active_xatu, &self.volumes, true);
-                let frame_xatu = extractor_xatu.extract(bin);
                 if cfg.verbose && cfg.with_rf {
                     // Frame-divergence diagnostic during ground-truth
                     // attacks (only when the CDet-fed frame exists).
@@ -1109,7 +1148,7 @@ fn handle_alert_event(
 }
 
 /// Marks the matching raised alert in `log` as ended.
-fn close_alert(log: &mut Vec<Alert>, ended: &Alert) {
+fn close_alert(log: &mut [Alert], ended: &Alert) {
     if let Some(slot) = log.iter_mut().rev().find(|x| {
         x.customer == ended.customer
             && x.attack_type == ended.attack_type
@@ -1202,7 +1241,9 @@ fn replay_cdet_events(
     }
 }
 
-/// Trains the per-type survival models.
+/// Trains the per-type survival models. Sequential over types on purpose:
+/// [`train`] is internally data-parallel over each minibatch, so nesting a
+/// per-type fan-out on top would oversubscribe the cores.
 fn train_models(bundle: &DatasetBundle, cfg: &XatuConfig) -> Vec<(AttackType, XatuModel)> {
     bundle
         .trainable_types(cfg.min_positives)
@@ -1254,27 +1295,36 @@ fn mean_frames(frames: &[Vec<f32>]) -> Vec<f64> {
 }
 
 /// RF online features from a pooled history: latest raw frame + latest
-/// medium and long representations.
+/// medium and long representations. One pre-sized allocation per call; the
+/// callers invoke it once per customer-minute (outside the per-type loop).
 fn rf_online_features(h: &PooledHistory) -> Vec<f64> {
-    let latest = h
-        .latest()
-        .map(|f| f.0.clone())
-        .unwrap_or_else(|| vec![0.0; xatu_features::frame::NUM_FEATURES]);
-    let dim = latest.len();
-    let med = h.medium_tail(1).pop().unwrap_or_else(|| vec![0.0; dim]);
-    let long = h.long_tail(1).pop().unwrap_or_else(|| vec![0.0; dim]);
-    let mut out = latest;
-    out.extend(med);
-    out.extend(long);
+    let dim = xatu_features::frame::NUM_FEATURES;
+    let mut out = Vec::with_capacity(3 * dim);
+    match h.latest() {
+        Some(f) => out.extend_from_slice(&f.0),
+        None => out.resize(dim, 0.0),
+    }
+    match h.medium_tail(1).pop() {
+        Some(med) => out.extend_from_slice(&med),
+        None => out.resize(2 * dim, 0.0),
+    }
+    match h.long_tail(1).pop() {
+        Some(long) => out.extend_from_slice(&long),
+        None => out.resize(3 * dim, 0.0),
+    }
     out
 }
 
-/// Trains the per-type RF baselines on instance-expanded samples.
-fn train_rf_models(bundle: &DatasetBundle, cfg: &XatuConfig) -> Vec<(AttackType, RandomForest)> {
-    bundle
-        .trainable_types(cfg.min_positives)
-        .into_iter()
-        .map(|ty| {
+/// Trains the per-type RF baselines on instance-expanded samples. Each
+/// type's forest grows from its own seeded RNG, so the per-type fan-out is
+/// deterministic regardless of thread count.
+fn train_rf_models(
+    bundle: &DatasetBundle,
+    cfg: &XatuConfig,
+    threads: usize,
+) -> Vec<(AttackType, RandomForest)> {
+    let types = bundle.trainable_types(cfg.min_positives);
+    par_map(threads, &types, |_, &ty| {
             let samples = bundle.for_type(ty);
             let mut xs = Vec::new();
             let mut ys = Vec::new();
@@ -1308,16 +1358,18 @@ fn train_rf_models(bundle: &DatasetBundle, cfg: &XatuConfig) -> Vec<(AttackType,
                 },
             );
             (ty, rf)
-        })
-        .collect()
+    })
 }
 
 /// Runs the FastNetMon-style detector over the stored volume series.
-fn run_fnm(volumes: &VolumeStore, world: &World, total: u32) -> Vec<Alert> {
-    let mut fnm = FastNetMon::new();
-    let mut log: Vec<Alert> = Vec::new();
-    for minute in 0..total {
-        for &customer in world.customers() {
+/// The detector's cells are keyed by (customer, type) with no cross-
+/// customer state, so the per-customer streams fan out across threads;
+/// per-customer logs are stitched back in `world.customers()` order.
+fn run_fnm(volumes: &VolumeStore, world: &World, total: u32, threads: usize) -> Vec<Alert> {
+    let logs = par_map(threads, world.customers(), |_, &customer| {
+        let mut fnm = FastNetMon::new();
+        let mut log: Vec<Alert> = Vec::new();
+        for minute in 0..total {
             for ty in AttackType::ALL {
                 let obs = MinuteObservation {
                     minute,
@@ -1334,8 +1386,9 @@ fn run_fnm(volumes: &VolumeStore, world: &World, total: u32) -> Vec<Alert> {
                 }
             }
         }
-    }
-    log
+        log
+    });
+    logs.into_iter().flatten().collect()
 }
 
 /// Table 2 counts from the CDet alert stream.

@@ -1,5 +1,12 @@
 //! Training loop: SAFE survival loss (or the cross-entropy ablation) with
 //! Adam, deterministic shuffling, gradient clipping and loss logging.
+//!
+//! Minibatches are data-parallel: each sample's forward/backward runs on a
+//! worker replica of the model and writes its gradient into a pooled
+//! per-sample buffer; the batch gradient is then reduced sequentially in
+//! chunk index order. Every thread count — including 1 — performs the same
+//! floating-point operations in the same order, so trained parameters are
+//! bit-identical no matter how many workers run.
 
 use crate::config::{LossKind, XatuConfig};
 use crate::model::XatuModel;
@@ -7,7 +14,8 @@ use crate::sample::Sample;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xatu_nn::activations::sigmoid;
-use xatu_nn::{Adam, Params};
+use xatu_nn::{Adam, GradBufferPool, Params};
+use xatu_par::{par_zip_with_workers, resolve_threads};
 use xatu_survival::safe_loss::safe_loss_and_grad;
 
 /// Per-epoch training diagnostics.
@@ -31,10 +39,20 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
     for s in samples {
         s.validate();
     }
+    let threads = resolve_threads(cfg.threads);
     let mut adam = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
+
+    // Data-parallel scaffolding, reused across batches and epochs: one
+    // pooled flat gradient buffer per sample slot, worker model replicas
+    // (grown lazily, params re-synced from `model` each batch), and a
+    // scratch vector for the parameter snapshot.
+    let param_count = model.param_count();
+    let mut pool = GradBufferPool::new(param_count);
+    let mut workers: Vec<XatuModel> = Vec::new();
+    let mut param_snapshot = vec![0.0; param_count];
 
     for epoch in 0..cfg.epochs {
         // Fisher-Yates shuffle.
@@ -45,10 +63,45 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
         let mut epoch_norm = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let slots = pool.take(chunk.len());
+            let n_workers = threads.min(chunk.len());
+            if n_workers <= 1 {
+                // Same canonical computation as the parallel path — each
+                // sample's gradient from a zeroed model into its own
+                // buffer — just without the replica sync.
+                for (slot, &i) in slots.iter_mut().zip(chunk) {
+                    model.zero_grads();
+                    slot.1 = accumulate_sample(model, &samples[i], cfg.loss);
+                    model.export_grads_into(&mut slot.0);
+                }
+            } else {
+                while workers.len() < n_workers {
+                    workers.push(model.clone());
+                }
+                model.export_params_into(&mut param_snapshot);
+                for w in &mut workers[..n_workers] {
+                    w.import_params_from(&param_snapshot);
+                }
+                let chunk_samples: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+                let loss_kind = cfg.loss;
+                par_zip_with_workers(
+                    &mut workers[..n_workers],
+                    &chunk_samples,
+                    &mut slots[..],
+                    |w, _idx, s, slot| {
+                        w.zero_grads();
+                        slot.1 = accumulate_sample(w, s, loss_kind);
+                        w.export_grads_into(&mut slot.0);
+                    },
+                );
+            }
+            // Fixed-order reduction: the batch gradient is summed in chunk
+            // index order regardless of which worker filled which buffer.
             model.zero_grads();
             let mut batch_loss = 0.0;
-            for &i in chunk {
-                batch_loss += accumulate_sample(model, &samples[i], cfg.loss);
+            for (buf, sample_loss) in slots.iter() {
+                model.accumulate_grads_from(buf);
+                batch_loss += *sample_loss;
             }
             model.scale_grads(1.0 / chunk.len() as f64);
             epoch_norm += model.grad_norm();

@@ -67,16 +67,34 @@ impl SpoofClassifier {
         self.built = true;
     }
 
+    /// Builds the routed-prefix table if it is stale; no-op otherwise.
+    /// Call before fanning classification out across threads with
+    /// [`Self::classify_shared`].
+    pub fn ensure_built(&mut self) {
+        if !self.built {
+            self.build();
+        }
+    }
+
     /// Classifies a source address given the AS it was observed entering
     /// from (`ingress_as`, `None` when unknown — e.g. sampled NetFlow
     /// without ingress attribution).
     pub fn classify(&mut self, src: Ipv4, ingress_as: Option<Asn>) -> Option<SpoofReason> {
+        self.ensure_built();
+        self.classify_shared(src, ingress_as)
+    }
+
+    /// Shared-read classification: identical to [`Self::classify`] but
+    /// usable concurrently from many threads. The prefix table must have
+    /// been finalised with [`Self::ensure_built`] first.
+    pub fn classify_shared(&self, src: Ipv4, ingress_as: Option<Asn>) -> Option<SpoofReason> {
         if src.is_bogon() {
             return Some(SpoofReason::Bogon);
         }
-        if !self.built {
-            self.build();
-        }
+        assert!(
+            self.built,
+            "SpoofClassifier::classify_shared before ensure_built()"
+        );
         let origin = match self.routed.lookup(src) {
             None => return Some(SpoofReason::Unrouted),
             Some((asn, _)) => *asn,
@@ -97,6 +115,12 @@ impl SpoofClassifier {
     /// Convenience: is the source spoofed at all?
     pub fn is_spoofed(&mut self, src: Ipv4, ingress_as: Option<Asn>) -> bool {
         self.classify(src, ingress_as).is_some()
+    }
+
+    /// Shared-read variant of [`Self::is_spoofed`]; requires
+    /// [`Self::ensure_built`].
+    pub fn is_spoofed_shared(&self, src: Ipv4, ingress_as: Option<Asn>) -> bool {
+        self.classify_shared(src, ingress_as).is_some()
     }
 
     /// Number of announced prefixes.

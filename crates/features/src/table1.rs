@@ -56,6 +56,16 @@ impl FeatureExtractor {
 
     /// Extracts the 273-feature frame for one customer-minute bin.
     pub fn extract(&mut self, bin: &MinuteFlows) -> FeatureFrame {
+        self.spoof.ensure_built();
+        self.extract_shared(bin)
+    }
+
+    /// Shared-read extraction: identical output to [`Self::extract`], but
+    /// `&self`, so per-customer bins of one minute can be extracted
+    /// concurrently. The spoof classifier must be finalised first
+    /// ([`SpoofClassifier::ensure_built`]); [`Self::extract`] does that
+    /// automatically.
+    pub fn extract_shared(&self, bin: &MinuteFlows) -> FeatureFrame {
         let mut frame = FeatureFrame::zeros();
         let now = bin.minute;
         let customer = bin.customer;
@@ -85,9 +95,9 @@ impl FeatureExtractor {
         // here — the invalid-origin path is exercised when the caller
         // classifies with explicit ingress data.
         if self.mask.a3 {
-            let spoof = &mut self.spoof;
+            let spoof = &self.spoof;
             let a3 = volumetric_block(&bin.flows, &self.mapper, |f| {
-                spoof.is_spoofed(f.src, None)
+                spoof.is_spoofed_shared(f.src, None)
             });
             frame.0[offsets::A3..offsets::A4].copy_from_slice(&a3);
         }

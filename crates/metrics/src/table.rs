@@ -102,6 +102,18 @@ pub fn fmt_pct(v: f64, decimals: usize) -> String {
 }
 
 #[cfg(test)]
+impl Summary {
+    fn default_nan() -> Summary {
+        Summary {
+            lo: f64::NAN,
+            median: f64::NAN,
+            hi: f64::NAN,
+            n: 0,
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -141,17 +153,5 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(fmt_pct(0.123, 1), "12.3%");
         assert_eq!(fmt_pct(f64::NAN, 1), "n/a");
-    }
-}
-
-#[cfg(test)]
-impl Summary {
-    fn default_nan() -> Summary {
-        Summary {
-            lo: f64::NAN,
-            median: f64::NAN,
-            hi: f64::NAN,
-            n: 0,
-        }
     }
 }

@@ -34,11 +34,9 @@ where
     model.visit(&mut |_, g| analytic.push(g.to_vec()));
 
     let mut max_rel: f64 = 0.0;
-    let n_sets = analytic.len();
-    for set in 0..n_sets {
-        for k in 0..analytic[set].len() {
+    for (set, grads) in analytic.iter().enumerate() {
+        for (k, &ana) in grads.iter().enumerate() {
             let num = numeric_partial(model, &mut loss, set, k, eps);
-            let ana = analytic[set][k];
             let denom = 1.0_f64.max(num.abs()).max(ana.abs());
             max_rel = max_rel.max((num - ana).abs() / denom);
         }
@@ -69,11 +67,11 @@ where
     model.visit(&mut |_, g| analytic.push(g.to_vec()));
 
     let mut max_rel: f64 = 0.0;
-    for set in 0..analytic.len() {
+    for (set, grads) in analytic.iter().enumerate() {
         let mut k = set % stride; // stagger across sets
-        while k < analytic[set].len() {
+        while k < grads.len() {
             let num = numeric_partial(model, &mut loss, set, k, eps);
-            let ana = analytic[set][k];
+            let ana = grads[k];
             let denom = 1.0_f64.max(num.abs()).max(ana.abs());
             max_rel = max_rel.max((num - ana).abs() / denom);
             k += stride;

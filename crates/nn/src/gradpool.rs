@@ -1,0 +1,67 @@
+//! Reusable per-sample gradient buffers for data-parallel training.
+//!
+//! Deterministic minibatch parallelism needs every sample's gradient in its
+//! own flat vector so the batch sum can be formed in a fixed index order,
+//! independent of which thread produced which vector. Allocating those
+//! vectors per batch would dominate small-model training, so the pool keeps
+//! them alive across batches and epochs and hands out exactly as many slots
+//! as the current chunk needs.
+
+/// One slot per sample: the flat gradient vector (visit order, see
+/// [`crate::Params::export_grads_into`]) and the sample's scalar loss.
+pub type GradSlot = (Vec<f64>, f64);
+
+/// A grow-only pool of `(gradient buffer, loss)` slots, all sized to one
+/// model's [`crate::Params::param_count`].
+#[derive(Debug, Clone)]
+pub struct GradBufferPool {
+    param_count: usize,
+    slots: Vec<GradSlot>,
+}
+
+impl GradBufferPool {
+    /// Creates an empty pool for models with `param_count` scalar parameters.
+    pub fn new(param_count: usize) -> Self {
+        GradBufferPool {
+            param_count,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The parameter count every buffer in this pool is sized for.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Returns exactly `n` slots, growing the pool if needed. Buffer
+    /// contents are stale from the previous batch; callers overwrite them
+    /// via [`crate::Params::export_grads_into`].
+    pub fn take(&mut self, n: usize) -> &mut [GradSlot] {
+        while self.slots.len() < n {
+            self.slots.push((vec![0.0; self.param_count], 0.0));
+        }
+        &mut self.slots[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::GradBufferPool;
+
+    #[test]
+    fn pool_grows_and_reuses() {
+        let mut pool = GradBufferPool::new(3);
+        {
+            let slots = pool.take(2);
+            assert_eq!(slots.len(), 2);
+            slots[1].0[2] = 7.0;
+            slots[1].1 = 0.5;
+        }
+        // Smaller request reuses the same allocations; larger grows.
+        assert_eq!(pool.take(1).len(), 1);
+        let slots = pool.take(4);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[1].0[2], 7.0, "buffers persist across take()s");
+        assert!(slots.iter().all(|(b, _)| b.len() == 3));
+    }
+}

@@ -26,6 +26,7 @@ pub mod activations;
 pub mod adam;
 pub mod dense;
 pub mod gradcheck;
+pub mod gradpool;
 pub mod init;
 pub mod lstm;
 pub mod matrix;
@@ -34,6 +35,7 @@ pub mod serialize;
 
 pub use adam::Adam;
 pub use dense::Dense;
+pub use gradpool::GradBufferPool;
 pub use lstm::{Lstm, LstmState, LstmTrace};
 pub use matrix::Matrix;
 
@@ -76,5 +78,56 @@ pub trait Params {
         if norm > max_norm && norm > 0.0 {
             self.scale_grads(max_norm / norm);
         }
+    }
+
+    /// Copies all gradients into `out` (flat, visit order). `out` must be
+    /// exactly [`Params::param_count`] long.
+    ///
+    /// Together with [`Params::accumulate_grads_from`], this lets a batch
+    /// be computed as independent per-sample gradient vectors and reduced
+    /// in a fixed order — the substrate for thread-count-independent
+    /// data-parallel training.
+    fn export_grads_into(&mut self, out: &mut [f64]) {
+        let mut offset = 0;
+        self.visit(&mut |_, g| {
+            out[offset..offset + g.len()].copy_from_slice(g);
+            offset += g.len();
+        });
+        assert_eq!(offset, out.len(), "gradient export length mismatch");
+    }
+
+    /// Adds the flat gradient vector `src` (visit order) into the model's
+    /// gradient buffers, element by element in index order.
+    fn accumulate_grads_from(&mut self, src: &[f64]) {
+        let mut offset = 0;
+        self.visit(&mut |_, g| {
+            let n = g.len();
+            for (dst, s) in g.iter_mut().zip(&src[offset..offset + n]) {
+                *dst += s;
+            }
+            offset += n;
+        });
+        assert_eq!(offset, src.len(), "gradient accumulate length mismatch");
+    }
+
+    /// Copies all parameters into `out` (flat, visit order).
+    fn export_params_into(&mut self, out: &mut [f64]) {
+        let mut offset = 0;
+        self.visit(&mut |p, _| {
+            out[offset..offset + p.len()].copy_from_slice(p);
+            offset += p.len();
+        });
+        assert_eq!(offset, out.len(), "parameter export length mismatch");
+    }
+
+    /// Overwrites all parameters from the flat vector `src` (visit order);
+    /// used to sync worker model replicas from the optimizer's copy.
+    fn import_params_from(&mut self, src: &[f64]) {
+        let mut offset = 0;
+        self.visit(&mut |p, _| {
+            p.copy_from_slice(&src[offset..offset + p.len()]);
+            offset += p.len();
+        });
+        assert_eq!(offset, src.len(), "parameter import length mismatch");
     }
 }

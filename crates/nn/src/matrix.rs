@@ -80,12 +80,7 @@ impl Matrix {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(y.len(), self.rows, "matvec: y length");
         for (r, yr) in y.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            *yr += acc;
+            *yr += dot4(self.row(r), x);
         }
     }
 
@@ -150,7 +145,36 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Dot product.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    dot4(a, b)
+}
+
+/// The shared inner kernel of [`dot`] and [`Matrix::matvec_acc`]: four
+/// independent accumulator lanes so the multiply-adds pipeline instead of
+/// serialising on one dependency chain.
+///
+/// The summation order is part of the contract, not an implementation
+/// detail: lane `l` sums products at indices `l, l+4, l+8, …`; the lanes
+/// combine as `(s0 + s1) + (s2 + s3)`; the `len % 4` tail is then added in
+/// index order. A property test pins the result to 0 ULP against a plain
+/// scalar rendering of that same order, so the unrolled kernel can never
+/// drift from the documented deterministic arithmetic.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        s0 += pa[0] * pb[0];
+        s1 += pa[1] * pb[1];
+        s2 += pa[2] * pb[2];
+        s3 += pa[3] * pb[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -219,5 +243,62 @@ mod tests {
     fn frobenius_norm() {
         let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
         assert!((a.frobenius() - 5.0).abs() < 1e-12);
+    }
+
+    /// Plain scalar rendering of `dot4`'s documented summation order: lane
+    /// sums in index order, `(s0 + s1) + (s2 + s3)`, then the tail. The
+    /// property tests pin the unrolled kernel to this at 0 ULP.
+    fn fixed_order_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let lanes = n - n % 4;
+        let mut s = [0.0f64; 4];
+        for k in (0..lanes).step_by(4) {
+            for l in 0..4 {
+                s[l] += a[k + l] * b[k + l];
+            }
+        }
+        let mut acc = (s[0] + s[1]) + (s[2] + s[3]);
+        for k in lanes..n {
+            acc += a[k] * b[k];
+        }
+        acc
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn dot_matches_fixed_order_partial_sums(
+            ab in proptest::collection::vec(-1.0e6f64..1.0e6, 0..129),
+        ) {
+            let n = ab.len() / 2;
+            let (a, b) = (&ab[..n], &ab[n..2 * n]);
+            prop_assert_eq!(
+                dot(a, b).to_bits(),
+                fixed_order_reference(a, b).to_bits()
+            );
+        }
+
+        #[test]
+        fn matvec_acc_matches_fixed_order_partial_sums(
+            data in proptest::collection::vec(-1.0e6f64..1.0e6, 3..120),
+            init in -1.0e3f64..1.0e3,
+        ) {
+            // Split `data` into a rows×cols matrix and an x vector such
+            // that rows ≥ 1 and cols covers tail lengths 0..4.
+            let cols = 1 + data.len() % 13;
+            let rows = (data.len().saturating_sub(cols) / cols).max(1);
+            if data.len() < rows * cols + cols {
+                return;
+            }
+            let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+            let x = &data[rows * cols..rows * cols + cols];
+            let mut y = vec![init; rows];
+            m.matvec_acc(x, &mut y);
+            for (r, &yr) in y.iter().enumerate() {
+                let expect = init + fixed_order_reference(m.row(r), x);
+                prop_assert_eq!(yr.to_bits(), expect.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,297 @@
+//! Deterministic data-parallel execution substrate.
+//!
+//! Every primitive here has **the same observable output for every thread
+//! count**, including 1. The recipe is always: partition the index space
+//! into contiguous blocks, run blocks concurrently, and stitch per-block
+//! results back together in block order. Nothing is reduced in completion
+//! order, so floating-point results are bit-identical no matter how the
+//! blocks were scheduled.
+//!
+//! Thread counts come from [`resolve_threads`]: an explicit config value
+//! wins, then the `XATU_THREADS` environment variable, then all available
+//! cores.
+//!
+//! With the `rayon` cargo feature the fork-join runs on rayon's scheduler;
+//! by default it uses [`std::thread::scope`] with one thread per block.
+//! The block structure — and therefore every result bit — is identical in
+//! both modes.
+
+/// Resolves an effective thread count from a config knob.
+///
+/// Precedence: `cfg_threads` if non-zero, else a positive integer in the
+/// `XATU_THREADS` environment variable, else all available cores.
+pub fn resolve_threads(cfg_threads: usize) -> usize {
+    if cfg_threads > 0 {
+        return cfg_threads;
+    }
+    if let Ok(v) = std::env::var("XATU_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Balanced contiguous partition of `n` items into at most `parts` blocks:
+/// the first `n % parts` blocks get one extra item. Returns the block
+/// boundaries as `(start, end)` pairs covering `0..n` in order.
+pub fn block_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for b in 0..parts {
+        let len = base + usize::from(b < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Maps `f` over `items`, returning results in item order.
+///
+/// `f` receives the item's index alongside the item. With `threads <= 1`
+/// (or one item) this is a plain sequential map; otherwise items are
+/// processed in `threads` contiguous blocks. Output order — and every
+/// output bit — is identical for all thread counts.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = block_ranges(items.len(), threads);
+    let mut blocks: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+    for _ in 0..ranges.len() {
+        blocks.push(Vec::new());
+    }
+    fork_join(&ranges, &mut blocks, |&(start, end), out| {
+        out.reserve(end - start);
+        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            out.push(f(i, item));
+        }
+    });
+    let mut result = Vec::with_capacity(items.len());
+    for block in blocks {
+        result.extend(block);
+    }
+    result
+}
+
+/// Runs `f(index)` for every index in `0..n`, returning results in index
+/// order. Convenience wrapper over [`par_map`] for index-driven loops.
+pub fn par_map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(threads, &indices, |_, &i| f(i))
+}
+
+/// Processes `items` into the equally-sized `out` slice using per-block
+/// worker state.
+///
+/// `workers.len()` defines the parallelism: items (and the matching `out`
+/// slots) are partitioned into `workers.len()` contiguous blocks, and block
+/// `b` runs sequentially on `workers[b]`. `f` receives the worker, the
+/// item's global index, the item, and its output slot. Because each output
+/// slot is written by exactly one block and blocks are index-ordered, the
+/// filled `out` is identical for every worker count.
+///
+/// This is the trainer's primitive: workers hold reusable model clones and
+/// `out` holds pooled per-sample gradient buffers.
+pub fn par_zip_with_workers<W, T, U, F>(workers: &mut [W], items: &[T], out: &mut [U], f: F)
+where
+    W: Send,
+    T: Sync,
+    U: Send,
+    F: Fn(&mut W, usize, &T, &mut U) + Sync,
+{
+    assert_eq!(items.len(), out.len(), "items/out length mismatch");
+    assert!(!workers.is_empty(), "need at least one worker");
+    if workers.len() == 1 || items.len() <= 1 {
+        let w = &mut workers[0];
+        for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+            f(w, i, item, slot);
+        }
+        return;
+    }
+    let ranges = block_ranges(items.len(), workers.len());
+
+    // Pair each active worker with its (range, output block). Output blocks
+    // are disjoint `chunks_mut`-style splits along the same boundaries.
+    let mut tasks: Vec<(&mut W, (usize, usize), &mut [U])> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = out;
+        let mut consumed = 0;
+        let mut worker_iter = workers.iter_mut();
+        for &(start, end) in &ranges {
+            let (block, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            let w = worker_iter.next().expect("more ranges than workers");
+            tasks.push((w, (start, end), block));
+        }
+    }
+
+    run_scoped(tasks, |(w, (start, end), block)| {
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let i = start + offset;
+            debug_assert!(i < end);
+            f(w, i, &items[i], slot);
+        }
+    });
+}
+
+/// Internal fork-join: runs `body` once per (range, output-block) pair,
+/// concurrently.
+fn fork_join<R, O, F>(ranges: &[R], outputs: &mut [O], body: F)
+where
+    R: Sync,
+    O: Send,
+    F: Fn(&R, &mut O) + Sync,
+{
+    debug_assert_eq!(ranges.len(), outputs.len());
+    let tasks: Vec<(&R, &mut O)> = ranges.iter().zip(outputs.iter_mut()).collect();
+    run_scoped(tasks, |(range, out)| body(range, out));
+}
+
+#[cfg(not(feature = "rayon"))]
+fn run_scoped<Task, F>(tasks: Vec<Task>, body: F)
+where
+    Task: Send,
+    F: Fn(Task) + Sync,
+{
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            handles.push(s.spawn(|| body(task)));
+        }
+        for h in handles {
+            // Propagate worker panics (test assertions, arithmetic bugs)
+            // instead of deadlocking or swallowing them.
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+}
+
+#[cfg(feature = "rayon")]
+fn run_scoped<Task, F>(tasks: Vec<Task>, body: F)
+where
+    Task: Send,
+    F: Fn(Task) + Sync,
+{
+    let body = &body;
+    rayon::scope(|s| {
+        for task in tasks {
+            s.spawn(move |_| body(task));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_everything() {
+        for n in 0..40 {
+            for parts in 1..10 {
+                let ranges = block_ranges(n, parts);
+                let mut expected_start = 0;
+                for &(start, end) in &ranges {
+                    assert_eq!(start, expected_start);
+                    assert!(end > start);
+                    expected_start = end;
+                }
+                assert_eq!(expected_start, n);
+                if n > 0 {
+                    assert!(ranges.len() <= parts);
+                    let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "unbalanced: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..101).collect();
+        let seq = par_map(1, &items, |i, &x| x * 31 + i as u64);
+        for threads in [2, 3, 4, 8, 64] {
+            let par = par_map(threads, &items, |i, &x| x * 31 + i as u64);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_float_sums_are_bit_identical() {
+        // Per-item outputs are computed independently, so no float
+        // reassociation can occur across thread counts.
+        let items: Vec<f64> = (0..997).map(|i| (i as f64 * 0.7).sin()).collect();
+        let seq = par_map(1, &items, |_, &x| x.exp().sqrt());
+        for threads in [2, 5, 16] {
+            let par = par_map(threads, &items, |_, &x| x.exp().sqrt());
+            let same = seq
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_covers_range_in_order() {
+        let out = par_map_indexed(4, 13, |i| i * i);
+        assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_fill_outputs_in_index_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let mut out_seq = vec![0u64; items.len()];
+        let mut one_worker = vec![0u64; 1];
+        par_zip_with_workers(&mut one_worker, &items, &mut out_seq, |w, i, &x, slot| {
+            *w += 1;
+            *slot = x * 3 + i as u64;
+        });
+        for n_workers in [2usize, 3, 4, 9] {
+            let mut workers = vec![0u64; n_workers];
+            let mut out = vec![0u64; items.len()];
+            par_zip_with_workers(&mut workers, &items, &mut out, |w, i, &x, slot| {
+                *w += 1;
+                *slot = x * 3 + i as u64;
+            });
+            assert_eq!(out, out_seq, "workers={n_workers}");
+            // Every item was processed by exactly one worker.
+            assert_eq!(workers.iter().sum::<u64>(), items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_config() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

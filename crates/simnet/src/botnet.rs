@@ -181,10 +181,12 @@ mod tests {
 
     #[test]
     fn blocklist_feed_fraction_roughly_matches() {
-        let mut c = WorldConfig::default();
-        c.n_botnets = 20;
-        c.botnet_subnets = 50;
-        c.blocklisted_frac = 0.5;
+        let c = WorldConfig {
+            n_botnets: 20,
+            botnet_subnets: 50,
+            blocklisted_frac: 0.5,
+            ..WorldConfig::default()
+        };
         let eco = Ecosystem::build(&c);
         let total: usize = eco.botnets.iter().map(|b| b.subnets.len()).sum();
         let listed = eco.blocklist_feed().len();

@@ -43,6 +43,15 @@ fn pipeline_is_deterministic() {
 fn benign_only_world_produces_no_ground_truth() {
     let mut cfg = PipelineConfig::smoke_test(4);
     cfg.world.n_chains = 0;
+    // Keep the benign world tame: CDet is the label source, so any benign
+    // false alarm *becomes* ground truth by construction. Flash crowds and
+    // the heavy tail of customer sizes (lumpy per-signature traffic from a
+    // +2σ customer can sustain NetScout's absolute floor) are genuine
+    // false-alarm modes — the paper's premise — and whether one fires in a
+    // given window is a coin flip of the RNG stream. The property under
+    // test ("no attacks → no events") is only guaranteed without them.
+    cfg.world.flash_crowd_prob = 0.0;
+    cfg.world.benign_sigma = 0.5;
     let prepared = Pipeline::new(cfg).prepare();
     assert!(prepared.ground_truth.is_empty(), "no attacks → no events");
     assert!(prepared.models.is_empty(), "nothing to train on");

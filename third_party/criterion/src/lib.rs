@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!` — as a plain
+//! wall-clock harness: each benchmark is auto-calibrated to a target
+//! per-sample duration, run `sample_size` times, and reported as
+//! min/median/mean per iteration on stdout. No statistical regression
+//! analysis, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the targeted wall-clock duration of one sample.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample = d / 10;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: how many iterations fit in the target sample time?
+        let mut bench = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bench);
+        let per_iter = bench.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (self.target_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bench = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut bench);
+            samples.push(bench.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "bench {id:<50} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Upstream prints final reports here; nothing to do in this harness.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for this sample's iteration count and records the
+    /// total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("noop_addition", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in the build environment, so `syn`/`quote` are
+//! unavailable; this crate parses the item's `TokenStream` directly and
+//! emits implementations of the patched `serde` crate's value-model traits
+//! (`Serialize::to_value` / `Deserialize::from_value`).
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - named-field structs, optionally generic over type parameters
+//!   (every type parameter gets a `Serialize`/`Deserialize` bound);
+//! - tuple structs (one field → serialized transparently as the inner
+//!   value, like upstream newtype structs; several fields → a sequence);
+//! - enums with unit variants only (serialized as the variant name).
+//!
+//! Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(skip, default = "path::to::fn")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+/// One parsed enum variant.
+enum Variant {
+    /// `Name` — serialized as the string `"Name"`.
+    Unit(String),
+    /// `Name(T)` — serialized externally tagged: `{"Name": value}`.
+    Newtype(String),
+}
+
+/// The shapes we can derive for.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+/// Everything codegen needs about the item.
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// --------------------------------------------------------------------
+// Parsing.
+// --------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kw = expect_ident(&toks, &mut i);
+    assert!(
+        kw == "struct" || kw == "enum",
+        "serde derive: expected `struct` or `enum`, found `{kw}`"
+    );
+    let name = expect_ident(&toks, &mut i);
+    let type_params = parse_generics(&toks, &mut i);
+
+    // Skip any `where` clause: scan forward to the body group / semicolon.
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let shape = if kw == "struct" {
+                    Shape::Named(parse_named_fields(g.stream()))
+                } else {
+                    Shape::Enum(parse_variants(g.stream()))
+                };
+                return Item { name, type_params, shape };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                assert_eq!(kw, "struct", "serde derive: unexpected parenthesized enum body");
+                let shape = Shape::Tuple(count_tuple_fields(g.stream()));
+                return Item { name, type_params, shape };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde derive: could not find item body for `{name}`");
+}
+
+/// Advances past any `#[...]` attributes at position `i`.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past `pub` / `pub(crate)` / `pub(in ...)` at position `i`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+/// Lifetimes and const parameters are not supported (the workspace has none).
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *i < toks.len() && depth > 0 {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde derive: lifetime parameters are not supported")
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                let s = id.to_string();
+                assert!(s != "const", "serde derive: const parameters are not supported");
+                params.push(s);
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Splits a group's tokens at top-level commas.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tok),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    // Angle brackets in field types (e.g. `Vec<f64>`) never contain commas
+    // at `TokenStream` top level only for simple types; generic types like
+    // `HashMap<K, V>` would break a naive comma split. Split on commas that
+    // are outside `<...>` instead.
+    let chunks = split_outside_angles(stream);
+    let mut fields = Vec::new();
+    for chunk in chunks {
+        let mut i = 0;
+        let (skip, default_path) = parse_field_attrs(&chunk, &mut i);
+        skip_visibility(&chunk, &mut i);
+        let name = expect_ident(&chunk, &mut i);
+        // Remainder is `: Type` — irrelevant for the value model.
+        fields.push(Field { name, skip, default_path });
+    }
+    fields
+}
+
+/// Splits tokens at commas that sit outside any `<...>` nesting.
+fn split_outside_angles(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading attributes on a field; returns `(skip, default_path)`
+/// from any `#[serde(...)]` among them.
+fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_path = None;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let group = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+            other => panic!("serde derive: malformed attribute, found {other:?}"),
+        };
+        *i += 1;
+
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde derive: malformed #[serde(...)], found {other:?}"),
+        };
+        for item in split_top_level(args) {
+            match item.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "skip" => skip = true,
+                Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+                    // `default = "path::to::fn"`
+                    let lit = item
+                        .iter()
+                        .find_map(|t| match t {
+                            TokenTree::Literal(l) => Some(l.to_string()),
+                            _ => None,
+                        })
+                        .expect("serde derive: `default` needs a string literal");
+                    default_path = Some(lit.trim_matches('"').to_string());
+                }
+                other => panic!("serde derive: unsupported serde attribute item {other:?}"),
+            }
+        }
+    }
+    (skip, default_path)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_outside_angles(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes(&chunk, &mut i);
+        let name = expect_ident(&chunk, &mut i);
+        match chunk.get(i) {
+            None => variants.push(Variant::Unit(name)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1 && chunk.get(i + 1).is_none(),
+                    "serde derive: only unit and single-field tuple variants are supported \
+                     (variant `{name}`)"
+                );
+                variants.push(Variant::Newtype(name));
+            }
+            other => panic!(
+                "serde derive: unsupported variant shape for `{name}`: {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+// --------------------------------------------------------------------
+// Code generation.
+// --------------------------------------------------------------------
+
+/// `impl<T: Bound, ...>` header pieces: (`<T: Bound>`, `<T>`).
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> =
+        item.type_params.iter().map(|p| format!("{p}: {bound}")).collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", item.type_params.join(", ")),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{fname}\"), ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            s.push_str("::serde::value::Value::Map(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(name) => format!(
+                        "Self::{name} => ::serde::value::Value::Str(::std::string::String::from(\"{name}\"))"
+                    ),
+                    Variant::Newtype(name) => format!(
+                        "Self::{name}(__f0) => ::serde::value::Value::Map(vec![(\
+                             ::std::string::String::from(\"{name}\"), \
+                             ::serde::Serialize::to_value(__f0)\
+                         )])"
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = Vec::new();
+            for f in fields {
+                let fname = &f.name;
+                let init = if f.skip {
+                    match &f.default_path {
+                        Some(path) => format!("{fname}: {path}()"),
+                        None => format!("{fname}: ::std::default::Default::default()"),
+                    }
+                } else {
+                    format!(
+                        "{fname}: ::serde::Deserialize::from_value(\
+                             ::serde::value::get(__m, \"{fname}\")\
+                                 .ok_or_else(|| ::serde::Error::msg(\"missing field `{fname}`\"))?\
+                         )?"
+                    )
+                };
+                inits.push(init);
+            }
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::msg(\"expected map for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(",\n")
+            )
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                             __s.get({idx}).ok_or_else(|| ::serde::Error::msg(\"sequence too short for `{name}`\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::msg(\"expected sequence for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(n) => {
+                        Some(format!("\"{n}\" => ::std::result::Result::Ok(Self::{n})"))
+                    }
+                    Variant::Newtype(_) => None,
+                })
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Newtype(n) => Some(format!(
+                        "\"{n}\" => ::std::result::Result::Ok(Self::{n}(\
+                             ::serde::Deserialize::from_value(__inner)?\
+                         ))"
+                    )),
+                    Variant::Unit(_) => None,
+                })
+                .collect();
+            let err = format!(
+                "::std::result::Result::Err(::serde::Error::msg(\"unknown variant for `{name}`\"))"
+            );
+            format!(
+                "match __v {{\n\
+                     ::serde::value::Value::Str(__s) => match __s.as_str() {{ {unit},\n_ => {err} }},\n\
+                     ::serde::value::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{ {newtype},\n_ => {err} }}\n\
+                     }}\n\
+                     _ => {err},\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    format!("\"\" => {err}")
+                } else {
+                    unit_arms.join(",\n")
+                },
+                newtype = if newtype_arms.is_empty() {
+                    format!("\"\" => {err}")
+                } else {
+                    newtype_arms.join(",\n")
+                },
+            )
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
