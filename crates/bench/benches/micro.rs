@@ -112,6 +112,59 @@ fn bench_sampler(c: &mut Criterion) {
     });
 }
 
+/// One full-geometry forward+backward through the allocation-free hot
+/// path (warm `ForwardTrace` + `ModelWorkspace` + `WideSample`) next to
+/// the allocating compatibility API on the identical sample, so a bench
+/// run shows what the arena/workspace layer buys per training step.
+fn bench_warm_fwd_bwd(c: &mut Criterion) {
+    use xatu_core::model::{ForwardTrace, ModelWorkspace};
+    use xatu_core::sample::WideSample;
+    use xatu_features::frame::NUM_FEATURES;
+
+    let cfg = XatuConfig::default();
+    let mut model = XatuModel::new(&cfg);
+    let frame = |v: f32| -> Vec<f32> {
+        let mut f = vec![0.0f32; NUM_FEATURES];
+        f[0] = v;
+        f[1] = 0.1;
+        f
+    };
+    let sample = Sample {
+        short: vec![frame(0.02); cfg.short_len],
+        medium: vec![frame(0.02); cfg.medium_len],
+        long: vec![frame(0.02); cfg.long_len],
+        window: (0..cfg.window)
+            .map(|t| frame(if t >= 4 { 1.0 + t as f32 * 0.2 } else { 0.05 }))
+            .collect(),
+        label: true,
+        event_step: cfg.window - 1,
+        anomaly_step: Some(5),
+        meta: SampleMeta {
+            customer: Ipv4(1),
+            attack_type: xatu_netflow::attack::AttackType::UdpFlood,
+            window_start: 0,
+        },
+    };
+    let wide = WideSample::from_sample(&sample);
+    let mut trace = ForwardTrace::default();
+    let mut ws = ModelWorkspace::default();
+    model.forward_wide(&wide, &mut trace);
+    let g = safe_loss_and_grad(&trace.hazards, sample.label, sample.event_step);
+
+    c.bench_function("fwd_bwd_warm_workspace_h24", |b| {
+        b.iter(|| {
+            model.forward_wide(black_box(&wide), &mut trace);
+            model.backward_with(&trace, Some(&g.dl_dhazard), None, false, &mut ws);
+        })
+    });
+    c.bench_function("fwd_bwd_allocating_compat_h24", |b| {
+        b.iter(|| {
+            let t = model.forward(black_box(&sample));
+            black_box(model.backward(&t, Some(&g.dl_dhazard), None, false));
+        })
+    });
+}
+
 fn bench_safe_loss(c: &mut Criterion) {
     let hazards: Vec<f64> = (0..30).map(|i| 0.01 + 0.001 * i as f64).collect();
     c.bench_function("safe_loss_and_grad_30", |b| {
@@ -199,7 +252,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
-              bench_cusum, bench_rf_inference, bench_sampler, bench_safe_loss
+              bench_cusum, bench_rf_inference, bench_sampler, bench_warm_fwd_bwd,
+              bench_safe_loss
 }
 criterion_group! {
     name = parallel_benches;

@@ -9,6 +9,7 @@
 
 use crate::model::XatuModel;
 use crate::sample::Sample;
+use xatu_nn::FrameArena;
 
 /// Attribution of one sample: per-timestep, per-block mean |gradient|.
 #[derive(Clone, Debug)]
@@ -46,7 +47,7 @@ pub fn attribute(model: &mut XatuModel, sample: &Sample) -> Attribution {
         .backward(&trace, Some(&d_hazards), None, true)
         .expect("input gradients requested");
 
-    let fold = |rows: &[Vec<f64>]| -> Vec<[f64; 6]> {
+    let fold = |rows: &FrameArena| -> Vec<[f64; 6]> {
         rows.iter()
             .map(|row| {
                 let mut out = [0.0; 6];

@@ -12,16 +12,26 @@
 //! it read and to whichever medium/long trace position was *current* at
 //! that step, then runs BPTT through all three LSTMs. Verified against
 //! finite differences in the tests.
+//!
+//! # Hot path
+//!
+//! The training hot path is allocation-free in steady state: a
+//! [`ForwardTrace`] owns every per-sequence buffer (LSTM traces, pooled
+//! buckets, combiner inputs, logits, hazards) as flat arenas reused across
+//! [`XatuModel::forward_wide`] calls, and [`XatuModel::backward_with`]
+//! takes a [`ModelWorkspace`] holding the flat upstream-gradient buffers
+//! and the per-LSTM BPTT workspaces. The allocating [`XatuModel::forward`]
+//! / [`XatuModel::backward`] wrappers remain for evaluation and
+//! attribution, and produce bit-identical results.
 
 use crate::config::{TimescaleMode, XatuConfig};
-use crate::sample::Sample;
+use crate::sample::{Sample, WideSample};
 use serde::{Deserialize, Serialize};
 use xatu_features::frame::NUM_FEATURES;
 use xatu_nn::activations::{dsoftplus, sigmoid, softplus};
 use xatu_nn::init::Initializer;
-use xatu_nn::lstm::{Lstm, LstmState, LstmTrace};
-use xatu_nn::pooling::avg_pool;
-use xatu_nn::{Dense, Params};
+use xatu_nn::lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace};
+use xatu_nn::{Dense, FrameArena, Params};
 
 /// The model: three LSTMs + combiner + hazard head.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -55,7 +65,11 @@ impl From<&XatuConfig> for ModelConfig {
     }
 }
 
-/// Everything the backward pass needs from one forward pass.
+/// Everything the backward pass needs from one forward pass, stored as
+/// reusable flat buffers. A default-constructed trace grows on first use;
+/// passing the same trace to repeated [`XatuModel::forward_wide`] calls
+/// performs no heap allocations once warm.
+#[derive(Default)]
 pub struct ForwardTrace {
     /// Short LSTM trace over context ++ window (1-minute granularity).
     short: LstmTrace,
@@ -69,12 +83,46 @@ pub struct ForwardTrace {
     long_ctx: usize,
     /// Window length (number of hazard outputs).
     window_len: usize,
-    /// Combiner inputs per window step (cached for Dense backward).
-    combined_inputs: Vec<Vec<f64>>,
+    /// Completed medium/long pooling buckets of the window.
+    med_buckets: FrameArena,
+    long_buckets: FrameArena,
+    /// Combiner inputs per window step, `window_len × 3h` (cached for the
+    /// Dense backward).
+    combined: FrameArena,
     /// Pre-softplus head outputs (logits).
     pub logits: Vec<f64>,
     /// Softplus hazards.
     pub hazards: Vec<f64>,
+}
+
+/// Reusable scratch for [`XatuModel::backward_with`]: one BPTT workspace
+/// per LSTM plus the flat upstream-gradient buffers. One per training
+/// worker; steady-state backward passes through a warm workspace allocate
+/// nothing.
+#[derive(Default)]
+pub struct ModelWorkspace {
+    short: LstmWorkspace,
+    medium: LstmWorkspace,
+    long: LstmWorkspace,
+    /// ∂Loss/∂h per trace position, flat `t * hidden + k`.
+    dhs_short: Vec<f64>,
+    dhs_med: Vec<f64>,
+    dhs_long: Vec<f64>,
+    /// Combiner-input gradient scratch (`3h`).
+    dinput: Vec<f64>,
+}
+
+impl ModelWorkspace {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears and re-zeroes `v` to length `n`, keeping its allocation.
+fn fit(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
 }
 
 impl XatuModel {
@@ -103,17 +151,26 @@ impl XatuModel {
     }
 
     /// Runs the model on a sample, producing hazards for each window step.
+    ///
+    /// Allocating convenience wrapper: widens the sample and builds a fresh
+    /// trace. The training loop uses [`XatuModel::forward_wide`] with a
+    /// cached [`WideSample`] and a reused trace instead.
     pub fn forward(&self, sample: &Sample) -> ForwardTrace {
-        let short_ctx_frames = Sample::widen(&sample.short);
-        let med_ctx_frames = Sample::widen(&sample.medium);
-        let long_ctx_frames = Sample::widen(&sample.long);
-        let window_frames = Sample::widen(&sample.window);
-        self.forward_frames(
-            &short_ctx_frames,
-            &med_ctx_frames,
-            &long_ctx_frames,
-            &window_frames,
-        )
+        let wide = WideSample::from_sample(sample);
+        let mut trace = ForwardTrace::default();
+        self.forward_wide(&wide, &mut trace);
+        trace
+    }
+
+    /// Core forward over a pre-widened sample into a reusable trace.
+    pub fn forward_wide(&self, sample: &WideSample, out: &mut ForwardTrace) {
+        self.forward_arenas(
+            &sample.short,
+            &sample.medium,
+            &sample.long,
+            &sample.window,
+            out,
+        );
     }
 
     /// Core forward over explicit f64 sequences (also used by attribution).
@@ -124,77 +181,99 @@ impl XatuModel {
         long_ctx: &[Vec<f64>],
         window: &[Vec<f64>],
     ) -> ForwardTrace {
+        let dim_of = |v: &[Vec<f64>]| v.first().map_or(0, Vec::len);
+        let mut s = FrameArena::new(dim_of(short_ctx));
+        let mut m = FrameArena::new(dim_of(med_ctx));
+        let mut l = FrameArena::new(dim_of(long_ctx));
+        let mut w = FrameArena::new(dim_of(window));
+        s.fill_from_rows(dim_of(short_ctx), short_ctx);
+        m.fill_from_rows(dim_of(med_ctx), med_ctx);
+        l.fill_from_rows(dim_of(long_ctx), long_ctx);
+        w.fill_from_rows(dim_of(window), window);
+        let mut trace = ForwardTrace::default();
+        self.forward_arenas(&s, &m, &l, &w, &mut trace);
+        trace
+    }
+
+    /// The forward pass proper: pool the window into completed buckets, run
+    /// the three LSTMs over context ++ consumed frames, and emit one hazard
+    /// per window step from the combiner head. Every output buffer lives in
+    /// `out` and is reused with capacity-keeping resets.
+    fn forward_arenas(
+        &self,
+        short_ctx: &FrameArena,
+        med_ctx: &FrameArena,
+        long_ctx: &FrameArena,
+        window: &FrameArena,
+        out: &mut ForwardTrace,
+    ) {
         let (_, med_gran, long_gran) = self.cfg.timescales;
         let window_len = window.len();
 
-        // Window frames pooled into completed medium/long buckets.
-        let med_buckets = completed_buckets(window, med_gran as usize);
-        let long_buckets = completed_buckets(window, long_gran as usize);
+        // Window frames pooled into fully-completed medium/long buckets.
+        pool_completed_into(window, med_gran as usize, &mut out.med_buckets);
+        pool_completed_into(window, long_gran as usize, &mut out.long_buckets);
 
         // Short trace: context ++ window at native granularity.
-        let mut short_seq = short_ctx.to_vec();
-        short_seq.extend(window.iter().cloned());
-        let short = self.lstm_short.forward(&short_seq);
+        self.lstm_short.begin(&mut out.short);
+        self.lstm_short.extend_arena(short_ctx, &mut out.short);
+        self.lstm_short.extend_arena(window, &mut out.short);
 
-        let mut med_seq = med_ctx.to_vec();
-        med_seq.extend(med_buckets.iter().cloned());
-        let medium = self.lstm_medium.forward(&med_seq);
+        self.lstm_medium.begin(&mut out.medium);
+        self.lstm_medium.extend_arena(med_ctx, &mut out.medium);
+        self.lstm_medium.extend_arena(&out.med_buckets, &mut out.medium);
 
-        let mut long_seq = long_ctx.to_vec();
-        long_seq.extend(long_buckets.iter().cloned());
-        let long = self.lstm_long.forward(&long_seq);
+        self.lstm_long.begin(&mut out.long);
+        self.lstm_long.extend_arena(long_ctx, &mut out.long);
+        self.lstm_long.extend_arena(&out.long_buckets, &mut out.long);
 
         let (use_s, use_m, use_l) = self.cfg.mode.enabled();
         let h = self.cfg.hidden;
-        let zero = vec![0.0; h];
 
-        let mut combined_inputs = Vec::with_capacity(window_len);
-        let mut logits = Vec::with_capacity(window_len);
-        let mut hazards = Vec::with_capacity(window_len);
+        out.combined.reset(3 * h);
+        out.logits.clear();
+        out.hazards.clear();
+        let mut logit_buf = [0.0f64; 1];
         for t in 0..window_len {
-            let hs = if use_s {
-                short_hidden(&short, short_ctx.len(), t)
-            } else {
-                &zero
-            };
-            let hm = if use_m {
-                coarse_hidden(&medium, med_ctx.len(), t, med_gran as usize)
-            } else {
-                &zero
-            };
-            let hl = if use_l {
-                coarse_hidden(&long, long_ctx.len(), t, long_gran as usize)
-            } else {
-                &zero
-            };
-            let mut input = Vec::with_capacity(3 * h);
-            input.extend_from_slice(hs);
-            input.extend_from_slice(hm);
-            input.extend_from_slice(hl);
-            let logit = self.head.forward(&input)[0];
-            logits.push(logit);
-            hazards.push(softplus(logit));
-            combined_inputs.push(input);
+            // Disabled timescales keep their zeroed third of the input.
+            let input = out.combined.push_zeroed();
+            if use_s {
+                input[0..h].copy_from_slice(short_hidden(&out.short, short_ctx.len(), t));
+            }
+            if use_m {
+                input[h..2 * h].copy_from_slice(coarse_hidden(
+                    &out.medium,
+                    med_ctx.len(),
+                    t,
+                    med_gran as usize,
+                ));
+            }
+            if use_l {
+                input[2 * h..3 * h].copy_from_slice(coarse_hidden(
+                    &out.long,
+                    long_ctx.len(),
+                    t,
+                    long_gran as usize,
+                ));
+            }
+            self.head.forward_into(input, &mut logit_buf);
+            let logit = logit_buf[0];
+            out.logits.push(logit);
+            out.hazards.push(softplus(logit));
         }
 
-        ForwardTrace {
-            short,
-            medium,
-            long,
-            short_ctx: short_ctx.len(),
-            med_ctx: med_ctx.len(),
-            long_ctx: long_ctx.len(),
-            window_len,
-            combined_inputs,
-            logits,
-            hazards,
-        }
+        out.short_ctx = short_ctx.len();
+        out.med_ctx = med_ctx.len();
+        out.long_ctx = long_ctx.len();
+        out.window_len = window_len;
     }
 
     /// Backward pass from per-step hazard gradients. Set `d_logits_direct`
     /// instead to skip the softplus (used by the cross-entropy ablation).
     /// Accumulates parameter gradients; returns per-input gradients when
     /// `want_dx` (for attribution).
+    ///
+    /// Allocating convenience wrapper over [`XatuModel::backward_with`].
     pub fn backward(
         &mut self,
         trace: &ForwardTrace,
@@ -202,13 +281,40 @@ impl XatuModel {
         d_logits_direct: Option<&[f64]>,
         want_dx: bool,
     ) -> Option<InputGradients> {
+        let mut ws = ModelWorkspace::default();
+        self.backward_with(trace, d_hazards, d_logits_direct, want_dx, &mut ws);
+        want_dx.then(|| InputGradients {
+            short: ws.short.take_dxs(),
+            medium: ws.medium.take_dxs(),
+            long: ws.long.take_dxs(),
+            short_ctx: trace.short_ctx,
+            med_ctx: trace.med_ctx,
+            long_ctx: trace.long_ctx,
+            window_len: trace.window_len,
+        })
+    }
+
+    /// The backward pass proper, against caller-held scratch: routes each
+    /// window step's combiner gradient to the trace positions it read, then
+    /// runs BPTT through all three LSTMs. After the call, `ws` holds the
+    /// input-gradient arenas (iff `want_dx`). Allocation-free once `ws` is
+    /// warm.
+    pub fn backward_with(
+        &mut self,
+        trace: &ForwardTrace,
+        d_hazards: Option<&[f64]>,
+        d_logits_direct: Option<&[f64]>,
+        want_dx: bool,
+        ws: &mut ModelWorkspace,
+    ) {
         let h = self.cfg.hidden;
         let (use_s, use_m, use_l) = self.cfg.mode.enabled();
         let (_, med_gran, long_gran) = self.cfg.timescales;
 
-        let mut dhs_short = vec![vec![0.0; h]; trace.short.len()];
-        let mut dhs_med = vec![vec![0.0; h]; trace.medium.len()];
-        let mut dhs_long = vec![vec![0.0; h]; trace.long.len()];
+        fit(&mut ws.dhs_short, trace.short.len() * h);
+        fit(&mut ws.dhs_med, trace.medium.len() * h);
+        fit(&mut ws.dhs_long, trace.long.len() * h);
+        fit(&mut ws.dinput, 3 * h);
 
         for t in 0..trace.window_len {
             let dlogit = match (d_hazards, d_logits_direct) {
@@ -219,45 +325,41 @@ impl XatuModel {
             if dlogit == 0.0 {
                 continue;
             }
-            let dinput = self.head.backward(&trace.combined_inputs[t], &[dlogit]);
+            self.head
+                .backward_into(trace.combined.frame(t), &[dlogit], &mut ws.dinput);
             if use_s {
                 if let Some(pos) = short_pos(trace.short_ctx, t, trace.short.len()) {
-                    acc(&mut dhs_short[pos], &dinput[0..h]);
+                    acc(
+                        &mut ws.dhs_short[pos * h..(pos + 1) * h],
+                        &ws.dinput[0..h],
+                    );
                 }
             }
             if use_m {
                 if let Some(pos) =
                     coarse_pos(trace.med_ctx, t, med_gran as usize, trace.medium.len())
                 {
-                    acc(&mut dhs_med[pos], &dinput[h..2 * h]);
+                    acc(&mut ws.dhs_med[pos * h..(pos + 1) * h], &ws.dinput[h..2 * h]);
                 }
             }
             if use_l {
                 if let Some(pos) =
                     coarse_pos(trace.long_ctx, t, long_gran as usize, trace.long.len())
                 {
-                    acc(&mut dhs_long[pos], &dinput[2 * h..3 * h]);
+                    acc(
+                        &mut ws.dhs_long[pos * h..(pos + 1) * h],
+                        &ws.dinput[2 * h..3 * h],
+                    );
                 }
             }
         }
 
-        let (dx_short, _) = self.lstm_short.backward(&trace.short, &dhs_short, want_dx);
-        let (dx_med, _) = self.lstm_medium.backward(&trace.medium, &dhs_med, want_dx);
-        let (dx_long, _) = self.lstm_long.backward(&trace.long, &dhs_long, want_dx);
-
-        if want_dx {
-            Some(InputGradients {
-                short: dx_short.expect("requested"),
-                medium: dx_med.expect("requested"),
-                long: dx_long.expect("requested"),
-                short_ctx: trace.short_ctx,
-                med_ctx: trace.med_ctx,
-                long_ctx: trace.long_ctx,
-                window_len: trace.window_len,
-            })
-        } else {
-            None
-        }
+        self.lstm_short
+            .backward_flat(&trace.short, &ws.dhs_short, want_dx, &mut ws.short);
+        self.lstm_medium
+            .backward_flat(&trace.medium, &ws.dhs_med, want_dx, &mut ws.medium);
+        self.lstm_long
+            .backward_flat(&trace.long, &ws.dhs_long, want_dx, &mut ws.long);
     }
 
     /// Hazards only (inference convenience).
@@ -278,13 +380,16 @@ impl XatuModel {
             short: LstmState::zeros(h),
             medium: LstmState::zeros(h),
             long: LstmState::zeros(h),
+            z: Vec::new(),
+            input: Vec::new(),
         }
     }
 
     /// One online step: feed the minute frame to the short LSTM, refresh
     /// the medium/long states when their pooled buckets complete (callers
     /// pass `med_bucket`/`long_bucket` when a bucket just completed), and
-    /// return the hazard.
+    /// return the hazard. States update in place against the scratch
+    /// buffers held inside `state` — no allocations once warm.
     pub fn step_online(
         &self,
         state: &mut OnlineState,
@@ -294,29 +399,40 @@ impl XatuModel {
     ) -> f64 {
         let (use_s, use_m, use_l) = self.cfg.mode.enabled();
         if use_s {
-            state.short = self.lstm_short.step_online(minute_frame, &state.short);
+            self.lstm_short
+                .step_online_into(minute_frame, &mut state.short, &mut state.z);
         }
         if use_m {
             if let Some(b) = med_bucket {
-                state.medium = self.lstm_medium.step_online(b, &state.medium);
+                self.lstm_medium
+                    .step_online_into(b, &mut state.medium, &mut state.z);
             }
         }
         if use_l {
             if let Some(b) = long_bucket {
-                state.long = self.lstm_long.step_online(b, &state.long);
+                self.lstm_long
+                    .step_online_into(b, &mut state.long, &mut state.z);
             }
         }
         let h = self.cfg.hidden;
-        let zero = vec![0.0; h];
-        let mut input = Vec::with_capacity(3 * h);
-        input.extend_from_slice(if use_s { &state.short.h } else { &zero });
-        input.extend_from_slice(if use_m { &state.medium.h } else { &zero });
-        input.extend_from_slice(if use_l { &state.long.h } else { &zero });
-        softplus(self.head.forward(&input)[0])
+        fit(&mut state.input, 3 * h);
+        if use_s {
+            state.input[0..h].copy_from_slice(&state.short.h);
+        }
+        if use_m {
+            state.input[h..2 * h].copy_from_slice(&state.medium.h);
+        }
+        if use_l {
+            state.input[2 * h..3 * h].copy_from_slice(&state.long.h);
+        }
+        let mut logit = [0.0f64; 1];
+        self.head.forward_into(&state.input, &mut logit);
+        softplus(logit[0])
     }
 }
 
-/// Streaming LSTM states for one (customer, type).
+/// Streaming LSTM states for one (customer, type), plus private scratch so
+/// stepping allocates nothing.
 #[derive(Clone, Debug)]
 pub struct OnlineState {
     /// Short LSTM state.
@@ -325,6 +441,10 @@ pub struct OnlineState {
     pub medium: LstmState,
     /// Long LSTM state.
     pub long: LstmState,
+    /// Pre-activation scratch shared by the three LSTM steps.
+    z: Vec<f64>,
+    /// Combiner input scratch (`3h`).
+    input: Vec<f64>,
 }
 
 /// A pair of staggered LSTM states with bounded context age.
@@ -344,6 +464,8 @@ pub struct DualState {
     aged_age: u32,
     fresh_age: u32,
     period: u32,
+    /// Pre-activation scratch for the in-place LSTM steps.
+    z: Vec<f64>,
 }
 
 impl DualState {
@@ -357,19 +479,21 @@ impl DualState {
             aged_age: period.max(1),
             fresh_age: 0,
             period: period.max(1),
+            z: Vec::new(),
         }
     }
 
-    /// Steps both states and returns the aged hidden state.
+    /// Steps both states in place and returns the aged hidden state.
     pub fn step(&mut self, lstm: &Lstm, x: &[f64]) -> &[f64] {
-        self.aged = lstm.step_online(x, &self.aged);
-        self.fresh = lstm.step_online(x, &self.fresh);
+        lstm.step_online_into(x, &mut self.aged, &mut self.z);
+        lstm.step_online_into(x, &mut self.fresh, &mut self.z);
         self.aged_age += 1;
         self.fresh_age += 1;
         if self.aged_age >= 2 * self.period {
             std::mem::swap(&mut self.aged, &mut self.fresh);
             self.aged_age = self.fresh_age;
-            self.fresh = LstmState::zeros(self.aged.h.len());
+            self.fresh.h.fill(0.0);
+            self.fresh.c.fill(0.0);
             self.fresh_age = 0;
         }
         &self.aged.h
@@ -391,6 +515,8 @@ pub struct StreamingState {
     pub medium: DualState,
     /// Long-timescale dual state (steps on completed long buckets).
     pub long: DualState,
+    /// Combiner input scratch (`3h`).
+    input: Vec<f64>,
 }
 
 impl XatuModel {
@@ -402,6 +528,7 @@ impl XatuModel {
             short: DualState::new(h, short_len as u32),
             medium: DualState::new(h, med_len as u32),
             long: DualState::new(h, long_len as u32),
+            input: Vec::new(),
         }
     }
 
@@ -430,23 +557,31 @@ impl XatuModel {
             }
         }
         let h = self.cfg.hidden;
-        let zero = vec![0.0; h];
-        let mut input = Vec::with_capacity(3 * h);
-        input.extend_from_slice(if use_s { state.short.hidden() } else { &zero });
-        input.extend_from_slice(if use_m { state.medium.hidden() } else { &zero });
-        input.extend_from_slice(if use_l { state.long.hidden() } else { &zero });
-        softplus(self.head.forward(&input)[0])
+        fit(&mut state.input, 3 * h);
+        if use_s {
+            state.input[0..h].copy_from_slice(state.short.hidden());
+        }
+        if use_m {
+            state.input[h..2 * h].copy_from_slice(state.medium.hidden());
+        }
+        if use_l {
+            state.input[2 * h..3 * h].copy_from_slice(state.long.hidden());
+        }
+        let mut logit = [0.0f64; 1];
+        self.head.forward_into(&state.input, &mut logit);
+        softplus(logit[0])
     }
 }
 
-/// Per-input gradients for attribution, split by sequence.
+/// Per-input gradients for attribution, split by sequence. Each sequence's
+/// gradients are a flat arena, one frame per trace position.
 pub struct InputGradients {
     /// d/d(short sequence) — context ++ window positions.
-    pub short: Vec<Vec<f64>>,
+    pub short: FrameArena,
     /// d/d(medium sequence).
-    pub medium: Vec<Vec<f64>>,
+    pub medium: FrameArena,
     /// d/d(long sequence).
-    pub long: Vec<Vec<f64>>,
+    pub long: FrameArena,
     /// Context prefix lengths.
     pub short_ctx: usize,
     /// Medium context prefix length.
@@ -466,13 +601,27 @@ impl Params for XatuModel {
     }
 }
 
-/// Pools window frames into fully-completed buckets of `gran` minutes.
-fn completed_buckets(window: &[Vec<f64>], gran: usize) -> Vec<Vec<f64>> {
+/// Pools window frames into fully-completed buckets of `gran` minutes,
+/// reusing `out`. Matches `avg_pool` on the truncated-to-complete prefix
+/// bit for bit (same accumulate-then-scale order per bucket).
+fn pool_completed_into(window: &FrameArena, gran: usize, out: &mut FrameArena) {
+    out.reset(window.dim());
     let n_complete = window.len() / gran;
     if n_complete == 0 {
-        return Vec::new();
+        return;
     }
-    avg_pool(&window[..n_complete * gran], gran)
+    let inv = 1.0 / gran as f64;
+    for b in 0..n_complete {
+        let bucket = out.push_zeroed();
+        for t in b * gran..(b + 1) * gran {
+            for (a, v) in bucket.iter_mut().zip(window.frame(t)) {
+                *a += v;
+            }
+        }
+        for a in bucket.iter_mut() {
+            *a *= inv;
+        }
+    }
 }
 
 /// Position in the short trace the head reads at window step `t`;
@@ -484,7 +633,7 @@ fn short_pos(ctx: usize, t: usize, trace_len: usize) -> Option<usize> {
 
 /// The short hidden state at window step `t`.
 fn short_hidden(trace: &LstmTrace, ctx: usize, t: usize) -> &[f64] {
-    &trace.hs[ctx + t]
+    trace.h(ctx + t)
 }
 
 /// Position in a coarse trace current at window step `t`:
@@ -501,15 +650,11 @@ fn coarse_pos(ctx: usize, t: usize, gran: usize, trace_len: usize) -> Option<usi
 
 /// The coarse (medium/long) hidden state current at window step `t`.
 fn coarse_hidden(trace: &LstmTrace, ctx: usize, t: usize, gran: usize) -> &[f64] {
-    static EMPTY: [f64; 0] = [];
     match coarse_pos(ctx, t, gran, trace.len()) {
-        Some(pos) if !trace.is_empty() => &trace.hs[pos],
-        _ => {
-            // No state yet: the caller's zero vector must be used instead;
-            // this branch is unreachable given ctx >= 1 in practice.
-            let _ = &EMPTY;
-            unreachable!("coarse hidden requested with no context and no buckets")
-        }
+        Some(pos) if !trace.is_empty() => trace.h(pos),
+        // No state yet: the caller's zero block must be used instead; this
+        // branch is unreachable given ctx >= 1 in practice.
+        _ => unreachable!("coarse hidden requested with no context and no buckets"),
     }
 }
 
@@ -526,6 +671,7 @@ mod tests {
     use xatu_netflow::addr::Ipv4;
     use xatu_netflow::attack::AttackType;
     use xatu_nn::gradcheck::check_params_gradient_sampled;
+    use xatu_nn::pooling::avg_pool;
     use xatu_survival::safe_loss::safe_loss_and_grad;
 
     /// A tiny config so gradient checks stay fast; feature dim is the real
@@ -666,14 +812,15 @@ mod tests {
         let window = Sample::widen(&s.window);
 
         let mut st = model.new_online_state();
+        let mut z = Vec::new();
         for f in &short_ctx {
-            st.short = model.lstm_short.step_online(f, &st.short);
+            model.lstm_short.step_online_into(f, &mut st.short, &mut z);
         }
         for f in &med_ctx {
-            st.medium = model.lstm_medium.step_online(f, &st.medium);
+            model.lstm_medium.step_online_into(f, &mut st.medium, &mut z);
         }
         for f in &long_ctx {
-            st.long = model.lstm_long.step_online(f, &st.long);
+            model.lstm_long.step_online_into(f, &mut st.long, &mut z);
         }
         let med_gran = c.timescales.1 as usize;
         let long_gran = c.timescales.2 as usize;
@@ -766,5 +913,174 @@ mod tests {
         // Window steps influence the loss, so late short grads are nonzero.
         let late: f64 = gx.short[c.short_len].iter().map(|v| v.abs()).sum();
         assert!(late > 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Equivalence of the arena/workspace hot path with the allocating
+    // composition it replaced.
+    // ------------------------------------------------------------------
+
+    /// The pre-refactor forward, recomposed from the allocating primitives
+    /// (`Sample::widen`, `Vec` concatenation, `avg_pool` bucket pooling,
+    /// per-step `Vec` combiner inputs, allocating `Dense::forward`).
+    fn reference_forward(m: &XatuModel, s: &Sample) -> (Vec<f64>, Vec<f64>) {
+        let short_ctx = Sample::widen(&s.short);
+        let med_ctx = Sample::widen(&s.medium);
+        let long_ctx = Sample::widen(&s.long);
+        let window = Sample::widen(&s.window);
+        let (_, med_gran, long_gran) = m.cfg.timescales;
+
+        let buckets = |gran: usize| -> Vec<Vec<f64>> {
+            let n_complete = window.len() / gran;
+            if n_complete == 0 {
+                return Vec::new();
+            }
+            avg_pool(&window[..n_complete * gran], gran)
+        };
+        let med_buckets = buckets(med_gran as usize);
+        let long_buckets = buckets(long_gran as usize);
+
+        let mut short_seq = short_ctx.clone();
+        short_seq.extend(window.iter().cloned());
+        let short = m.lstm_short.forward(&short_seq);
+        let mut med_seq = med_ctx.clone();
+        med_seq.extend(med_buckets.iter().cloned());
+        let medium = m.lstm_medium.forward(&med_seq);
+        let mut long_seq = long_ctx.clone();
+        long_seq.extend(long_buckets.iter().cloned());
+        let long = m.lstm_long.forward(&long_seq);
+
+        let (use_s, use_m, use_l) = m.cfg.mode.enabled();
+        let h = m.cfg.hidden;
+        let zero = vec![0.0; h];
+        let mut logits = Vec::new();
+        let mut hazards = Vec::new();
+        for t in 0..window.len() {
+            let hs = if use_s { short_hidden(&short, short_ctx.len(), t) } else { &zero };
+            let hm = if use_m {
+                coarse_hidden(&medium, med_ctx.len(), t, med_gran as usize)
+            } else {
+                &zero
+            };
+            let hl = if use_l {
+                coarse_hidden(&long, long_ctx.len(), t, long_gran as usize)
+            } else {
+                &zero
+            };
+            let mut input = Vec::with_capacity(3 * h);
+            input.extend_from_slice(hs);
+            input.extend_from_slice(hm);
+            input.extend_from_slice(hl);
+            let logit = m.head.forward(&input)[0];
+            logits.push(logit);
+            hazards.push(softplus(logit));
+        }
+        (logits, hazards)
+    }
+
+    #[test]
+    fn forward_matches_allocating_reference_bitwise() {
+        for mode in [
+            TimescaleMode::All,
+            TimescaleMode::ShortOnly,
+            TimescaleMode::NoMedium,
+            TimescaleMode::NoLong,
+            TimescaleMode::NoShort,
+        ] {
+            let mut c = cfg();
+            c.timescale_mode = mode;
+            let model = XatuModel::new(&c);
+            for label in [true, false] {
+                let s = sample(&c, label);
+                let trace = model.forward(&s);
+                let (ref_logits, ref_hazards) = reference_forward(&model, &s);
+                assert_eq!(trace.logits.len(), ref_logits.len());
+                for (a, b) in trace.logits.iter().zip(&ref_logits) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}");
+                }
+                for (a, b) in trace.hazards.iter().zip(&ref_hazards) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_trace_and_workspace_reuse_is_bit_identical() {
+        // Run sample A through a trace+workspace, then sample B through the
+        // same (now warm, differently-sized) buffers: results and gradients
+        // must equal a fresh run of B exactly.
+        let c = cfg();
+        let mut c_big = c;
+        c_big.window = 11;
+        c_big.short_len = 9;
+        let model = XatuModel::new(&c);
+        let sa = sample(&c_big, true);
+        let sb = sample(&c, false);
+
+        let mut warm_model = model.clone();
+        let mut trace = ForwardTrace::default();
+        let mut ws = ModelWorkspace::default();
+        for s in [&sa, &sb] {
+            let wide = WideSample::from_sample(s);
+            warm_model.forward_wide(&wide, &mut trace);
+            let g = safe_loss_and_grad(&trace.hazards, s.label, s.event_step);
+            warm_model.backward_with(&trace, Some(&g.dl_dhazard), None, true, &mut ws);
+        }
+
+        let mut fresh_model = model.clone();
+        // Replay A's gradient contribution so accumulated grads match.
+        let tr_a = fresh_model.forward(&sa);
+        let g_a = safe_loss_and_grad(&tr_a.hazards, sa.label, sa.event_step);
+        fresh_model.backward(&tr_a, Some(&g_a.dl_dhazard), None, true);
+        let tr_b = fresh_model.forward(&sb);
+        let g_b = safe_loss_and_grad(&tr_b.hazards, sb.label, sb.event_step);
+        let gx_b = fresh_model
+            .backward(&tr_b, Some(&g_b.dl_dhazard), None, true)
+            .expect("input grads");
+
+        for (a, b) in trace.hazards.iter().zip(&tr_b.hazards) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let n = warm_model.param_count();
+        let (mut gw, mut gf) = (vec![0.0; n], vec![0.0; n]);
+        warm_model.export_grads_into(&mut gw);
+        fresh_model.export_grads_into(&mut gf);
+        for (a, b) in gw.iter().zip(&gf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Input gradients of the warm B pass match the fresh B pass.
+        assert_eq!(ws.short.dxs().len(), gx_b.short.len());
+        for (a, b) in ws.short.dxs().data().iter().zip(gx_b.short.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in ws.medium.dxs().data().iter().zip(gx_b.medium.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_completed_matches_avg_pool_bitwise() {
+        let mut window = FrameArena::new(3);
+        let rows: Vec<Vec<f64>> = (0..11)
+            .map(|t| (0..3).map(|k| ((t * 3 + k) as f64 * 0.31).sin() * 1e3).collect())
+            .collect();
+        window.fill_from_rows(3, &rows);
+        for gran in [1usize, 2, 3, 4, 6, 12] {
+            let mut out = FrameArena::new(0);
+            pool_completed_into(&window, gran, &mut out);
+            let n_complete = rows.len() / gran;
+            let want = if n_complete == 0 {
+                Vec::new()
+            } else {
+                avg_pool(&rows[..n_complete * gran], gran)
+            };
+            assert_eq!(out.len(), want.len(), "gran={gran}");
+            for (t, row) in want.iter().enumerate() {
+                for (a, b) in out.frame(t).iter().zip(row) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "gran={gran}");
+                }
+            }
+        }
     }
 }

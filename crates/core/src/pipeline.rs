@@ -399,6 +399,7 @@ impl Pipeline {
             })
             .collect();
         let mut rf_histories: HashMap<Ipv4, PooledHistory> = HashMap::new();
+        let mut rf_feats: Vec<f64> = Vec::new();
         let mut active_b: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
         let mut val_scores_xatu: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
         let mut val_scores_rf: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
@@ -436,9 +437,9 @@ impl Pipeline {
                     if minute >= split.train_end {
                         // One feature vector serves every per-type RF: the
                         // features depend only on the history, not the type.
-                        let feats = rf_online_features(h);
+                        rf_online_features_into(h, &mut rf_feats);
                         for (ty, rf) in &rf_models {
-                            let score = 1.0 - rf.predict_proba(&feats);
+                            let score = 1.0 - rf.predict_proba(&rf_feats);
                             val_scores_rf
                                 .entry((bin.customer, *ty))
                                 .or_default()
@@ -777,6 +778,7 @@ impl Prepared {
         let mut xatu_alert_list: Vec<Alert> = Vec::new();
         let mut test_scores_xatu: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
         let mut test_scores_rf: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
+        let mut rf_feats: Vec<f64> = Vec::new();
         let threads = resolve_threads(cfg.xatu.threads);
 
         while !world.finished() {
@@ -831,9 +833,9 @@ impl Prepared {
                         .or_insert_with(|| PooledHistory::new(ts, 64, 8));
                     h.push(frame_cdet);
                     // One feature vector serves every per-type RF.
-                    let feats = rf_online_features(h);
+                    rf_online_features_into(h, &mut rf_feats);
                     for (ty, rf) in &self.rf_models {
-                        let score = 1.0 - rf.predict_proba(&feats);
+                        let score = 1.0 - rf.predict_proba(&rf_feats);
                         test_scores_rf
                             .entry((bin.customer, *ty))
                             .or_default()
@@ -1295,11 +1297,13 @@ fn mean_frames(frames: &[Vec<f32>]) -> Vec<f64> {
 }
 
 /// RF online features from a pooled history: latest raw frame + latest
-/// medium and long representations. One pre-sized allocation per call; the
-/// callers invoke it once per customer-minute (outside the per-type loop).
-fn rf_online_features(h: &PooledHistory) -> Vec<f64> {
+/// medium and long representations, written into a caller-held buffer so
+/// the per-customer-minute loops never re-allocate it. The callers invoke
+/// it once per customer-minute (outside the per-type loop).
+fn rf_online_features_into(h: &PooledHistory, out: &mut Vec<f64>) {
     let dim = xatu_features::frame::NUM_FEATURES;
-    let mut out = Vec::with_capacity(3 * dim);
+    out.clear();
+    out.reserve(3 * dim);
     match h.latest() {
         Some(f) => out.extend_from_slice(&f.0),
         None => out.resize(dim, 0.0),
@@ -1312,7 +1316,6 @@ fn rf_online_features(h: &PooledHistory) -> Vec<f64> {
         Some(long) => out.extend_from_slice(&long),
         None => out.resize(3 * dim, 0.0),
     }
-    out
 }
 
 /// Trains the per-type RF baselines on instance-expanded samples. Each

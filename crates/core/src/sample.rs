@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::AttackType;
+use xatu_nn::FrameArena;
 
 /// One (attack or non-attack) time series, ready for the model.
 ///
@@ -49,11 +50,14 @@ impl Sample {
             .collect()
     }
 
-    /// Rough memory footprint in bytes (capacity planning).
+    /// Rough memory footprint in bytes (capacity planning). Each sequence
+    /// contributes its own length × frame width — the sequences can have
+    /// different widths, so the short width must not be applied to all.
     pub fn approx_bytes(&self) -> usize {
-        (self.short.len() + self.medium.len() + self.long.len() + self.window.len())
-            * self.short.first().map_or(273, Vec::len)
-            * std::mem::size_of::<f32>()
+        let seq = |v: &[Vec<f32>]| -> usize {
+            v.len() * v.first().map_or(273, Vec::len) * std::mem::size_of::<f32>()
+        };
+        seq(&self.short) + seq(&self.medium) + seq(&self.long) + seq(&self.window)
     }
 
     /// Validates internal consistency.
@@ -71,6 +75,40 @@ impl Sample {
         if let Some(a) = self.anomaly_step {
             assert!(a >= 1 && a <= self.window.len(), "anomaly_step {a} bad");
         }
+    }
+}
+
+/// A sample widened to `f64` once, as flat frame arenas — the model's
+/// native input. Built per sample at the start of a training run (or per
+/// call by the compat wrappers) so the f32→f64 conversion never repeats
+/// inside the epoch loop.
+#[derive(Clone, Debug, Default)]
+pub struct WideSample {
+    /// Short-granularity context frames.
+    pub short: FrameArena,
+    /// Medium-granularity context frames.
+    pub medium: FrameArena,
+    /// Long-granularity context frames.
+    pub long: FrameArena,
+    /// Detection-window frames.
+    pub window: FrameArena,
+}
+
+impl WideSample {
+    /// Widens `sample` into a fresh set of arenas.
+    pub fn from_sample(sample: &Sample) -> Self {
+        let mut w = WideSample::default();
+        w.fill_from(sample);
+        w
+    }
+
+    /// Re-fills from `sample`, reusing arena capacity.
+    pub fn fill_from(&mut self, sample: &Sample) {
+        let dim = |v: &[Vec<f32>]| v.first().map_or(0, Vec::len);
+        self.short.fill_widened(dim(&sample.short), &sample.short);
+        self.medium.fill_widened(dim(&sample.medium), &sample.medium);
+        self.long.fill_widened(dim(&sample.long), &sample.long);
+        self.window.fill_widened(dim(&sample.window), &sample.window);
     }
 }
 
@@ -118,5 +156,37 @@ mod tests {
     fn approx_bytes_counts_frames() {
         let s = sample();
         assert_eq!(s.approx_bytes(), (3 + 2 + 2 + 5) * 4 * 4);
+    }
+
+    #[test]
+    fn approx_bytes_uses_per_sequence_widths() {
+        // Pooled sequences can have a different width than the short one;
+        // each must be counted at its own width.
+        let mut s = sample();
+        s.medium = vec![vec![0.0f32; 6]; 2];
+        s.long = vec![vec![0.0f32; 8]; 1];
+        assert_eq!(
+            s.approx_bytes(),
+            (3 * 4 + 2 * 6 + 8 + 5 * 4) * std::mem::size_of::<f32>()
+        );
+    }
+
+    #[test]
+    fn wide_sample_matches_widen() {
+        let mut s = sample();
+        s.window[0][2] = 1.25;
+        s.short[1][3] = -0.5;
+        let w = WideSample::from_sample(&s);
+        let rows = Sample::widen(&s.window);
+        assert_eq!(w.window.len(), rows.len());
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(w.window.frame(t), &row[..]);
+        }
+        assert_eq!(w.short.frame(1)[3], -0.5f64);
+        // Refill reuses buffers and stays correct.
+        let mut w2 = w.clone();
+        w2.fill_from(&s);
+        assert_eq!(w2.short, w.short);
+        assert_eq!(w2.window, w.window);
     }
 }

@@ -9,8 +9,8 @@
 //! bit-identical no matter how many workers run.
 
 use crate::config::{LossKind, XatuConfig};
-use crate::model::XatuModel;
-use crate::sample::Sample;
+use crate::model::{ForwardTrace, ModelWorkspace, XatuModel};
+use crate::sample::{Sample, WideSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xatu_nn::activations::sigmoid;
@@ -45,14 +45,24 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
 
+    // Every sample is widened f32→f64 exactly once, up front; the epoch
+    // loop then runs entirely on the flat arenas.
+    let wide: Vec<WideSample> = samples.iter().map(WideSample::from_sample).collect();
+
     // Data-parallel scaffolding, reused across batches and epochs: one
-    // pooled flat gradient buffer per sample slot, worker model replicas
-    // (grown lazily, params re-synced from `model` each batch), and a
-    // scratch vector for the parameter snapshot.
+    // pooled flat gradient buffer per sample slot, worker replicas (model +
+    // trace + BPTT workspace, grown lazily, params re-synced from `model`
+    // each batch), a scratch vector for the parameter snapshot, and the
+    // sequential path's own persistent trace/workspace. Steady-state
+    // forward+backward through these buffers allocates nothing.
     let param_count = model.param_count();
     let mut pool = GradBufferPool::new(param_count);
-    let mut workers: Vec<XatuModel> = Vec::new();
+    let mut workers: Vec<TrainWorker> = Vec::new();
     let mut param_snapshot = vec![0.0; param_count];
+    let mut chunk_items: Vec<(&Sample, &WideSample)> = Vec::new();
+    let mut seq_trace = ForwardTrace::default();
+    let mut seq_ws = ModelWorkspace::default();
+    let mut seq_dlogits: Vec<f64> = Vec::new();
 
     for epoch in 0..cfg.epochs {
         // Fisher-Yates shuffle.
@@ -71,27 +81,44 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
                 // buffer — just without the replica sync.
                 for (slot, &i) in slots.iter_mut().zip(chunk) {
                     model.zero_grads();
-                    slot.1 = accumulate_sample(model, &samples[i], cfg.loss);
+                    slot.1 = accumulate_sample(
+                        model,
+                        &samples[i],
+                        &wide[i],
+                        cfg.loss,
+                        &mut seq_trace,
+                        &mut seq_ws,
+                        &mut seq_dlogits,
+                    );
                     model.export_grads_into(&mut slot.0);
                 }
             } else {
                 while workers.len() < n_workers {
-                    workers.push(model.clone());
+                    workers.push(TrainWorker::new(model.clone()));
                 }
                 model.export_params_into(&mut param_snapshot);
                 for w in &mut workers[..n_workers] {
-                    w.import_params_from(&param_snapshot);
+                    w.model.import_params_from(&param_snapshot);
                 }
-                let chunk_samples: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+                chunk_items.clear();
+                chunk_items.extend(chunk.iter().map(|&i| (&samples[i], &wide[i])));
                 let loss_kind = cfg.loss;
                 par_zip_with_workers(
                     &mut workers[..n_workers],
-                    &chunk_samples,
+                    &chunk_items,
                     &mut slots[..],
-                    |w, _idx, s, slot| {
-                        w.zero_grads();
-                        slot.1 = accumulate_sample(w, s, loss_kind);
-                        w.export_grads_into(&mut slot.0);
+                    |w, _idx, (s, ws), slot| {
+                        w.model.zero_grads();
+                        slot.1 = accumulate_sample(
+                            &mut w.model,
+                            s,
+                            ws,
+                            loss_kind,
+                            &mut w.trace,
+                            &mut w.ws,
+                            &mut w.d_logits,
+                        );
+                        w.model.export_grads_into(&mut slot.0);
                     },
                 );
             }
@@ -119,14 +146,42 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
     stats
 }
 
-/// Forward + backward for one sample; returns its loss. Gradients
-/// accumulate into the model's buffers.
-fn accumulate_sample(model: &mut XatuModel, sample: &Sample, loss: LossKind) -> f64 {
-    let trace = model.forward(sample);
+/// One worker replica of the training state: a model copy plus the trace
+/// and BPTT workspace it reuses across samples, batches and epochs.
+struct TrainWorker {
+    model: XatuModel,
+    trace: ForwardTrace,
+    ws: ModelWorkspace,
+    d_logits: Vec<f64>,
+}
+
+impl TrainWorker {
+    fn new(model: XatuModel) -> Self {
+        TrainWorker {
+            model,
+            trace: ForwardTrace::default(),
+            ws: ModelWorkspace::default(),
+            d_logits: Vec::new(),
+        }
+    }
+}
+
+/// Forward + backward for one sample through caller-held buffers; returns
+/// its loss. Gradients accumulate into the model's buffers.
+fn accumulate_sample(
+    model: &mut XatuModel,
+    sample: &Sample,
+    wide: &WideSample,
+    loss: LossKind,
+    trace: &mut ForwardTrace,
+    ws: &mut ModelWorkspace,
+    d_logits: &mut Vec<f64>,
+) -> f64 {
+    model.forward_wide(wide, trace);
     match loss {
         LossKind::Survival => {
             let g = safe_loss_and_grad(&trace.hazards, sample.label, sample.event_step);
-            model.backward(&trace, Some(&g.dl_dhazard), None, false);
+            model.backward_with(trace, Some(&g.dl_dhazard), None, false, ws);
             g.loss
         }
         LossKind::CrossEntropy => {
@@ -134,18 +189,14 @@ fn accumulate_sample(model: &mut XatuModel, sample: &Sample, loss: LossKind) -> 
             // event step when the onset is unknown) onward.
             let onset = sample.anomaly_step.unwrap_or(sample.event_step);
             let mut loss_val = 0.0;
-            let d_logits: Vec<f64> = trace
-                .logits
-                .iter()
-                .enumerate()
-                .map(|(t, &l)| {
-                    let y = if sample.label && t + 1 >= onset { 1.0 } else { 0.0 };
-                    // Stable BCE-with-logits.
-                    loss_val += l.max(0.0) - l * y + (-l.abs()).exp().ln_1p();
-                    sigmoid(l) - y
-                })
-                .collect();
-            model.backward(&trace, None, Some(&d_logits), false);
+            d_logits.clear();
+            d_logits.extend(trace.logits.iter().enumerate().map(|(t, &l)| {
+                let y = if sample.label && t + 1 >= onset { 1.0 } else { 0.0 };
+                // Stable BCE-with-logits.
+                loss_val += l.max(0.0) - l * y + (-l.abs()).exp().ln_1p();
+                sigmoid(l) - y
+            }));
+            model.backward_with(trace, None, Some(d_logits), false, ws);
             loss_val / trace.logits.len().max(1) as f64
         }
     }

@@ -1,0 +1,134 @@
+//! Allocation-budget regression tests for the training hot path.
+//!
+//! This integration test is its own binary, so its counting
+//! `#[global_allocator]` sees exactly this file's work. Both measurements
+//! live in one `#[test]` — the harness would otherwise interleave
+//! allocations from concurrently-running tests into the counters.
+//!
+//! Pinned invariants:
+//!
+//! * **Steady state is allocation-free**: a warm forward+backward
+//!   (`forward_wide` into a reused trace, `backward_with` against a reused
+//!   workspace) performs **zero** heap allocations. Any regression — a
+//!   stray `Vec` in a step loop, a clone in BPTT — fails this exactly.
+//! * **Cold start is bounded**: the first pass may allocate (arenas grow
+//!   once), but within a pinned byte ceiling, so trace/workspace bloat
+//!   can't creep in silently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xatu_core::config::XatuConfig;
+use xatu_core::model::{ForwardTrace, ModelWorkspace, XatuModel};
+use xatu_core::sample::{Sample, SampleMeta, WideSample};
+use xatu_features::frame::NUM_FEATURES;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_survival::safe_loss::safe_loss_and_grad;
+
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// One attack-shaped sample at the paper's default geometry.
+fn sample(c: &XatuConfig) -> Sample {
+    let frame = |v: f32| -> Vec<f32> {
+        let mut f = vec![0.0f32; NUM_FEATURES];
+        f[0] = v;
+        f[1] = 0.1;
+        f
+    };
+    Sample {
+        short: vec![frame(0.02); c.short_len],
+        medium: vec![frame(0.02); c.medium_len],
+        long: vec![frame(0.02); c.long_len],
+        window: (0..c.window)
+            .map(|t| frame(if t >= 4 { 1.0 + t as f32 * 0.2 } else { 0.05 }))
+            .collect(),
+        label: true,
+        event_step: c.window - 1,
+        anomaly_step: Some(5),
+        meta: SampleMeta {
+            customer: Ipv4(1),
+            attack_type: AttackType::UdpFlood,
+            window_start: 0,
+        },
+    }
+}
+
+#[test]
+fn hot_path_allocation_budget() {
+    let c = XatuConfig::default();
+    let mut model = XatuModel::new(&c);
+    let s = sample(&c);
+    let wide = WideSample::from_sample(&s);
+    let mut trace = ForwardTrace::default();
+    let mut ws = ModelWorkspace::default();
+
+    // --- Cold pass: arenas and workspaces grow exactly once. ---
+    let (c0, b0) = snapshot();
+    model.forward_wide(&wide, &mut trace);
+    let g = safe_loss_and_grad(&trace.hazards, s.label, s.event_step);
+    model.backward_with(&trace, Some(&g.dl_dhazard), None, false, &mut ws);
+    let (c1, b1) = snapshot();
+    let cold_bytes = b1 - b0;
+    // Default geometry (273 features, hidden 24, window 30, ctx
+    // 90/108/240) measures ~1.6 MB of cold buffer growth; the ceiling
+    // leaves headroom for allocator rounding but catches structural bloat.
+    assert!(
+        cold_bytes < 4_000_000,
+        "cold forward+backward grew {cold_bytes} bytes (allocs: {})",
+        c1 - c0
+    );
+
+    // Second warm-up pass: Vec growth amortization (doubling) must settle.
+    model.forward_wide(&wide, &mut trace);
+    model.backward_with(&trace, Some(&g.dl_dhazard), None, false, &mut ws);
+
+    // --- Steady state: zero heap allocations, the refactor's contract. ---
+    let (c2, b2) = snapshot();
+    model.forward_wide(&wide, &mut trace);
+    model.backward_with(&trace, Some(&g.dl_dhazard), None, false, &mut ws);
+    let (c3, b3) = snapshot();
+    assert_eq!(
+        c3 - c2,
+        0,
+        "steady-state forward+backward allocated {} times ({} bytes)",
+        c3 - c2,
+        b3 - b2
+    );
+
+    // The attribution variant (want_dx) must also be steady-state free.
+    model.backward_with(&trace, Some(&g.dl_dhazard), None, true, &mut ws);
+    let (c4, _) = snapshot();
+    model.forward_wide(&wide, &mut trace);
+    model.backward_with(&trace, Some(&g.dl_dhazard), None, true, &mut ws);
+    let (c5, _) = snapshot();
+    assert_eq!(c5 - c4, 0, "want_dx steady state allocated {}", c5 - c4);
+}

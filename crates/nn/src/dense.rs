@@ -61,16 +61,35 @@ impl Dense {
         y
     }
 
+    /// Allocation-free forward pass into a caller-held output buffer.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.output_dim()`.
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.b);
+        self.w.matvec_acc(x, y);
+    }
+
     /// Backward pass: accumulates weight/bias gradients from upstream `dy`
     /// and the cached input `x`; returns `dx`.
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.w.cols()];
+        self.backward_into(x, dy, &mut dx);
+        dx
+    }
+
+    /// Allocation-free backward pass: like [`Dense::backward`] but writes
+    /// `dx` into a caller-held buffer (overwritten, not accumulated).
+    ///
+    /// # Panics
+    /// Panics if `dx.len() != self.input_dim()`.
+    pub fn backward_into(&mut self, x: &[f64], dy: &[f64], dx: &mut [f64]) {
         self.gw.rank1_acc(1.0, dy, x);
         for (g, d) in self.gb.iter_mut().zip(dy) {
             *g += d;
         }
-        let mut dx = vec![0.0; self.w.cols()];
-        self.w.matvec_t_acc(dy, &mut dx);
-        dx
+        dx.fill(0.0);
+        self.w.matvec_t_acc(dy, dx);
     }
 
     /// Immutable weight access (for attribution / inspection).
@@ -153,6 +172,42 @@ mod tests {
         let mut init = Initializer::new(0);
         let mut d = Dense::new(5, 3, &mut init);
         assert_eq!(d.param_count(), 5 * 3 + 3);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        let mut init = Initializer::new(21);
+        let d = Dense::new(5, 3, &mut init);
+        let x = vec![0.7, -0.2, 0.0, 1.3, -0.9];
+        let y = d.forward(&x);
+        let mut y2 = vec![9.0; 3];
+        d.forward_into(&x, &mut y2);
+        for (a, b) in y.iter().zip(&y2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bitwise() {
+        let mut init = Initializer::new(22);
+        let da = Dense::new(4, 2, &mut init);
+        let mut db = da.clone();
+        let mut da = da;
+        let x = vec![0.3, 0.0, -1.1, 0.6];
+        let dy = vec![0.5, -0.25];
+        let dx_a = da.backward(&x, &dy);
+        let mut dx_b = vec![7.0; 4];
+        db.backward_into(&x, &dy, &mut dx_b);
+        for (a, b) in dx_a.iter().zip(&dx_b) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let n = da.param_count();
+        let (mut ga, mut gb) = (vec![0.0; n], vec![0.0; n]);
+        da.export_grads_into(&mut ga);
+        db.export_grads_into(&mut gb);
+        for (a, b) in ga.iter().zip(&gb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

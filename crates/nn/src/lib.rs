@@ -6,6 +6,9 @@
 //!
 //! * [`matrix::Matrix`] — row-major dense matrices with the handful of BLAS
 //!   kernels the layers need (`matvec`, transposed `matvec`, rank-1 update).
+//! * [`arena::FrameArena`] — flat structure-of-arrays storage for sequences
+//!   of equal-width frames; the substrate of the allocation-free hot path
+//!   (traces, widened samples, input gradients).
 //! * [`activations`] — numerically-stable sigmoid / tanh / softplus with
 //!   derivatives.
 //! * [`dense::Dense`] — fully-connected layer with bias.
@@ -24,6 +27,7 @@
 
 pub mod activations;
 pub mod adam;
+pub mod arena;
 pub mod dense;
 pub mod gradcheck;
 pub mod gradpool;
@@ -34,9 +38,10 @@ pub mod pooling;
 pub mod serialize;
 
 pub use adam::Adam;
+pub use arena::FrameArena;
 pub use dense::Dense;
 pub use gradpool::GradBufferPool;
-pub use lstm::{Lstm, LstmState, LstmTrace};
+pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace};
 pub use matrix::Matrix;
 
 /// A parameter container that exposes its (parameter, gradient) pairs.

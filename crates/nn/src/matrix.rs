@@ -6,7 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -91,6 +91,48 @@ impl Matrix {
         y
     }
 
+    /// `y += A·x` touching only the columns listed in `nz` — the ascending
+    /// indices of `x`'s exact-nonzero entries (see [`nonzero_indices_into`]).
+    ///
+    /// Bit-identical to [`Matrix::matvec_acc`]: the omitted products are all
+    /// `±0.0` (finite weights), `dot4`'s lanes start at `+0.0` and
+    /// round-to-nearest addition can never drive them to `-0.0`, and adding
+    /// `±0.0` to a non-`-0.0` value is the identity — so dropping those
+    /// terms cannot move a single bit. The kernel replays `dot4`'s exact
+    /// summation contract: lane `l = i mod 4` accumulates its surviving
+    /// products in ascending `i`, lanes combine as `(s0+s1)+(s2+s3)`, and
+    /// the `len % 4` tail indices are added afterwards in order. A property
+    /// test pins the 0-ULP equivalence with planted zeros.
+    ///
+    /// The point of taking `nz` as a parameter instead of branching on
+    /// `x[i] == 0.0` inline is that the sparsity scan is hoisted out of the
+    /// per-row loop: the caller builds the index list once per input frame
+    /// and every row (and the backward pass's rank-1 update) reuses it.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree or an index is out of range.
+    pub fn matvec_acc_nz(&self, x: &[f64], nz: &[u32], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        let lanes_end = (x.len() - x.len() % 4) as u32;
+        let split = nz.partition_point(|&i| i < lanes_end);
+        let (lane_idx, tail_idx) = nz.split_at(split);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut s = [0.0f64; 4];
+            for &i in lane_idx {
+                let i = i as usize;
+                s[i % 4] += row[i] * x[i];
+            }
+            let mut acc = (s[0] + s[1]) + (s[2] + s[3]);
+            for &i in tail_idx {
+                let i = i as usize;
+                acc += row[i] * x[i];
+            }
+            *yr += acc;
+        }
+    }
+
     /// `y += Aᵀ·x` — transposed matrix-vector multiply-accumulate.
     ///
     /// # Panics
@@ -105,6 +147,50 @@ impl Matrix {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (yc, a) in y.iter_mut().zip(row) {
                 *yc += xr * a;
+            }
+        }
+    }
+
+    /// `y += A·x` with exact-zero `x` terms skipped, adding the surviving
+    /// products to each output **sequentially in index order**.
+    ///
+    /// This is the contiguous-walk replacement for [`Matrix::matvec_t_acc`]:
+    /// calling it on the materialised transpose ([`Matrix::transpose_into`])
+    /// performs, per output element, the *same* add sequence `matvec_t_acc`
+    /// performs on the original matrix — ascending source-row index, exact
+    /// zeros skipped, one scalar accumulator — so the result is bit-identical
+    /// while every inner loop reads a contiguous row instead of striding
+    /// down a column. A property test pins the 0-ULP equivalence.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn matvec_acc_seq(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_seq: x length");
+        assert_eq!(y.len(), self.rows, "matvec_seq: y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = *yr;
+            for (xv, a) in x.iter().zip(row) {
+                if *xv == 0.0 {
+                    continue;
+                }
+                acc += xv * a;
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Writes `selfᵀ` into `out`, reusing `out`'s allocation when its
+    /// capacity suffices (steady-state transposes allocate nothing).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.data.clear();
+        out.data.resize(self.rows * self.cols, 0.0);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
             }
         }
     }
@@ -128,10 +214,60 @@ impl Matrix {
         }
     }
 
+    /// `self += α · a·bᵀ` restricted to the columns listed in `nz` — the
+    /// ascending indices of `b`'s exact-nonzero entries (see
+    /// [`nonzero_indices_into`]).
+    ///
+    /// Bit-identical to [`Matrix::rank1_acc`]: each omitted product is
+    /// `coef · 0.0 = ±0.0`, and adding `±0.0` never changes an
+    /// accumulator's bits unless the accumulator is `-0.0` — which no
+    /// gradient cell can be, since grads start at `+0.0` and
+    /// round-to-nearest addition only produces `-0.0` from two `-0.0`
+    /// terms. For sparse `b` (feature frames are mostly zeros) this turns a
+    /// full-row read-modify-write into a handful of scattered updates. A
+    /// property test pins the 0-ULP equivalence.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree or an index is out of range.
+    pub fn rank1_acc_nz(&mut self, alpha: f64, a: &[f64], b: &[f64], nz: &[u32]) {
+        assert_eq!(a.len(), self.rows, "rank1: a length");
+        assert_eq!(b.len(), self.cols, "rank1: b length");
+        for (r, &ar) in a.iter().enumerate() {
+            let coef = alpha * ar;
+            if coef == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for &i in nz {
+                let i = i as usize;
+                row[i] += coef * b[i];
+            }
+        }
+    }
+
     /// Frobenius norm.
     pub fn frobenius(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
+}
+
+/// Appends the ascending indices of `x`'s exact-nonzero entries to `out`
+/// (which is **not** cleared — callers append per-step runs to one flat
+/// arena) and returns how many were appended.
+///
+/// This is the sparsity scan shared by [`Matrix::matvec_acc_nz`] and
+/// [`Matrix::rank1_acc_nz`]: one cheap pass over the input frame, hoisted
+/// out of every per-row kernel loop, with the result reusable across the
+/// forward matvec and the backward rank-1 update of the same step.
+pub fn nonzero_indices_into(x: &[f64], out: &mut Vec<u32>) -> usize {
+    let before = out.len();
+    out.extend(
+        x.iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, _)| i as u32),
+    );
+    out.len() - before
 }
 
 /// `y += α·x` on raw vectors.
@@ -158,6 +294,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// index order. A property test pins the result to 0 ULP against a plain
 /// scalar rendering of that same order, so the unrolled kernel can never
 /// drift from the documented deterministic arithmetic.
+///
 #[inline]
 fn dot4(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -264,9 +401,53 @@ mod tests {
         acc
     }
 
+    #[test]
+    fn transpose_into_reuses_buffer() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut t = Matrix::zeros(3, 2);
+        let cap = t.data.capacity();
+        a.transpose_into(&mut t);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.data.capacity(), cap);
+    }
+
     use proptest::prelude::*;
 
     proptest! {
+        /// The transpose-then-sequential kernel must reproduce
+        /// `matvec_t_acc` bit for bit, including its exact-zero skip.
+        #[test]
+        fn seq_kernel_on_transpose_matches_matvec_t_acc(
+            data in proptest::collection::vec(-1.0e6f64..1.0e6, 4..140),
+            zero_mask in 0u32..64,
+            init in -1.0e3f64..1.0e3,
+        ) {
+            let rows = 1 + data.len() % 11;
+            let cols = (data.len().saturating_sub(rows) / rows).max(1);
+            if data.len() < rows * cols + rows {
+                return;
+            }
+            let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+            let mut x: Vec<f64> = data[rows * cols..rows * cols + rows].to_vec();
+            // Plant exact zeros so the skip path is exercised.
+            for (i, v) in x.iter_mut().enumerate() {
+                if (zero_mask >> (i % 32)) & 1 == 1 {
+                    *v = 0.0;
+                }
+            }
+            let mut want = vec![init; cols];
+            m.matvec_t_acc(&x, &mut want);
+            let mut mt = Matrix::zeros(0, 0);
+            m.transpose_into(&mut mt);
+            let mut got = vec![init; cols];
+            mt.matvec_acc_seq(&x, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+
         #[test]
         fn dot_matches_fixed_order_partial_sums(
             ab in proptest::collection::vec(-1.0e6f64..1.0e6, 0..129),
@@ -283,6 +464,7 @@ mod tests {
         fn matvec_acc_matches_fixed_order_partial_sums(
             data in proptest::collection::vec(-1.0e6f64..1.0e6, 3..120),
             init in -1.0e3f64..1.0e3,
+            zero_mask in 0u32..u32::MAX,
         ) {
             // Split `data` into a rows×cols matrix and an x vector such
             // that rows ≥ 1 and cols covers tail lengths 0..4.
@@ -292,12 +474,84 @@ mod tests {
                 return;
             }
             let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
-            let x = &data[rows * cols..rows * cols + cols];
+            let mut x = data[rows * cols..rows * cols + cols].to_vec();
+            // Plant exact zeros (whole aligned chunks included) so the
+            // zero-chunk skip is exercised against the dense reference.
+            for (i, v) in x.iter_mut().enumerate() {
+                if (zero_mask >> (i % 32)) & 1 == 1 {
+                    *v = 0.0;
+                }
+            }
             let mut y = vec![init; rows];
-            m.matvec_acc(x, &mut y);
+            m.matvec_acc(&x, &mut y);
             for (r, &yr) in y.iter().enumerate() {
-                let expect = init + fixed_order_reference(m.row(r), x);
+                let expect = init + fixed_order_reference(m.row(r), &x);
                 prop_assert_eq!(yr.to_bits(), expect.to_bits());
+            }
+        }
+
+        /// The sparse matvec on an explicit nonzero-index list must be
+        /// bit-identical to the dense `matvec_acc` with planted zeros.
+        #[test]
+        fn matvec_acc_nz_matches_dense_bitwise(
+            data in proptest::collection::vec(-1.0e6f64..1.0e6, 3..120),
+            init in -1.0e3f64..1.0e3,
+            zero_mask in 0u32..u32::MAX,
+        ) {
+            let cols = 1 + data.len() % 13;
+            let rows = (data.len().saturating_sub(cols) / cols).max(1);
+            if data.len() < rows * cols + cols {
+                return;
+            }
+            let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+            let mut x = data[rows * cols..rows * cols + cols].to_vec();
+            for (i, v) in x.iter_mut().enumerate() {
+                if (zero_mask >> (i % 32)) & 1 == 1 {
+                    *v = 0.0;
+                }
+            }
+            let mut nz = Vec::new();
+            let n = nonzero_indices_into(&x, &mut nz);
+            prop_assert_eq!(n, nz.len());
+            prop_assert!(nz.iter().all(|&i| x[i as usize] != 0.0));
+            let mut want = vec![init; rows];
+            m.matvec_acc(&x, &mut want);
+            let mut got = vec![init; rows];
+            m.matvec_acc_nz(&x, &nz, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+
+        /// The sparse rank-1 update on an explicit nonzero-index list must
+        /// be bit-identical to the dense `rank1_acc` with planted zeros.
+        #[test]
+        fn rank1_acc_nz_matches_dense_bitwise(
+            data in proptest::collection::vec(-1.0e3f64..1.0e3, 6..90),
+            alpha in -4.0f64..4.0,
+            zero_mask in 0u32..u32::MAX,
+        ) {
+            let rows = 1 + data.len() % 7;
+            let cols = 1 + data.len() % 5;
+            if data.len() < 2 * rows * cols + rows + cols {
+                return;
+            }
+            let seed = &data[..rows * cols];
+            let a = &data[rows * cols..rows * cols + rows];
+            let mut b = data[rows * cols + rows..rows * cols + rows + cols].to_vec();
+            for (i, v) in b.iter_mut().enumerate() {
+                if (zero_mask >> (i % 32)) & 1 == 1 {
+                    *v = 0.0;
+                }
+            }
+            let mut nz = Vec::new();
+            nonzero_indices_into(&b, &mut nz);
+            let mut want = Matrix::from_vec(rows, cols, seed.to_vec());
+            want.rank1_acc(alpha, a, &b);
+            let mut got = Matrix::from_vec(rows, cols, seed.to_vec());
+            got.rank1_acc_nz(alpha, a, &b, &nz);
+            for (g, w) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
             }
         }
     }

@@ -69,8 +69,8 @@ proptest! {
             .map(|t| (0..4).map(|k| scale * ((t * 4 + k) as f64).sin()).collect())
             .collect();
         let trace = lstm.forward(&xs);
-        for h in &trace.hs {
-            prop_assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        for t in 0..trace.len() {
+            prop_assert!(trace.h(t).iter().all(|v| v.abs() <= 1.0 + 1e-12));
         }
     }
 
