@@ -165,6 +165,41 @@ fn bench_warm_fwd_bwd(c: &mut Criterion) {
     });
 }
 
+/// Cost of the telemetry primitives that sit on hot paths: a plain
+/// counter bump, a fixed-bucket histogram observation, and a registry
+/// counter add (BTreeMap lookup — phase-boundary cost, not per-packet).
+/// With the `obs` feature disabled all three compile to no-ops, so this
+/// bench run doubles as the "compiled-out means free" check.
+fn bench_obs_primitives(c: &mut Criterion) {
+    use xatu_obs::{Counter, FixedHistogram, Registry, SURVIVAL_BOUNDS};
+
+    let mut counter = Counter::default();
+    c.bench_function("obs_counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+
+    let mut hist = FixedHistogram::new(SURVIVAL_BOUNDS);
+    let mut v = 0.0f64;
+    c.bench_function("obs_histogram_observe_11buckets", |b| {
+        b.iter(|| {
+            v = (v + 0.137) % 1.0;
+            hist.observe(black_box(v));
+            black_box(&hist);
+        })
+    });
+
+    let mut reg = Registry::new();
+    c.bench_function("obs_registry_add", |b| {
+        b.iter(|| {
+            reg.add(black_box("bench.counter"), 1);
+            black_box(&reg);
+        })
+    });
+}
+
 fn bench_safe_loss(c: &mut Criterion) {
     let hazards: Vec<f64> = (0..30).map(|i| 0.01 + 0.001 * i as f64).collect();
     c.bench_function("safe_loss_and_grad_30", |b| {
@@ -253,7 +288,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
               bench_cusum, bench_rf_inference, bench_sampler, bench_warm_fwd_bwd,
-              bench_safe_loss
+              bench_obs_primitives, bench_safe_loss
 }
 criterion_group! {
     name = parallel_benches;

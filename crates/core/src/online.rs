@@ -18,7 +18,43 @@ use xatu_detectors::alert::Alert;
 use xatu_detectors::traits::DetectorEvent;
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::AttackType;
+use xatu_obs::{Counter, FixedHistogram, SURVIVAL_BOUNDS};
 use xatu_survival::hazard::RollingSurvival;
+
+/// Telemetry embedded in the detector hot path.
+///
+/// Plain counters and a fixed-bucket histogram — one integer add (plus one
+/// float compare chain for the histogram) per observation, no locks, no
+/// allocation, compiled out entirely without the `obs` feature. Alert
+/// lifecycle counts and the survival distribution are functions of the
+/// seeded input stream alone, so they are digest-safe when folded into a
+/// [`xatu_obs::Registry`].
+#[derive(Clone, Debug)]
+pub struct DetectorObs {
+    /// Alerts raised.
+    pub raised: Counter,
+    /// Alerts ended for any reason (includes force-ends; `close_all` ends
+    /// are counted separately by the caller if needed).
+    pub ended: Counter,
+    /// Alerts ended *because* they hit `max_alert_minutes`.
+    pub force_ended: Counter,
+    /// Observations swallowed by per-customer warm-up suppression.
+    pub warmup_suppressed: Counter,
+    /// Distribution of rolling survival values over every observation.
+    pub survival: FixedHistogram,
+}
+
+impl Default for DetectorObs {
+    fn default() -> Self {
+        DetectorObs {
+            raised: Counter::new(),
+            ended: Counter::new(),
+            force_ended: Counter::new(),
+            warmup_suppressed: Counter::new(),
+            survival: FixedHistogram::new(SURVIVAL_BOUNDS),
+        }
+    }
+}
 
 /// Per-customer streaming state.
 #[derive(Clone)]
@@ -56,6 +92,7 @@ pub struct OnlineDetector {
     /// force-ended after this many minutes and must re-trigger.
     max_alert_minutes: u32,
     customers: HashMap<Ipv4, CustomerState>,
+    obs: DetectorObs,
 }
 
 impl OnlineDetector {
@@ -71,7 +108,25 @@ impl OnlineDetector {
             ctx_lens: (cfg.short_len, cfg.medium_len, cfg.long_len),
             max_alert_minutes: 45,
             customers: HashMap::new(),
+            obs: DetectorObs::default(),
         }
+    }
+
+    /// The detector's embedded telemetry.
+    pub fn obs(&self) -> &DetectorObs {
+        &self.obs
+    }
+
+    /// Zeroes the embedded telemetry — used when a cloned detector starts a
+    /// fresh recording scope (the pipeline's test runs fork the phase-B
+    /// checkpoint and must not re-count its observations).
+    pub fn reset_obs(&mut self) {
+        self.obs = DetectorObs::default();
+    }
+
+    /// The force-end cap, in minutes from `detected_at`.
+    pub fn max_alert_minutes(&self) -> u32 {
+        self.max_alert_minutes
     }
 
     /// Overrides the warm-up length (observations per customer before
@@ -131,9 +186,11 @@ impl OnlineDetector {
         let survival = state.survival.push(hazard);
         state.last_survival = survival;
         state.observed += 1;
+        self.obs.survival.observe(survival);
 
         let mut events = Vec::new();
         if state.observed <= self.warmup {
+            self.obs.warmup_suppressed.inc();
             return (hazard, survival, events);
         }
         match state.active {
@@ -147,6 +204,7 @@ impl OnlineDetector {
                     };
                     state.active = Some(alert);
                     state.quiet_run = 0;
+                    self.obs.raised.inc();
                     events.push(DetectorEvent::Raised(alert));
                 }
             }
@@ -161,6 +219,10 @@ impl OnlineDetector {
                         alert.mitigation_end = Some(minute);
                         state.active = None;
                         state.quiet_run = 0;
+                        self.obs.ended.inc();
+                        if over_cap {
+                            self.obs.force_ended.inc();
+                        }
                         events.push(DetectorEvent::Ended(alert));
                     }
                 }
@@ -182,6 +244,7 @@ impl OnlineDetector {
         for state in self.customers.values_mut() {
             if let Some(mut alert) = state.active.take() {
                 alert.mitigation_end = Some(minute);
+                self.obs.ended.inc();
                 events.push(DetectorEvent::Ended(alert));
             }
         }
@@ -344,6 +407,44 @@ mod tests {
         assert_eq!(events.len(), 1);
         if let DetectorEvent::Ended(a) = events[0] {
             assert_eq!(a.mitigation_end, Some(130));
+        }
+    }
+
+    #[test]
+    fn stuck_alert_is_force_ended_at_the_cap() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        // Quiet lead-in, then a surge that never recovers: the scrubbing
+        // centre's cap must cut the alert loose at max_alert_minutes.
+        let mut spans = Vec::new();
+        for m in 0..300u32 {
+            let v = if m >= 100 { 2.0 } else { 0.05 };
+            let (_, _, events) = det.observe(Ipv4(1), m, &frame(v));
+            for e in events {
+                if let DetectorEvent::Ended(a) = e {
+                    spans.push((a.detected_at, a.mitigation_end.unwrap()));
+                }
+            }
+        }
+        assert!(!spans.is_empty(), "stuck alert was never force-ended");
+        for (start, end) in &spans {
+            assert_eq!(
+                end - start,
+                det.max_alert_minutes(),
+                "span {start}..{end} not cut at the cap"
+            );
+        }
+        if xatu_obs::enabled() {
+            let obs = det.obs();
+            // Every recorded end here is a force-end, and the detector
+            // re-raises right after each one.
+            assert_eq!(obs.force_ended.get(), spans.len() as u64);
+            assert_eq!(obs.ended.get(), spans.len() as u64);
+            assert!(obs.raised.get() > spans.len() as u64);
+            // One customer, warmup = 2 * window observations suppressed.
+            assert_eq!(obs.warmup_suppressed.get(), 2 * c.window as u64);
+            assert_eq!(obs.survival.count(), 300);
         }
     }
 

@@ -29,8 +29,11 @@ use crate::eval::{
 };
 use crate::model::XatuModel;
 use crate::online::OnlineDetector;
-use crate::trainer::train;
+use crate::trainer::train_with_obs;
+use serde::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 use xatu_detectors::alert::Alert;
 use xatu_detectors::fastnetmon::FastNetMon;
 use xatu_detectors::netscout::NetScout;
@@ -44,6 +47,7 @@ use xatu_metrics::roc::{roc_curve, RocPoint};
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::{AttackType, Severity};
 use xatu_netflow::binning::MinuteFlows;
+use xatu_obs::{FieldValue, Registry, Snapshot, StderrSink};
 use xatu_par::{par_map, resolve_threads};
 use xatu_simnet::{World, WorldConfig};
 use xatu_survival::calibrate::{pick_threshold, threshold_grid, CandidateEval, QuantileBound};
@@ -199,6 +203,10 @@ pub struct Prepared {
     checkpoint: Checkpoint,
     /// Replayable CDet events by minute.
     cdet_events_by_minute: HashMap<u32, Vec<DetectorEvent>>,
+    /// Telemetry frozen at the end of preparation (phases A + train + B).
+    /// Each [`Prepared::evaluate`] call records its own run-local registry
+    /// and absorbs this into the report's snapshot.
+    pub obs: Snapshot,
 }
 
 /// Table 2: per-type CDet alert counts per split period.
@@ -248,14 +256,11 @@ impl Pipeline {
         let cfg = self.cfg;
         let threads = resolve_threads(cfg.xatu.threads);
         let split = SplitBoundaries::from_days(cfg.world.days);
-        let log = |msg: &str| {
-            if cfg.verbose {
-                eprintln!("[pipeline] {msg}");
-            }
-        };
+        let mut obs = pipeline_registry(cfg.verbose);
 
         // ---------------- Phase A ----------------
-        log("phase A: streaming world with live CDet");
+        obs.trace("phase", &[("name", "A: streaming world with live CDet".into())]);
+        let phase_a_start = Instant::now();
         let mut world = World::new(cfg.world);
         let mut extractor = build_extractor(&world, &cfg.xatu, cfg.blocklist_categories);
         let mut histories: HashMap<Ipv4, PooledHistory> = HashMap::new();
@@ -328,6 +333,7 @@ impl Pipeline {
             }
             extractor.spoof.ensure_built();
             let frames = par_map(threads, &bins, |_, bin| extractor.extract_shared(bin));
+            obs.add("features.frames_phase_a", frames.len() as u64);
             for (bin, frame) in bins.iter().zip(frames) {
                 let total = bin.total_bytes() as f64;
                 let ewma = volume_ewma.entry(bin.customer).or_insert(total);
@@ -367,27 +373,51 @@ impl Pipeline {
         let bundle = dataset.finish(&alert_minutes);
         let ground_truth = build_ground_truth(&cdet_alerts, &volumes);
         let table2 = table2_of(&cdet_alerts, &split);
+        record_world_obs(&mut obs, &world);
+        obs.record_wall("pipeline.phase_a_seconds", phase_a_start.elapsed().as_secs_f64());
+        obs.event(
+            "pipeline.phase_a_done",
+            vec![
+                ("cdet_alerts", cdet_alerts.len().into()),
+                ("gt_events", ground_truth.len().into()),
+                ("train_positives", bundle.positives.len().into()),
+                ("train_negatives", bundle.negatives.len().into()),
+            ],
+        );
 
         // ---------------- FastNetMon (offline over stored volumes) -------
         let fnm_alerts = if cfg.with_fnm {
-            log("running FastNetMon over stored volumes");
-            run_fnm(&volumes, &world, split.total, threads)
+            obs.trace("phase", &[("name", "FastNetMon offline replay".into())]);
+            let fnm_start = Instant::now();
+            let alerts = run_fnm(&volumes, &world, split.total, threads);
+            obs.record_wall("pipeline.fnm_seconds", fnm_start.elapsed().as_secs_f64());
+            obs.add("fnm.alerts", alerts.len() as u64);
+            alerts
         } else {
             Vec::new()
         };
 
         // ---------------- Training ----------------
-        log("training per-type survival models");
-        let models = train_models(&bundle, &cfg.xatu);
+        obs.trace("phase", &[("name", "training per-type survival models".into())]);
+        let train_start = Instant::now();
+        let models = train_models(&bundle, &cfg.xatu, &mut obs);
+        obs.record_wall("pipeline.train_seconds", train_start.elapsed().as_secs_f64());
         let rf_models = if cfg.with_rf {
-            log("training RF baselines");
-            train_rf_models(&bundle, &cfg.xatu, threads)
+            obs.trace("phase", &[("name", "training RF baselines".into())]);
+            let rf_start = Instant::now();
+            let rf = train_rf_models(&bundle, &cfg.xatu, threads);
+            obs.record_wall("pipeline.rf_train_seconds", rf_start.elapsed().as_secs_f64());
+            rf
         } else {
             Vec::new()
         };
 
         // ---------------- Phase B: warm + validation ----------------
-        log("phase B: warming online states and scoring validation");
+        obs.trace(
+            "phase",
+            &[("name", "B: warming online states and scoring validation".into())],
+        );
+        let phase_b_start = Instant::now();
         let mut world_b = World::new(cfg.world);
         let mut extractor_b = build_extractor(&world_b, &cfg.xatu, cfg.blocklist_categories);
         let mut detectors: Vec<OnlineDetector> = models
@@ -419,6 +449,7 @@ impl Pipeline {
             }
             extractor_b.spoof.ensure_built();
             let frames = par_map(threads, &bins, |_, bin| extractor_b.extract_shared(bin));
+            obs.add("features.frames_phase_b", frames.len() as u64);
             for (bin, frame) in bins.iter().zip(frames) {
                 for det in detectors.iter_mut() {
                     let (_, survival, _) = det.observe(bin.customer, minute, &frame.0);
@@ -451,6 +482,14 @@ impl Pipeline {
             extractor_b.clustering.expire(minute);
         }
 
+        obs.record_wall("pipeline.phase_b_seconds", phase_b_start.elapsed().as_secs_f64());
+        // Warm-up/validation detector telemetry (alerts are disabled here,
+        // so only suppression counts and the survival distribution move).
+        for det in &detectors {
+            obs.add("online.warmup_suppressed", det.obs().warmup_suppressed.get());
+            obs.merge_histogram("online.survival", &det.obs().survival);
+        }
+
         let checkpoint = Checkpoint {
             world: world_b,
             extractor: extractor_b,
@@ -474,6 +513,7 @@ impl Pipeline {
             val_scores_rf,
             checkpoint,
             cdet_events_by_minute,
+            obs: obs.snapshot(),
         }
     }
 }
@@ -492,11 +532,13 @@ impl Prepared {
     /// Calibrates thresholds on validation and evaluates the test period at
     /// `bound` for every system.
     pub fn evaluate(&self, bound: f64) -> EvalReport {
+        let mut obs = pipeline_registry(self.cfg.verbose);
         let quiet = 5u32;
         let q = QuantileBound {
             quantile: 0.75,
             bound,
         };
+        let calibrate_start = Instant::now();
         let gt_val: Vec<GtEvent> = self
             .ground_truth
             .iter()
@@ -533,10 +575,28 @@ impl Prepared {
         } else {
             Vec::new()
         };
+        obs.record_wall(
+            "pipeline.calibrate_seconds",
+            calibrate_start.elapsed().as_secs_f64(),
+        );
+        for (system, thresholds) in [("xatu", &xatu_thresholds), ("rf", &rf_thresholds)] {
+            for (ty, th) in thresholds {
+                obs.event(
+                    "calibrate.threshold",
+                    vec![
+                        ("system", system.into()),
+                        ("attack_type", format!("{ty:?}").into()),
+                        ("threshold", (*th).into()),
+                    ],
+                );
+            }
+        }
 
         // ---------------- Test run (auto-regressive Xatu) ----------------
+        let test_start = Instant::now();
         let (xatu_alerts, rf_alerts, test_scores_xatu, test_scores_rf) =
-            self.run_test(&xatu_thresholds, &rf_thresholds, quiet);
+            self.run_test(&xatu_thresholds, &rf_thresholds, quiet, &mut obs);
+        obs.record_wall("pipeline.test_seconds", test_start.elapsed().as_secs_f64());
 
         // ---------------- Evaluate all systems ----------------
         let eval_start = self.split.stabilization_end;
@@ -595,6 +655,11 @@ impl Prepared {
             ));
         }
 
+        // The report's snapshot is the prepare-time telemetry plus this
+        // run's own recording, stitched in that fixed order.
+        let mut snapshot = self.obs.clone();
+        snapshot.absorb(&obs.snapshot());
+
         EvalReport {
             bound,
             xatu_thresholds,
@@ -608,6 +673,7 @@ impl Prepared {
                 .collect(),
             table2: self.table2,
             roc,
+            obs: snapshot,
         }
     }
 
@@ -740,6 +806,7 @@ impl Prepared {
         xatu_thresholds: &[(AttackType, f64)],
         rf_thresholds: &[(AttackType, f64)],
         quiet: u32,
+        obs: &mut Registry,
     ) -> (
         SystemAlerts,
         SystemAlerts,
@@ -765,6 +832,9 @@ impl Prepared {
                 .map_or(0.002, |(_, th)| *th);
             d.set_threshold(th);
             d.set_warmup(0);
+            // Fresh recording scope: phase-B observations were already
+            // folded into the prepare-time snapshot.
+            d.reset_obs();
         }
         let mut rf_histories = self.checkpoint.rf_histories.clone();
         let mut active_cdet = self.checkpoint.active_cdet.clone();
@@ -855,14 +925,16 @@ impl Prepared {
                     });
                     if in_attack {
                         let sum = |v: &[f64]| v.iter().sum::<f64>();
-                        eprintln!(
-                            "  [frame] {} m{} V={:.1} A1={:.1} A2={:.1} A4={:.2}",
-                            bin.customer,
-                            minute,
-                            sum(frame_xatu.volumetric()),
-                            sum(frame_xatu.aux_block(1)),
-                            sum(frame_xatu.aux_block(2)),
-                            sum(frame_xatu.aux_block(4)),
+                        obs.trace(
+                            "frame.divergence",
+                            &[
+                                ("customer", bin.customer.to_string().into()),
+                                ("minute", minute.into()),
+                                ("volumetric", sum(frame_xatu.volumetric()).into()),
+                                ("a1", sum(frame_xatu.aux_block(1)).into()),
+                                ("a2", sum(frame_xatu.aux_block(2)).into()),
+                                ("a4", sum(frame_xatu.aux_block(4)).into()),
+                            ],
                         );
                     }
                 }
@@ -894,20 +966,38 @@ impl Prepared {
                 }
             }
         }
+        // Detector lifecycle telemetry from this run, stitched in detector
+        // (model) order. `close_all` ends are included in `alerts_ended`.
+        for det in &detectors {
+            let d = det.obs();
+            obs.add("online.alerts_raised", d.raised.get());
+            obs.add("online.alerts_ended", d.ended.get());
+            obs.add("online.alerts_force_ended", d.force_ended.get());
+            obs.add("online.warmup_suppressed", d.warmup_suppressed.get());
+            obs.merge_histogram("online.survival", &d.survival);
+        }
 
         if cfg.verbose {
             let min_s = test_scores_xatu
                 .values()
                 .flat_map(|v| v.iter())
                 .fold(1.0f32, |a, &b| a.min(b));
-            eprintln!(
-                "[pipeline] test: {} xatu alerts, min test survival {min_s:.5}",
-                xatu_alert_list.len()
+            obs.trace(
+                "test.summary",
+                &[
+                    ("xatu_alerts", xatu_alert_list.len().into()),
+                    ("min_survival", f64::from(min_s).into()),
+                ],
             );
             for a in xatu_alert_list.iter().take(60) {
-                eprintln!(
-                    "  [xatu alert] {:?} {} @ {}..{:?}",
-                    a.attack_type, a.customer, a.detected_at, a.mitigation_end
+                obs.trace(
+                    "test.alert",
+                    &[
+                        ("attack_type", format!("{:?}", a.attack_type).into()),
+                        ("customer", a.customer.to_string().into()),
+                        ("detected_at", a.detected_at.into()),
+                        ("mitigation_end", format!("{:?}", a.mitigation_end).into()),
+                    ],
                 );
             }
             for e in self.ground_truth.iter().filter(|e| e.cdet_detected >= self.split.stabilization_end) {
@@ -923,9 +1013,16 @@ impl Prepared {
                             .fold(1.0f32, |a, &b| a.min(b))
                     })
                     .unwrap_or(9.9);
-                eprintln!(
-                    "  [gt event]   {:?} {} onset {} det {} end {} | min S around event {min_s:.4}",
-                    e.attack_type, e.customer, e.anomaly_start, e.cdet_detected, e.mitigation_end
+                obs.trace(
+                    "test.gt_event",
+                    &[
+                        ("attack_type", format!("{:?}", e.attack_type).into()),
+                        ("customer", e.customer.to_string().into()),
+                        ("onset", e.anomaly_start.into()),
+                        ("detected", e.cdet_detected.into()),
+                        ("mitigation_end", e.mitigation_end.into()),
+                        ("min_survival", f64::from(min_s).into()),
+                    ],
                 );
             }
         }
@@ -1033,12 +1130,24 @@ pub struct EvalReport {
     pub table2: Table2,
     /// ROC curves per ML system.
     pub roc: Vec<(String, Vec<RocPoint>)>,
+    /// Stitched telemetry: preparation plus this evaluation run. The
+    /// digest covers only the deterministic sections, so it is identical
+    /// for every thread count.
+    pub obs: Snapshot,
 }
 
 impl EvalReport {
     /// The evaluation of one system by name.
     pub fn system(&self, name: &str) -> Option<&SystemEval> {
         self.systems.iter().find(|s| s.name == name)
+    }
+
+    /// The telemetry snapshot as indented JSON, rendered through the
+    /// workspace serde stack ([`Snapshot::to_json`] is the compact
+    /// single-line form). Floats round-trip bit-exactly.
+    pub fn telemetry_json(&self) -> String {
+        serde_json::to_string_pretty(&RawValue(snapshot_value(&self.obs)))
+            .expect("telemetry snapshot serializes")
     }
 
     /// A compact human-readable summary.
@@ -1072,6 +1181,135 @@ impl EvalReport {
 // ---------------------------------------------------------------------
 // Helpers shared by the phases.
 // ---------------------------------------------------------------------
+
+/// The registry for one recording scope: verbose runs stream events and
+/// traces to stderr, quiet runs record silently.
+fn pipeline_registry(verbose: bool) -> Registry {
+    if verbose {
+        Registry::with_sink(Arc::new(StderrSink { prefix: "pipeline" }))
+    } else {
+        Registry::new()
+    }
+}
+
+/// Folds the world's generation counters into the registry. Every one is a
+/// pure function of the seeded config, hence digest-safe.
+fn record_world_obs(obs: &mut Registry, world: &World) {
+    let w = world.obs();
+    obs.add("simnet.minutes_stepped", w.minutes_stepped.get());
+    obs.add("simnet.flows_generated", w.flows_generated.get());
+    obs.add("simnet.attack_flows_generated", w.attack_flows_generated.get());
+    obs.add("simnet.flows_emitted", w.flows_emitted.get());
+    obs.add("simnet.attacks_scheduled", world.attacks_scheduled() as u64);
+    obs.add(
+        "netflow.double_sample_rejects",
+        world.sampler_double_sample_rejects(),
+    );
+}
+
+/// A pre-built [`Value`] tree passed through the serde stack unchanged.
+struct RawValue(Value);
+
+impl serde::Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Renders a telemetry snapshot as a serde [`Value`] tree.
+fn snapshot_value(s: &Snapshot) -> Value {
+    let u64_map = |entries: &[(String, u64)]| {
+        Value::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                .collect(),
+        )
+    };
+    let field_value = |v: &FieldValue| match v {
+        FieldValue::U64(v) => Value::U64(*v),
+        FieldValue::I64(v) => Value::I64(*v),
+        FieldValue::F64(v) => Value::F64(*v),
+        FieldValue::Str(v) => Value::Str(v.clone()),
+    };
+    Value::Map(vec![
+        (
+            "digest".to_string(),
+            Value::Str(format!("{:016x}", s.digest())),
+        ),
+        ("counters".to_string(), u64_map(&s.counters)),
+        (
+            "gauges".to_string(),
+            Value::Map(
+                s.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_string(),
+            Value::Map(
+                s.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Value::Map(vec![
+                                (
+                                    "bounds".to_string(),
+                                    Value::Seq(h.bounds.iter().map(|&b| Value::F64(b)).collect()),
+                                ),
+                                (
+                                    "counts".to_string(),
+                                    Value::Seq(h.counts.iter().map(|&c| Value::U64(c)).collect()),
+                                ),
+                                ("count".to_string(), Value::U64(h.count)),
+                                ("sum".to_string(), Value::F64(h.sum)),
+                                ("nan".to_string(), Value::U64(h.nan)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "events".to_string(),
+            Value::Seq(
+                s.events
+                    .iter()
+                    .map(|e| {
+                        let mut m = vec![("kind".to_string(), Value::Str(e.kind.to_string()))];
+                        m.extend(
+                            e.fields
+                                .iter()
+                                .map(|(name, v)| (name.to_string(), field_value(v))),
+                        );
+                        Value::Map(m)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "wall".to_string(),
+            Value::Map(
+                s.wall
+                    .iter()
+                    .map(|(k, t)| {
+                        (
+                            k.clone(),
+                            Value::Map(vec![
+                                ("count".to_string(), Value::U64(t.count)),
+                                ("total_seconds".to_string(), Value::F64(t.total_seconds)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("volatile".to_string(), u64_map(&s.volatile)),
+    ])
+}
 
 /// Builds a feature extractor loaded with the world's blocklist feed and
 /// routed prefixes.
@@ -1244,16 +1482,29 @@ fn replay_cdet_events(
 }
 
 /// Trains the per-type survival models. Sequential over types on purpose:
-/// [`train`] is internally data-parallel over each minibatch, so nesting a
-/// per-type fan-out on top would oversubscribe the cores.
-fn train_models(bundle: &DatasetBundle, cfg: &XatuConfig) -> Vec<(AttackType, XatuModel)> {
+/// [`train_with_obs`] is internally data-parallel over each minibatch, so
+/// nesting a per-type fan-out on top would oversubscribe the cores —
+/// and the sequential type order keeps the shared registry's epoch-event
+/// stream deterministic.
+fn train_models(
+    bundle: &DatasetBundle,
+    cfg: &XatuConfig,
+    obs: &mut Registry,
+) -> Vec<(AttackType, XatuModel)> {
     bundle
         .trainable_types(cfg.min_positives)
         .into_iter()
         .map(|ty| {
             let samples = bundle.for_type(ty);
+            obs.event(
+                "train.model",
+                vec![
+                    ("attack_type", format!("{ty:?}").into()),
+                    ("samples", samples.len().into()),
+                ],
+            );
             let mut model = XatuModel::new(cfg);
-            train(&mut model, &samples, cfg);
+            train_with_obs(&mut model, &samples, cfg, obs);
             (ty, model)
         })
         .collect()
@@ -1429,6 +1680,18 @@ mod tests {
             assert!((0.0..1.0).contains(th));
         }
         assert!(report.summary().contains("Xatu"));
+        if xatu_obs::enabled() {
+            assert!(report.obs.counter("simnet.flows_emitted") > 0);
+            assert!(report.obs.counter("features.frames_phase_a") > 0);
+            assert!(report.obs.counter("features.frames_phase_b") > 0);
+            assert_eq!(
+                report.obs.counter("online.alerts_raised"),
+                report.obs.counter("online.alerts_ended")
+            );
+            let json = report.telemetry_json();
+            assert!(json.contains("\"digest\""));
+            assert!(json.contains(&format!("{:016x}", report.obs.digest())));
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xatu_nn::activations::sigmoid;
 use xatu_nn::{Adam, GradBufferPool, Params};
+use xatu_obs::{alloc_hook, Registry};
 use xatu_par::{par_zip_with_workers, resolve_threads};
 use xatu_survival::safe_loss::safe_loss_and_grad;
 
@@ -33,6 +34,24 @@ pub struct EpochStats {
 ///
 /// Shuffling is seeded from `cfg.seed` so training is fully reproducible.
 pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec<EpochStats> {
+    let mut obs = Registry::new();
+    train_with_obs(model, samples, cfg, &mut obs)
+}
+
+/// [`train`], recording telemetry into `obs`.
+///
+/// Per-epoch loss and gradient norm are emitted as `train.epoch` events:
+/// both are bit-identical across thread counts (fixed-order gradient
+/// reduction), so they belong in the deterministic digest. Epoch wall time
+/// goes into the wall section and per-epoch allocation deltas (read from
+/// [`alloc_hook`], fed by a counting allocator when one is installed) into
+/// the volatile section — both digest-exempt.
+pub fn train_with_obs(
+    model: &mut XatuModel,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+    obs: &mut Registry,
+) -> Vec<EpochStats> {
     if samples.is_empty() {
         return Vec::new();
     }
@@ -64,7 +83,11 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
     let mut seq_ws = ModelWorkspace::default();
     let mut seq_dlogits: Vec<f64> = Vec::new();
 
+    obs.add("train.samples", samples.len() as u64);
+    obs.add("train.epochs", cfg.epochs as u64);
     for epoch in 0..cfg.epochs {
+        let epoch_start = xatu_obs::enabled().then(std::time::Instant::now);
+        let allocs_before = alloc_hook::allocs();
         // Fisher-Yates shuffle.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.random_range(0..=i));
@@ -137,11 +160,28 @@ pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec
             epoch_loss += batch_loss / chunk.len() as f64;
             batches += 1;
         }
-        stats.push(EpochStats {
+        let st = EpochStats {
             epoch,
             mean_loss: epoch_loss / batches as f64,
             mean_grad_norm: epoch_norm / batches as f64,
-        });
+        };
+        obs.add("train.batches", batches as u64);
+        obs.event(
+            "train.epoch",
+            vec![
+                ("epoch", epoch.into()),
+                ("loss", st.mean_loss.into()),
+                ("grad_norm", st.mean_grad_norm.into()),
+            ],
+        );
+        if let Some(t0) = epoch_start {
+            obs.record_wall("train.epoch_seconds", t0.elapsed().as_secs_f64());
+        }
+        obs.add_volatile(
+            "train.epoch_allocs",
+            alloc_hook::allocs().saturating_sub(allocs_before),
+        );
+        stats.push(st);
     }
     stats
 }
@@ -347,6 +387,38 @@ mod tests {
             assert_eq!(a.mean_loss, b.mean_loss);
         }
         assert_eq!(m1.hazards(&samples[0]), m2.hazards(&samples[0]));
+    }
+
+    #[test]
+    fn training_telemetry_is_deterministic_and_matches_stats() {
+        let c = cfg();
+        let samples = dataset(&c, 8);
+        let mut m1 = XatuModel::new(&c);
+        let mut m2 = XatuModel::new(&c);
+        let mut o1 = Registry::new();
+        let mut o2 = Registry::new();
+        let stats = train_with_obs(&mut m1, &samples, &c, &mut o1);
+        train_with_obs(&mut m2, &samples, &c, &mut o2);
+        let s1 = o1.snapshot();
+        assert_eq!(s1.digest(), o2.snapshot().digest());
+        if xatu_obs::enabled() {
+            assert_eq!(s1.counter("train.epochs"), c.epochs as u64);
+            assert_eq!(s1.counter("train.samples"), samples.len() as u64);
+            let events = s1.events_of("train.epoch");
+            assert_eq!(events.len(), c.epochs);
+            // The recorded loss is the exact value returned to the caller.
+            let last = events.last().unwrap();
+            let loss_field = last
+                .fields
+                .iter()
+                .find(|(n, _)| *n == "loss")
+                .map(|(_, v)| v.to_string())
+                .unwrap();
+            assert_eq!(
+                loss_field,
+                format!("{:?}", stats.last().unwrap().mean_loss)
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub struct Summary {
     pub median: f64,
     /// Upper percentile value.
     pub hi: f64,
-    /// Number of samples summarized.
+    /// Number of samples summarized — NaN entries are excluded, matching
+    /// the filter [`percentile`] applies, so `n` is exactly the population
+    /// the quoted percentiles describe.
     pub n: usize,
 }
 
@@ -39,7 +41,7 @@ impl Summary {
             lo: percentile(values, lo_p).unwrap_or(f64::NAN),
             median: percentile(values, 50.0).unwrap_or(f64::NAN),
             hi: percentile(values, hi_p).unwrap_or(f64::NAN),
-            n: values.len(),
+            n: values.iter().filter(|v| !v.is_nan()).count(),
         }
     }
 
@@ -98,6 +100,20 @@ mod tests {
         assert_eq!(s.median, 50.0);
         assert_eq!(s.hi, 90.0);
         assert_eq!(s.n, 100);
+    }
+
+    #[test]
+    fn summary_n_counts_only_the_filtered_population() {
+        // `percentile` ignores NaNs, so a summary over [1, 2, NaN, 3] is a
+        // summary of THREE values; reporting n=4 overstated the population
+        // behind the quoted percentiles.
+        let s = Summary::p10_50_90(&[1.0, 2.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median, 2.0);
+        // All-NaN input: an empty population with NaN markers.
+        let e = Summary::p10_50_90(&[f64::NAN, f64::NAN]);
+        assert_eq!(e.n, 0);
+        assert!(e.median.is_nan());
     }
 
     #[test]

@@ -20,15 +20,24 @@ pub struct RocPoint {
 /// Builds a ROC curve from `(score, is_positive)` pairs where a *higher*
 /// score means "more likely positive". Points are ordered by increasing FPR.
 /// Returns an empty vector when either class is absent.
+///
+/// NaN scores are dropped before the sweep (a NaN can never clear any
+/// threshold, so it carries no ranking information), which keeps the sort
+/// total instead of panicking; the class counts are taken *after* the
+/// filter so rates still sum to 1.
 pub fn roc_curve(samples: &[(f64, bool)]) -> Vec<RocPoint> {
-    let pos = samples.iter().filter(|(_, y)| *y).count();
-    let neg = samples.len() - pos;
+    let mut sorted: Vec<(f64, bool)> = samples
+        .iter()
+        .filter(|(s, _)| !s.is_nan())
+        .copied()
+        .collect();
+    let pos = sorted.iter().filter(|(_, y)| *y).count();
+    let neg = sorted.len() - pos;
     if pos == 0 || neg == 0 {
         return Vec::new();
     }
-    let mut sorted: Vec<(f64, bool)> = samples.to_vec();
     // Descending by score: sweep threshold from the top.
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN filtered above"));
 
     let mut out = Vec::new();
     let mut tp = 0usize;
@@ -70,21 +79,29 @@ pub fn auc(curve: &[RocPoint]) -> f64 {
 /// The TPR achieved at (or just below) a target FPR, by linear
 /// interpolation — "when the false positive rate is 4.8 %, Xatu reaches a
 /// true positive rate as high as 95.4 %" style readouts.
+///
+/// Vertical (tied-FPR) segments are climbed to the top: when several
+/// points share the target FPR the *highest* TPR among them is achievable
+/// at that FPR, not whichever the sweep visits first.
 pub fn tpr_at_fpr(curve: &[RocPoint], target_fpr: f64) -> Option<f64> {
     if curve.is_empty() {
         return None;
     }
-    for w in curve.windows(2) {
-        if w[1].fpr >= target_fpr {
-            let span = w[1].fpr - w[0].fpr;
-            if span <= 0.0 {
-                return Some(w[1].tpr.max(w[0].tpr));
-            }
-            let frac = (target_fpr - w[0].fpr) / span;
-            return Some(w[0].tpr + frac * (w[1].tpr - w[0].tpr));
+    let mut best: Option<f64> = None;
+    for p in curve {
+        if p.fpr <= target_fpr {
+            best = Some(best.map_or(p.tpr, |b: f64| b.max(p.tpr)));
         }
     }
-    curve.last().map(|p| p.tpr)
+    // Interpolate across the window straddling the target, if any.
+    for w in curve.windows(2) {
+        if w[0].fpr < target_fpr && w[1].fpr > target_fpr {
+            let frac = (target_fpr - w[0].fpr) / (w[1].fpr - w[0].fpr);
+            let interp = w[0].tpr + frac * (w[1].tpr - w[0].tpr);
+            best = Some(best.map_or(interp, |b| b.max(interp)));
+        }
+    }
+    best.or_else(|| curve.first().map(|p| p.tpr))
 }
 
 #[cfg(test)]
@@ -134,6 +151,40 @@ mod tests {
         }
         let last = curve.last().unwrap();
         assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn nan_scores_are_dropped_not_a_panic() {
+        // A NaN survival score (e.g. from a degenerate hazard) used to
+        // panic the descending sort; it must simply not participate.
+        let samples = vec![
+            (0.9, true),
+            (f64::NAN, false),
+            (0.8, true),
+            (f64::NAN, true),
+            (0.2, false),
+            (0.1, false),
+        ];
+        let curve = roc_curve(&samples);
+        let clean = roc_curve(&[(0.9, true), (0.8, true), (0.2, false), (0.1, false)]);
+        assert_eq!(curve, clean);
+        assert!((auc(&curve) - 1.0).abs() < 1e-12);
+        // All-NaN (or NaN leaving one class empty) degenerates to empty.
+        assert!(roc_curve(&[(f64::NAN, true), (f64::NAN, false)]).is_empty());
+        assert!(roc_curve(&[(f64::NAN, true), (0.3, false)]).is_empty());
+    }
+
+    #[test]
+    fn tpr_at_fpr_climbs_vertical_segments() {
+        // Perfectly-separated scores give a vertical segment at FPR 0:
+        // (0,0) -> (0,0.5) -> (0,1.0) -> (1,1.0). The achievable TPR at
+        // FPR 0 is the TOP of that segment.
+        let samples = vec![(0.9, true), (0.8, true), (0.1, false), (0.05, false)];
+        let curve = roc_curve(&samples);
+        assert_eq!(tpr_at_fpr(&curve, 0.0), Some(1.0));
+        // Mid-segment targets interpolate along the horizontal stretch.
+        let t = tpr_at_fpr(&curve, 0.25).unwrap();
+        assert_eq!(t, 1.0);
     }
 
     #[test]

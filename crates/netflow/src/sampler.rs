@@ -10,6 +10,7 @@ use crate::record::FlowRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use xatu_obs::Counter;
 
 /// How packets within a flow are chosen for sampling.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +36,8 @@ pub struct PacketSampler {
     mode: SamplingMode,
     phase: u64,
     rng: StdRng,
+    /// Already-sampled flows fed back in and rejected (telemetry).
+    double_sample_rejects: Counter,
 }
 
 impl PacketSampler {
@@ -49,6 +52,7 @@ impl PacketSampler {
             mode,
             phase: 0,
             rng: StdRng::seed_from_u64(seed),
+            double_sample_rejects: Counter::new(),
         }
     }
 
@@ -57,10 +61,25 @@ impl PacketSampler {
         self.rate
     }
 
+    /// How many already-sampled flows were fed back in and passed through
+    /// unchanged instead of being sampled twice.
+    pub fn double_sample_rejects(&self) -> u64 {
+        self.double_sample_rejects.get()
+    }
+
     /// Samples a true (unsampled) flow. Returns `None` if no packet of the
     /// flow was selected.
+    ///
+    /// An already-sampled flow (`sampling != 1`) is a caller wiring bug:
+    /// sampling it again would silently square the decimation in release
+    /// builds. Such flows pass through unchanged — their estimates are
+    /// already upscaled — and are counted in
+    /// [`PacketSampler::double_sample_rejects`].
     pub fn sample(&mut self, mut flow: FlowRecord) -> Option<FlowRecord> {
-        debug_assert_eq!(flow.sampling, 1, "input flows must be unsampled");
+        if flow.sampling != 1 {
+            self.double_sample_rejects.inc();
+            return Some(flow);
+        }
         if self.rate == 1 {
             return Some(flow);
         }
@@ -179,6 +198,23 @@ mod tests {
         }
         // 100 single-packet flows under 1:10,000 — essentially all dropped.
         assert!(survived <= 1, "survived={survived}");
+    }
+
+    #[test]
+    fn already_sampled_flows_pass_through_unchanged() {
+        // Works in release builds too (no debug_assert reliance): feeding a
+        // sampled flow back in must not decimate it a second time.
+        let mut s = PacketSampler::new(100, SamplingMode::Systematic, 7);
+        let first = s.sample(flow(1000, 1000 * 60)).expect("flow survives");
+        assert_eq!(first.sampling, 100);
+        let again = s.sample(first).expect("rejected flows pass through");
+        assert_eq!(again, first, "double sampling must be a no-op");
+        if xatu_obs::enabled() {
+            assert_eq!(s.double_sample_rejects(), 1);
+        }
+        // Fresh flows afterwards still sample normally.
+        let fresh = s.sample(flow(1000, 1000 * 60)).expect("flow survives");
+        assert_eq!(fresh.sampling, 100);
     }
 
     #[test]

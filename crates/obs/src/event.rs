@@ -1,0 +1,145 @@
+//! Structured events and the sink trait.
+//!
+//! An event is a `kind` plus a small list of named fields. Events recorded
+//! through [`crate::Registry::event`] enter the deterministic snapshot (and
+//! the digest); diagnostics emitted through [`crate::Registry::trace`] go
+//! to the sink only — they are the replacement for ad-hoc `eprintln!`
+//! debugging and never influence the digest.
+
+use std::fmt;
+
+/// One typed field value of a structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, minutes, addresses).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Float — must be a deterministic quantity when recorded in an event.
+    F64(f64),
+    /// Text (attack-type names, phase labels).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:?}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A recorded structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsEvent {
+    /// Event kind, e.g. `"pipeline.phase"` or `"train.epoch"`.
+    pub kind: &'static str,
+    /// Named fields in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A consumer of structured events (both digest-bearing events and
+/// sink-only traces).
+///
+/// `emit` takes `&self`: sinks are shared across clones of the recording
+/// context and must synchronize internally if they buffer.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, kind: &str, fields: &[(&'static str, FieldValue)]);
+}
+
+/// Discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _kind: &str, _fields: &[(&'static str, FieldValue)]) {}
+}
+
+/// Prints one human-readable line per event to stderr — the structured
+/// replacement for the pipeline's former `eprintln!` diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct StderrSink {
+    /// Line prefix, e.g. `"pipeline"`.
+    pub prefix: &'static str,
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, kind: &str, fields: &[(&'static str, FieldValue)]) {
+        let mut line = format!("[{}] {}", self.prefix, kind);
+        for (name, value) in fields {
+            line.push(' ');
+            line.push_str(name);
+            line.push('=');
+            line.push_str(&value.to_string());
+        }
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_value_display_is_stable() {
+        assert_eq!(FieldValue::U64(7).to_string(), "7");
+        assert_eq!(FieldValue::I64(-3).to_string(), "-3");
+        assert_eq!(FieldValue::F64(0.5).to_string(), "0.5");
+        assert_eq!(FieldValue::Str("udp".into()).to_string(), "udp");
+    }
+
+    #[test]
+    fn conversions_cover_common_types() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-1i64), FieldValue::I64(-1));
+        assert_eq!(FieldValue::from(1.5f64), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+}

@@ -34,4 +34,4 @@ pub mod world;
 pub use attack::{AttackEvent, AttackPhase};
 pub use botnet::{Botnet, Ecosystem};
 pub use config::WorldConfig;
-pub use world::World;
+pub use world::{World, WorldObs};

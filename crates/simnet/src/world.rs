@@ -11,6 +11,24 @@ use xatu_netflow::addr::{Ipv4, Prefix, Subnet24};
 use xatu_netflow::binning::MinuteFlows;
 use xatu_netflow::record::FlowRecord;
 use xatu_netflow::sampler::{PacketSampler, SamplingMode};
+use xatu_obs::Counter;
+
+/// Generation-side telemetry, accumulated while the world streams.
+///
+/// Plain counters embedded in the (sequential) emission loop, so they are
+/// deterministic in the seed and free to read; the pipeline folds them into
+/// its obs registry after each streaming phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldObs {
+    /// True flows generated before sampling (benign + attack).
+    pub flows_generated: Counter,
+    /// Attack-emitted flows before sampling.
+    pub attack_flows_generated: Counter,
+    /// Flows that survived the packet sampler.
+    pub flows_emitted: Counter,
+    /// Minutes stepped.
+    pub minutes_stepped: Counter,
+}
 
 /// A running simulated ISP.
 ///
@@ -27,6 +45,7 @@ pub struct World {
     by_victim: HashMap<Ipv4, Vec<usize>>,
     sampler: PacketSampler,
     minute: u32,
+    obs: WorldObs,
 }
 
 impl World {
@@ -87,7 +106,24 @@ impl World {
             by_victim,
             sampler,
             minute: 0,
+            obs: WorldObs::default(),
         }
+    }
+
+    /// Generation telemetry accumulated so far.
+    pub fn obs(&self) -> &WorldObs {
+        &self.obs
+    }
+
+    /// Attacks in the ground-truth schedule.
+    pub fn attacks_scheduled(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Already-sampled flows the sampler rejected (should stay 0; a
+    /// non-zero value means a caller double-sampled).
+    pub fn sampler_double_sample_rejects(&self) -> u64 {
+        self.sampler.double_sample_rejects()
     }
 
     /// The configuration the world was built from.
@@ -152,12 +188,14 @@ impl World {
             "world stepped past its configured period"
         );
         self.minute += 1;
+        self.obs.minutes_stepped.inc();
 
         let mut out = Vec::with_capacity(self.customers.len());
         let mut scratch: Vec<FlowRecord> = Vec::with_capacity(128);
         for (i, &customer) in self.customers.iter().enumerate() {
             scratch.clear();
             self.benign[i].emit(minute, &mut scratch);
+            let benign_flows = scratch.len();
             if let Some(event_ids) = self.by_victim.get(&customer) {
                 for &ei in event_ids {
                     let e = &self.schedule[ei];
@@ -172,10 +210,15 @@ impl World {
                     }
                 }
             }
+            self.obs.flows_generated.add(scratch.len() as u64);
+            self.obs
+                .attack_flows_generated
+                .add((scratch.len() - benign_flows) as u64);
             let flows: Vec<FlowRecord> = scratch
                 .iter()
                 .filter_map(|f| self.sampler.sample(*f))
                 .collect();
+            self.obs.flows_emitted.add(flows.len() as u64);
             out.push(MinuteFlows {
                 minute,
                 customer,
@@ -284,6 +327,26 @@ mod tests {
         for _ in 0..=w.total_minutes() {
             w.step();
         }
+    }
+
+    #[test]
+    fn generation_telemetry_tracks_emission() {
+        let mut w = world(9);
+        let mut emitted = 0u64;
+        for _ in 0..30 {
+            emitted += w.step().iter().map(|b| b.flows.len() as u64).sum::<u64>();
+        }
+        let obs = w.obs();
+        if xatu_obs::enabled() {
+            assert_eq!(obs.minutes_stepped.get(), 30);
+            assert_eq!(obs.flows_emitted.get(), emitted);
+            assert!(obs.flows_generated.get() >= obs.flows_emitted.get());
+            assert!(obs.flows_generated.get() >= obs.attack_flows_generated.get());
+        } else {
+            assert_eq!(obs.minutes_stepped.get(), 0);
+        }
+        assert_eq!(w.sampler_double_sample_rejects(), 0);
+        assert_eq!(w.attacks_scheduled(), w.events().len());
     }
 
     #[test]

@@ -31,12 +31,22 @@ pub struct QuantileBound {
 impl QuantileBound {
     /// True if `costs` satisfies the constraint. Empty cost vectors are
     /// trivially feasible (no customers had attacks).
+    ///
+    /// NaN costs sort *last* (worst), so a NaN landing at or below the
+    /// checked quantile makes the candidate infeasible (`NaN <= bound` is
+    /// false) rather than panicking — an unmeasurable overhead must never
+    /// be treated as a cheap one.
     pub fn is_satisfied(&self, costs: &[f64]) -> bool {
         if costs.is_empty() {
             return true;
         }
         let mut sorted = costs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN cost"));
+        sorted.sort_by(|a, b| match (a.is_nan(), b.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => a.partial_cmp(b).unwrap(),
+        });
         let idx = ((self.quantile * sorted.len() as f64).ceil() as usize)
             .clamp(1, sorted.len())
             - 1;
@@ -47,10 +57,14 @@ impl QuantileBound {
 /// Picks the feasible candidate with the highest objective. Ties are broken
 /// toward the *higher* threshold (less aggressive detection). Returns `None`
 /// if no candidate is feasible.
+///
+/// Candidates with a NaN objective are skipped outright: every comparison
+/// against NaN is false, so such a candidate could otherwise win by being
+/// compared first and then never displaced.
 pub fn pick_threshold(candidates: &[CandidateEval], bound: QuantileBound) -> Option<f64> {
     let mut best: Option<&CandidateEval> = None;
     for c in candidates {
-        if !bound.is_satisfied(&c.per_customer_cost) {
+        if c.objective.is_nan() || !bound.is_satisfied(&c.per_customer_cost) {
             continue;
         }
         best = match best {
@@ -146,6 +160,66 @@ mod tests {
             per_customer_cost: vec![1.0],
         }];
         assert_eq!(pick_threshold(&cands, bound), None);
+    }
+
+    #[test]
+    fn nan_cost_is_infeasible_not_a_panic() {
+        let bound = QuantileBound {
+            quantile: 0.75,
+            bound: 1.0,
+        };
+        // A NaN overhead (e.g. 0/0 from a customer with zero volume) used
+        // to panic the partial_cmp sort; it must read as "worst cost":
+        // infeasible whenever it lands at or below the checked quantile.
+        assert!(!bound.is_satisfied(&[f64::NAN]));
+        assert!(!bound.is_satisfied(&[-f64::NAN, 0.1]));
+        assert!(!bound.is_satisfied(&[0.1, f64::NAN, f64::NAN, 0.3]));
+        // NaN strictly above the checked quantile: the p75 entry is still
+        // finite and within bound, so the candidate stays feasible (the
+        // bound tolerates one bad customer in four by design).
+        assert!(bound.is_satisfied(&[0.1, 0.2, f64::NAN, 0.3]));
+        // And pick_threshold survives NaN costs end to end.
+        let cands = vec![
+            CandidateEval {
+                threshold: 0.5,
+                objective: 0.9,
+                per_customer_cost: vec![f64::NAN],
+            },
+            CandidateEval {
+                threshold: 0.2,
+                objective: 0.8,
+                per_customer_cost: vec![0.1],
+            },
+        ];
+        assert_eq!(pick_threshold(&cands, bound), Some(0.2));
+    }
+
+    #[test]
+    fn nan_objective_candidates_are_skipped() {
+        let bound = QuantileBound {
+            quantile: 0.75,
+            bound: 1.0,
+        };
+        let cands = vec![
+            CandidateEval {
+                threshold: 0.9,
+                objective: f64::NAN,
+                per_customer_cost: vec![0.1],
+            },
+            CandidateEval {
+                threshold: 0.5,
+                objective: 0.3,
+                per_customer_cost: vec![0.1],
+            },
+        ];
+        assert_eq!(pick_threshold(&cands, bound), Some(0.5));
+        // All-NaN objectives: no winner rather than an arbitrary one.
+        let all_nan = vec![CandidateEval {
+            threshold: 0.9,
+            objective: f64::NAN,
+            per_customer_cost: vec![0.1],
+        }];
+        assert_eq!(pick_threshold(&all_nan, bound), None);
     }
 
     #[test]

@@ -138,6 +138,17 @@ mod tests {
     }
 
     #[test]
+    fn all_censored_input_yields_no_steps() {
+        // Every observation censored: the estimator never observes an
+        // event, so the survival function stays flat at 1.0 — no steps,
+        // no median, no panic from the at-risk bookkeeping reaching zero.
+        let steps = kaplan_meier(&[cens(1.0), cens(1.0), cens(3.0), cens(7.0)]);
+        assert!(steps.is_empty());
+        assert_eq!(median_survival(&steps), None);
+        assert!(kaplan_meier(&[]).is_empty());
+    }
+
+    #[test]
     fn invalid_times_are_ignored() {
         let steps = kaplan_meier(&[ev(f64::NAN), ev(-1.0), ev(2.0)]);
         assert_eq!(steps.len(), 1);

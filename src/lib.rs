@@ -14,6 +14,7 @@
 //! * [`detectors`] — CUSUM, NetScout-style, FastNetMon-style, Random Forest.
 //! * [`core`] — the Xatu model, trainer, online detector and pipeline.
 //! * [`metrics`] — effectiveness, scrubbing overhead, delay, ROC.
+//! * [`obs`] — deterministic telemetry (counters, histograms, events).
 //!
 //! ## Quickstart
 //!
@@ -33,5 +34,6 @@ pub use xatu_features as features;
 pub use xatu_metrics as metrics;
 pub use xatu_netflow as netflow;
 pub use xatu_nn as nn;
+pub use xatu_obs as obs;
 pub use xatu_simnet as simnet;
 pub use xatu_survival as survival;

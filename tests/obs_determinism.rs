@@ -1,0 +1,74 @@
+//! Telemetry determinism: the obs snapshot of a full pipeline run —
+//! counters, gauges, histograms and the event sequence — must be
+//! bit-identical whether the parallel layers run on one thread or many.
+//! Wall-clock spans and volatile (alloc) counters are exempt from the
+//! digest by design; everything else is covered.
+
+use xatu::core::pipeline::{Pipeline, PipelineConfig};
+use xatu::obs::Snapshot;
+
+fn run_snapshot(threads: usize) -> Snapshot {
+    // Seed 9 is a smoke world where a survival model actually trains and
+    // the online detector raises an alert, so every instrumented layer
+    // (simnet, features, trainer, detector, calibration) contributes to
+    // the snapshot being compared.
+    let mut cfg = PipelineConfig::smoke_test(9);
+    cfg.with_fnm = true;
+    cfg.xatu.threads = threads;
+    Pipeline::new(cfg).prepare().evaluate(0.01).obs
+}
+
+#[test]
+fn pipeline_telemetry_digest_is_identical_across_thread_counts() {
+    let s1 = run_snapshot(1);
+    let s4 = run_snapshot(4);
+
+    assert_eq!(
+        s1.digest(),
+        s4.digest(),
+        "telemetry digest diverges between 1 and 4 threads"
+    );
+
+    // The digest equality above is the contract; these section-level
+    // comparisons exist to localize a failure if it ever regresses.
+    assert_eq!(s1.counters, s4.counters, "counter section diverges");
+    assert_eq!(s1.histograms, s4.histograms, "histogram section diverges");
+    assert_eq!(s1.events, s4.events, "event sequence diverges");
+    for ((na, ga), (nb, gb)) in s1.gauges.iter().zip(&s4.gauges) {
+        assert_eq!(na, nb);
+        assert_eq!(ga.to_bits(), gb.to_bits(), "gauge {na} diverges");
+    }
+
+    // The run actually recorded something from every instrumented layer.
+    for name in [
+        "simnet.flows_emitted",
+        "features.frames_phase_a",
+        "features.frames_phase_b",
+        "train.samples",
+        "train.batches",
+        "online.alerts_raised",
+    ] {
+        assert!(s1.counter(name) > 0, "counter {name} not recorded");
+    }
+    assert!(
+        s1.events.iter().any(|e| e.kind == "train.epoch"),
+        "no train.epoch events recorded"
+    );
+    assert!(
+        s1.histogram("online.survival").is_some_and(|h| h.count > 0),
+        "survival histogram not populated"
+    );
+}
+
+#[test]
+fn wall_and_volatile_sections_do_not_enter_the_digest() {
+    let mut a = run_snapshot(1);
+    let digest = a.digest();
+    // Perturbing the digest-exempt sections must not move the digest;
+    // perturbing a counter must.
+    a.wall.clear();
+    a.volatile.push(("synthetic.allocs".into(), 123));
+    assert_eq!(a.digest(), digest, "wall/volatile leaked into the digest");
+    a.counters.push(("synthetic.counter".into(), 1));
+    assert_ne!(a.digest(), digest, "counters must be digested");
+}
