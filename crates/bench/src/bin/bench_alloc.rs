@@ -156,7 +156,7 @@ fn main() {
     let mut model = XatuModel::new(&c);
     let (a0, b0) = snapshot();
     let start = Instant::now();
-    let stats = train(&mut model, &samples, &c);
+    let stats = train(&mut model, &samples, &c).expect("training succeeds");
     let wall = start.elapsed().as_secs_f64();
     let (a1, b1) = snapshot();
     assert_eq!(stats.len(), epochs);

@@ -1,0 +1,192 @@
+//! Fault-injection benchmark: what degraded input costs the detector.
+//!
+//! Trains the smoke-scale pipeline once, then replays the same seeded
+//! world through [`run_faulted`] under every built-in fault schedule —
+//! clean, collector outages, per-customer gaps, duplicated/late flows,
+//! sampling renegotiation, CDet feed dropouts, and everything at once.
+//! For each schedule it reports ground-truth detection coverage and mean
+//! detection delay against the clean baseline, plus the fault and
+//! degradation counters, as `BENCH_faults_<label>.json`.
+//!
+//! ```text
+//! cargo run --release -p xatu-bench --bin bench_faults -- [label] [seed]
+//! ```
+//!
+//! The run doubles as the streaming determinism check: the "everything"
+//! schedule is replayed at 1 and 4 worker threads and the binary exits
+//! non-zero unless every recorded survival matches bit for bit.
+
+use xatu_core::eval::GtEvent;
+use xatu_core::faulted::{run_faulted, FaultReport, FaultedRunConfig, RunControl};
+use xatu_core::model::XatuModel;
+use xatu_core::pipeline::{Pipeline, PipelineConfig};
+use xatu_netflow::attack::AttackType;
+use xatu_simnet::{FaultSchedule, World, BUILTIN_SCHEDULES};
+
+/// Detection stats for one schedule: how many ground-truth events of the
+/// benched attack type got an overlapping Xatu alert, and how late.
+struct Coverage {
+    detected: usize,
+    total: usize,
+    mean_delay: f64,
+}
+
+fn coverage(report: &FaultReport, gt: &[GtEvent], ty: AttackType) -> Coverage {
+    let mut detected = 0usize;
+    let mut total = 0usize;
+    let mut delay_sum = 0.0;
+    for ev in gt.iter().filter(|e| e.attack_type == ty) {
+        total += 1;
+        let hit = report
+            .alerts
+            .iter()
+            .filter(|a| {
+                a.customer == ev.customer
+                    && a.detected_at >= ev.anomaly_start
+                    && a.detected_at <= ev.mitigation_end
+            })
+            .map(|a| a.detected_at)
+            .min();
+        if let Some(at) = hit {
+            detected += 1;
+            delay_sum += (at - ev.anomaly_start) as f64;
+        }
+    }
+    Coverage {
+        detected,
+        total,
+        mean_delay: if detected > 0 {
+            delay_sum / detected as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+fn run(
+    model: &XatuModel,
+    ty: AttackType,
+    threshold: f64,
+    cfg: &PipelineConfig,
+    schedule: FaultSchedule,
+    threads: usize,
+) -> FaultReport {
+    let mut xatu = cfg.xatu;
+    xatu.threads = threads;
+    let fcfg = FaultedRunConfig {
+        world: cfg.world,
+        xatu,
+        schedule,
+        cdet_silence_limit: 10,
+    };
+    run_faulted(model.clone(), ty, threshold, &fcfg, RunControl::Full).expect("faulted run")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let label = args.first().map(String::as_str).unwrap_or("current").to_string();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+
+    let cfg = PipelineConfig::smoke_test(seed);
+    let prepared = Pipeline::new(cfg.clone()).prepare();
+
+    // Bench the attack type with the most ground truth among those that
+    // actually trained a model.
+    let (ty, model) = prepared
+        .models
+        .iter()
+        .max_by_key(|(ty, _)| {
+            prepared
+                .ground_truth
+                .iter()
+                .filter(|e| e.attack_type == *ty)
+                .count()
+        })
+        .expect("smoke pipeline trains at least one model");
+    let threshold = 0.5;
+    let total_minutes = World::new(cfg.world).total_minutes();
+    let n_customers = cfg.world.n_customers;
+
+    let mut rows = String::new();
+    let mut clean_delay = f64::NAN;
+    for name in BUILTIN_SCHEDULES {
+        let schedule =
+            FaultSchedule::builtin(name, total_minutes, n_customers).expect("builtin resolves");
+        let report = run(model, *ty, threshold, &cfg, schedule, 1);
+        assert!(report.all_finite(), "schedule {name}: non-finite survival");
+        let cov = coverage(&report, &prepared.ground_truth, *ty);
+        if *name == "clean" {
+            clean_delay = cov.mean_delay;
+        }
+        let delta = cov.mean_delay - clean_delay;
+        let c = &report.counts;
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"schedule\": \"{name}\", \"detected\": {}, \"gt_events\": {}, \
+             \"mean_delay_min\": {:.2}, \"delay_delta_vs_clean\": {:.2}, \
+             \"alerts\": {}, \"bins_suppressed\": {}, \"gaps_imputed\": {}, \
+             \"cold_restarts\": {}, \"cdet_down_minutes\": {}, \
+             \"degraded_feature_minutes\": {}}}",
+            cov.detected,
+            cov.total,
+            cov.mean_delay,
+            delta,
+            report.alerts.len(),
+            c.bins_suppressed,
+            c.gaps_imputed,
+            c.cold_restarts,
+            c.cdet_down_minutes,
+            c.degraded_feature_minutes,
+        ));
+        eprintln!(
+            "[bench_faults] {name:>14}: {}/{} detected, mean delay {:.2} min (Δ {:+.2}), \
+             {} alerts",
+            cov.detected, cov.total, cov.mean_delay, delta, report.alerts.len(),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"seed\": {seed},\n  \"attack_type\": \"{ty:?}\",\n  \
+         \"threshold\": {threshold},\n  \"total_minutes\": {total_minutes},\n  \
+         \"customers\": {n_customers},\n  \"schedules\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = format!("BENCH_faults_{label}.json");
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("[bench_faults] wrote {path}");
+
+    // Thread-count determinism under maximal fault load: every recorded
+    // survival must match bit for bit between 1 and 4 workers.
+    let schedule = FaultSchedule::builtin("everything", total_minutes, n_customers)
+        .expect("builtin resolves");
+    let r1 = run(model, *ty, threshold, &cfg, schedule.clone(), 1);
+    let r4 = run(model, *ty, threshold, &cfg, schedule, 4);
+    let same = r1.survivals.len() == r4.survivals.len()
+        && r1
+            .survivals
+            .iter()
+            .zip(&r4.survivals)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !same {
+        if let Some(i) = r1
+            .survivals
+            .iter()
+            .zip(&r4.survivals)
+            .position(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            let n = r1.customers.len();
+            eprintln!(
+                "[bench_faults] first divergence: minute {} customer {:?}: {} vs {}",
+                r1.first_minute + (i / n) as u32,
+                r1.customers[i % n],
+                r1.survivals[i],
+                r4.survivals[i],
+            );
+        }
+        eprintln!("[bench_faults] SURVIVAL MISMATCH between threads=1 and threads=4");
+        std::process::exit(1);
+    }
+    eprintln!("[bench_faults] faulted stream bit-identical at threads=1 and threads=4");
+}

@@ -1,0 +1,819 @@
+//! Crash-safe checkpoint files (the `XCK1` container).
+//!
+//! Layout, all integers little-endian:
+//!
+//! ```text
+//! magic   b"XCK1"              4 bytes
+//! version u16                  CHECKPOINT_VERSION
+//! kind    u8                   KIND_TRAINER | KIND_DETECTOR
+//! pad     u8                   0
+//! len     u64                  payload length in bytes
+//! payload [u8; len]            kind-specific body
+//! check   u64                  FNV-1a over version..payload
+//! ```
+//!
+//! Writes are crash-safe by construction: the whole file is assembled in
+//! memory, written to `<path>.tmp`, and renamed over `path` — a reader
+//! never sees a half-written checkpoint, only the previous complete one or
+//! the new complete one. Every load re-verifies magic, version, kind,
+//! length and checksum before any field is decoded, and the decoder
+//! bounds-checks every read, so a truncated or bit-flipped file surfaces
+//! as [`XatuError::CorruptCheckpoint`] instead of a panic or garbage
+//! state.
+//!
+//! Floats are stored as `f64::to_bits`, which is what makes resume
+//! bit-identical: a checkpoint round-trip is exact, never a decimal
+//! approximation.
+
+use crate::config::{LossKind, TimescaleMode};
+use crate::error::{XatuError, CHECKPOINT_VERSION};
+use std::path::Path;
+use xatu_netflow::attack::AttackType;
+
+/// Container magic.
+pub const MAGIC: &[u8; 4] = b"XCK1";
+/// `kind` byte for trainer checkpoints.
+pub const KIND_TRAINER: u8 = 1;
+/// `kind` byte for online-detector checkpoints.
+pub const KIND_DETECTOR: u8 = 2;
+
+/// FNV-1a over a byte slice (same constants as `xatu-obs`' digest).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Flat little-endian encoder / bounds-checked decoder.
+// ---------------------------------------------------------------------------
+
+/// Append-only payload encoder.
+#[derive(Default)]
+pub struct Enc(Vec<u8>);
+
+impl Enc {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        Enc(Vec::new())
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Appends an `Option<u32>` as a presence byte plus the value.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Cursor-based decoder; every read is bounds-checked.
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Starts decoding at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// True when every byte has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed `f64` vector. The length is validated
+    /// against the remaining bytes before allocating, so a corrupted
+    /// length cannot trigger an absurd allocation.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(8).is_none_or(|b| b > self.bytes.len() - self.pos) {
+            return Err(format!("f64 vector length {n} exceeds payload"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an `Option<u32>`.
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            other => Err(format!("bad option tag {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags (stable wire values, independent of Rust enum layout).
+// ---------------------------------------------------------------------------
+
+/// Wire tag of an attack type (its index in [`AttackType::ALL`]).
+pub fn attack_type_tag(t: AttackType) -> u8 {
+    // The ALL order is the workspace-wide fixed order; an attack type is
+    // always a member of its own ALL list.
+    AttackType::ALL.iter().position(|&x| x == t).expect("in ALL") as u8
+}
+
+/// Decodes an attack-type tag.
+pub fn attack_type_from_tag(tag: u8) -> Result<AttackType, String> {
+    AttackType::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| format!("bad attack-type tag {tag}"))
+}
+
+/// Wire tag of a timescale mode.
+pub fn mode_tag(m: TimescaleMode) -> u8 {
+    match m {
+        TimescaleMode::All => 0,
+        TimescaleMode::ShortOnly => 1,
+        TimescaleMode::NoShort => 2,
+        TimescaleMode::NoMedium => 3,
+        TimescaleMode::NoLong => 4,
+    }
+}
+
+/// Decodes a timescale-mode tag.
+pub fn mode_from_tag(tag: u8) -> Result<TimescaleMode, String> {
+    Ok(match tag {
+        0 => TimescaleMode::All,
+        1 => TimescaleMode::ShortOnly,
+        2 => TimescaleMode::NoShort,
+        3 => TimescaleMode::NoMedium,
+        4 => TimescaleMode::NoLong,
+        other => return Err(format!("bad timescale-mode tag {other}")),
+    })
+}
+
+/// Wire tag of a loss kind.
+pub fn loss_tag(l: LossKind) -> u8 {
+    match l {
+        LossKind::Survival => 0,
+        LossKind::CrossEntropy => 1,
+    }
+}
+
+/// Decodes a loss-kind tag.
+pub fn loss_from_tag(tag: u8) -> Result<LossKind, String> {
+    Ok(match tag {
+        0 => LossKind::Survival,
+        1 => LossKind::CrossEntropy,
+        other => return Err(format!("bad loss-kind tag {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Container I/O.
+// ---------------------------------------------------------------------------
+
+/// Writes a complete container atomically: assemble in memory, write to
+/// `<path>.tmp`, rename over `path`.
+pub fn write_container(path: &Path, kind: u8, payload: &[u8]) -> Result<(), XatuError> {
+    let mut body = Vec::with_capacity(payload.len() + 12);
+    body.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    body.push(kind);
+    body.push(0);
+    body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    body.extend_from_slice(payload);
+    let check = fnv1a64(&body);
+
+    let mut file = Vec::with_capacity(body.len() + 12);
+    file.extend_from_slice(MAGIC);
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&check.to_le_bytes());
+
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, &file).map_err(|e| XatuError::io(&tmp, "write", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| XatuError::io(path, "rename", e))?;
+    Ok(())
+}
+
+/// The sibling temp path used by [`write_container`].
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".tmp");
+    std::path::PathBuf::from(s)
+}
+
+/// Reads and fully validates a container, returning its payload.
+pub fn read_container(path: &Path, expect_kind: u8) -> Result<Vec<u8>, XatuError> {
+    let bytes = std::fs::read(path).map_err(|e| XatuError::io(path, "read", e))?;
+    // magic(4) + version(2) + kind(1) + pad(1) + len(8) + check(8)
+    if bytes.len() < 24 {
+        return Err(XatuError::corrupt(path, "file shorter than the fixed header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(XatuError::corrupt(path, "bad magic"));
+    }
+    let body = &bytes[4..bytes.len() - 8];
+    let stored_check = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv1a64(body) != stored_check {
+        return Err(XatuError::corrupt(path, "checksum mismatch"));
+    }
+    let version = u16::from_le_bytes([body[0], body[1]]);
+    if version != CHECKPOINT_VERSION {
+        return Err(XatuError::CheckpointVersion {
+            path: path.display().to_string(),
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let kind = body[2];
+    if kind != expect_kind {
+        return Err(XatuError::corrupt(
+            path,
+            format!("kind byte {kind}, expected {expect_kind}"),
+        ));
+    }
+    let len = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes")) as usize;
+    let payload = &body[12..];
+    if payload.len() != len {
+        return Err(XatuError::corrupt(
+            path,
+            format!("payload is {} bytes, header says {len}", payload.len()),
+        ));
+    }
+    Ok(payload.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Trainer checkpoint.
+// ---------------------------------------------------------------------------
+
+/// Everything needed to resume training bit-identically: the run's
+/// identity fields (to reject a checkpoint from a different run), the
+/// current parameters, and the full Adam state. The shuffle RNG is *not*
+/// stored — it is fast-forwarded on resume by replaying the completed
+/// epochs' Fisher–Yates permutations, which depend only on the seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainerCheckpoint {
+    /// Training seed (identity check).
+    pub seed: u64,
+    /// Learning-rate bits (identity check — exact, not approximate).
+    pub lr_bits: u64,
+    /// Batch size (identity check).
+    pub batch_size: u64,
+    /// Loss-kind tag (identity check).
+    pub loss: LossKind,
+    /// Number of training samples (identity check).
+    pub sample_count: u64,
+    /// Total epochs the run is configured for.
+    pub epochs_total: u64,
+    /// Epochs fully completed before this checkpoint.
+    pub epochs_done: u64,
+    /// Flat model parameters in `Params::visit` order.
+    pub params: Vec<f64>,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Adam first moments, per parameter chunk.
+    pub adam_m: Vec<Vec<f64>>,
+    /// Adam second moments, per parameter chunk.
+    pub adam_v: Vec<Vec<f64>>,
+}
+
+impl TrainerCheckpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.seed);
+        e.u64(self.lr_bits);
+        e.u64(self.batch_size);
+        e.u8(loss_tag(self.loss));
+        e.u64(self.sample_count);
+        e.u64(self.epochs_total);
+        e.u64(self.epochs_done);
+        e.f64s(&self.params);
+        e.u64(self.adam_t);
+        for moments in [&self.adam_m, &self.adam_v] {
+            e.u64(moments.len() as u64);
+            for chunk in moments {
+                e.f64s(chunk);
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, String> {
+        let seed = d.u64()?;
+        let lr_bits = d.u64()?;
+        let batch_size = d.u64()?;
+        let loss = loss_from_tag(d.u8()?)?;
+        let sample_count = d.u64()?;
+        let epochs_total = d.u64()?;
+        let epochs_done = d.u64()?;
+        if epochs_done > epochs_total {
+            return Err(format!(
+                "epochs_done {epochs_done} exceeds epochs_total {epochs_total}"
+            ));
+        }
+        let params = d.f64s()?;
+        let adam_t = d.u64()?;
+        let mut moments = [Vec::new(), Vec::new()];
+        for m in &mut moments {
+            let n = d.u64()? as usize;
+            for _ in 0..n {
+                m.push(d.f64s()?);
+            }
+        }
+        let [adam_m, adam_v] = moments;
+        Ok(TrainerCheckpoint {
+            seed,
+            lr_bits,
+            batch_size,
+            loss,
+            sample_count,
+            epochs_total,
+            epochs_done,
+            params,
+            adam_t,
+            adam_m,
+            adam_v,
+        })
+    }
+}
+
+/// Atomically writes a trainer checkpoint.
+pub fn save_trainer(path: &Path, ck: &TrainerCheckpoint) -> Result<(), XatuError> {
+    write_container(path, KIND_TRAINER, &ck.encode())
+}
+
+/// Loads and validates a trainer checkpoint.
+pub fn load_trainer(path: &Path) -> Result<TrainerCheckpoint, XatuError> {
+    let payload = read_container(path, KIND_TRAINER)?;
+    let mut d = Dec::new(&payload);
+    let ck = TrainerCheckpoint::decode(&mut d).map_err(|e| XatuError::corrupt(path, e))?;
+    if !d.finished() {
+        return Err(XatuError::corrupt(path, "trailing bytes after payload"));
+    }
+    Ok(ck)
+}
+
+// ---------------------------------------------------------------------------
+// Online-detector checkpoint.
+// ---------------------------------------------------------------------------
+
+/// One [`crate::model::DualState`], flattened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DualStateCheckpoint {
+    /// Aged hidden state.
+    pub aged_h: Vec<f64>,
+    /// Aged cell state.
+    pub aged_c: Vec<f64>,
+    /// Fresh hidden state.
+    pub fresh_h: Vec<f64>,
+    /// Fresh cell state.
+    pub fresh_c: Vec<f64>,
+    /// Aged context length.
+    pub aged_age: u32,
+    /// Fresh context length.
+    pub fresh_age: u32,
+    /// Reset period.
+    pub period: u32,
+}
+
+impl DualStateCheckpoint {
+    fn encode(&self, e: &mut Enc) {
+        e.f64s(&self.aged_h);
+        e.f64s(&self.aged_c);
+        e.f64s(&self.fresh_h);
+        e.f64s(&self.fresh_c);
+        e.u32(self.aged_age);
+        e.u32(self.fresh_age);
+        e.u32(self.period);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, String> {
+        Ok(DualStateCheckpoint {
+            aged_h: d.f64s()?,
+            aged_c: d.f64s()?,
+            fresh_h: d.f64s()?,
+            fresh_c: d.f64s()?,
+            aged_age: d.u32()?,
+            fresh_age: d.u32()?,
+            period: d.u32()?,
+        })
+    }
+}
+
+/// One customer's full streaming state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CustomerCheckpoint {
+    /// Customer address.
+    pub addr: u32,
+    /// Short / medium / long dual LSTM states.
+    pub dual: [DualStateCheckpoint; 3],
+    /// Rolling-survival state `(window, buf, head, filled, sum)`.
+    pub survival: (u64, Vec<f64>, u64, u64, f64),
+    /// Partial medium pooling bucket `(sum, count)`.
+    pub med_partial: (Vec<f64>, u32),
+    /// Partial long pooling bucket `(sum, count)`.
+    pub long_partial: (Vec<f64>, u32),
+    /// Minute the active alert was raised, if one is open.
+    pub active_since: Option<u32>,
+    /// Consecutive quiet observations while an alert is open.
+    pub quiet_run: u32,
+    /// Last reported survival.
+    pub last_survival: f64,
+    /// Observations seen (warm-up accounting).
+    pub observed: u32,
+    /// Last sanitized frame (the zero-order-hold imputation source).
+    pub last_frame: Vec<f64>,
+    /// Consecutive imputed/stale steps.
+    pub stale_run: u32,
+    /// Newest minute observed, if any.
+    pub last_minute: Option<u32>,
+}
+
+impl CustomerCheckpoint {
+    fn encode(&self, e: &mut Enc) {
+        e.u32(self.addr);
+        for ds in &self.dual {
+            ds.encode(e);
+        }
+        e.u64(self.survival.0);
+        e.f64s(&self.survival.1);
+        e.u64(self.survival.2);
+        e.u64(self.survival.3);
+        e.f64(self.survival.4);
+        e.f64s(&self.med_partial.0);
+        e.u32(self.med_partial.1);
+        e.f64s(&self.long_partial.0);
+        e.u32(self.long_partial.1);
+        e.opt_u32(self.active_since);
+        e.u32(self.quiet_run);
+        e.f64(self.last_survival);
+        e.u32(self.observed);
+        e.f64s(&self.last_frame);
+        e.u32(self.stale_run);
+        e.opt_u32(self.last_minute);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, String> {
+        Ok(CustomerCheckpoint {
+            addr: d.u32()?,
+            dual: [
+                DualStateCheckpoint::decode(d)?,
+                DualStateCheckpoint::decode(d)?,
+                DualStateCheckpoint::decode(d)?,
+            ],
+            survival: (d.u64()?, d.f64s()?, d.u64()?, d.u64()?, d.f64()?),
+            med_partial: (d.f64s()?, d.u32()?),
+            long_partial: (d.f64s()?, d.u32()?),
+            active_since: d.opt_u32()?,
+            quiet_run: d.u32()?,
+            last_survival: d.f64()?,
+            observed: d.u32()?,
+            last_frame: d.f64s()?,
+            stale_run: d.u32()?,
+            last_minute: d.opt_u32()?,
+        })
+    }
+}
+
+/// A complete [`crate::online::OnlineDetector`] snapshot: configuration,
+/// model parameters, and every customer's streaming state (sorted by
+/// address so the encoding is canonical regardless of hash-map order).
+/// Telemetry is deliberately *not* checkpointed — counters restart at
+/// zero on resume and cover the resumed segment only.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectorCheckpoint {
+    /// Attack type this detector serves.
+    pub attack_type: AttackType,
+    /// Calibrated alert threshold.
+    pub threshold: f64,
+    /// Rolling-survival window.
+    pub window: u64,
+    /// Quiet run required to end an alert.
+    pub quiet: u32,
+    /// Warm-up observations per customer.
+    pub warmup: u32,
+    /// Training context lengths (short, medium, long).
+    pub ctx_lens: (u64, u64, u64),
+    /// Force-end cap in minutes.
+    pub max_alert_minutes: u32,
+    /// Pooling granularities.
+    pub timescales: (u32, u32, u32),
+    /// Hidden units per LSTM.
+    pub hidden: u64,
+    /// Timescale mode.
+    pub mode: TimescaleMode,
+    /// Flat model parameters in `Params::visit` order.
+    pub params: Vec<f64>,
+    /// Per-customer states, sorted by address.
+    pub customers: Vec<CustomerCheckpoint>,
+}
+
+impl DetectorCheckpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(attack_type_tag(self.attack_type));
+        e.f64(self.threshold);
+        e.u64(self.window);
+        e.u32(self.quiet);
+        e.u32(self.warmup);
+        e.u64(self.ctx_lens.0);
+        e.u64(self.ctx_lens.1);
+        e.u64(self.ctx_lens.2);
+        e.u32(self.max_alert_minutes);
+        e.u32(self.timescales.0);
+        e.u32(self.timescales.1);
+        e.u32(self.timescales.2);
+        e.u64(self.hidden);
+        e.u8(mode_tag(self.mode));
+        e.f64s(&self.params);
+        e.u64(self.customers.len() as u64);
+        for c in &self.customers {
+            c.encode(&mut e);
+        }
+        e.into_bytes()
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, String> {
+        let attack_type = attack_type_from_tag(d.u8()?)?;
+        let threshold = d.f64()?;
+        let window = d.u64()?;
+        let quiet = d.u32()?;
+        let warmup = d.u32()?;
+        let ctx_lens = (d.u64()?, d.u64()?, d.u64()?);
+        let max_alert_minutes = d.u32()?;
+        let timescales = (d.u32()?, d.u32()?, d.u32()?);
+        let hidden = d.u64()?;
+        let mode = mode_from_tag(d.u8()?)?;
+        let params = d.f64s()?;
+        let n = d.u64()? as usize;
+        let mut customers = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            customers.push(CustomerCheckpoint::decode(d)?);
+        }
+        Ok(DetectorCheckpoint {
+            attack_type,
+            threshold,
+            window,
+            quiet,
+            warmup,
+            ctx_lens,
+            max_alert_minutes,
+            timescales,
+            hidden,
+            mode,
+            params,
+            customers,
+        })
+    }
+}
+
+/// Atomically writes a detector checkpoint.
+pub fn save_detector(path: &Path, ck: &DetectorCheckpoint) -> Result<(), XatuError> {
+    write_container(path, KIND_DETECTOR, &ck.encode())
+}
+
+/// Loads and validates a detector checkpoint.
+pub fn load_detector(path: &Path) -> Result<DetectorCheckpoint, XatuError> {
+    let payload = read_container(path, KIND_DETECTOR)?;
+    let mut d = Dec::new(&payload);
+    let ck = DetectorCheckpoint::decode(&mut d).map_err(|e| XatuError::corrupt(path, e))?;
+    if !d.finished() {
+        return Err(XatuError::corrupt(path, "trailing bytes after payload"));
+    }
+    Ok(ck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xatu_ckpt_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_trainer_ck() -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            seed: 42,
+            lr_bits: 0.01f64.to_bits(),
+            batch_size: 8,
+            loss: LossKind::Survival,
+            sample_count: 100,
+            epochs_total: 30,
+            epochs_done: 12,
+            params: vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE],
+            adam_t: 150,
+            adam_m: vec![vec![0.1, 0.2], vec![0.3]],
+            adam_v: vec![vec![0.01, 0.02], vec![0.03]],
+        }
+    }
+
+    #[test]
+    fn trainer_checkpoint_roundtrips_exactly() {
+        let path = tmp_file("trainer_rt");
+        let ck = sample_trainer_ck();
+        save_trainer(&path, &ck).unwrap();
+        let back = load_trainer(&path).unwrap();
+        assert_eq!(ck, back);
+        // Bit-exactness, not just PartialEq.
+        for (a, b) in ck.params.iter().zip(&back.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // No temp file left behind.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected() {
+        let path = tmp_file("corrupt");
+        save_trainer(&path, &sample_trainer_ck()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_trainer(&path) {
+            Err(XatuError::CorruptCheckpoint { reason, .. }) => {
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = tmp_file("trunc");
+        save_trainer(&path, &sample_trainer_ck()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::CorruptCheckpoint { .. })
+        ));
+        // Even a header-only stub fails cleanly.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::CorruptCheckpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_reported_as_such() {
+        let path = tmp_file("version");
+        save_trainer(&path, &sample_trainer_ck()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bump the version field (bytes 4..6) and re-checksum the body so
+        // only the version check can fail.
+        bytes[4] = 99;
+        let body_end = bytes.len() - 8;
+        let check = fnv1a64(&bytes[4..body_end]);
+        bytes[body_end..].copy_from_slice(&check.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::CheckpointVersion { found: 99, .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let path = tmp_file("kind");
+        save_trainer(&path, &sample_trainer_ck()).unwrap();
+        assert!(matches!(
+            read_container(&path, KIND_DETECTOR),
+            Err(XatuError::CorruptCheckpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = tmp_file("missing_never_written");
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::Io { op: "read", .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_vector_length_fails_before_allocating() {
+        let path = tmp_file("bomb");
+        // A payload claiming a u64::MAX-length f64 vector.
+        let mut e = Enc::new();
+        e.u64(1);
+        e.u64(2);
+        e.u64(3);
+        e.u8(0);
+        e.u64(4);
+        e.u64(5);
+        e.u64(5);
+        e.u64(u64::MAX); // params length prefix
+        write_container(&path, KIND_TRAINER, &e.into_bytes()).unwrap();
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::CorruptCheckpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enum_tags_roundtrip() {
+        for t in AttackType::ALL {
+            assert_eq!(attack_type_from_tag(attack_type_tag(t)).unwrap(), t);
+        }
+        for m in [
+            TimescaleMode::All,
+            TimescaleMode::ShortOnly,
+            TimescaleMode::NoShort,
+            TimescaleMode::NoMedium,
+            TimescaleMode::NoLong,
+        ] {
+            assert_eq!(mode_from_tag(mode_tag(m)).unwrap(), m);
+        }
+        for l in [LossKind::Survival, LossKind::CrossEntropy] {
+            assert_eq!(loss_from_tag(loss_tag(l)).unwrap(), l);
+        }
+        assert!(attack_type_from_tag(200).is_err());
+        assert!(mode_from_tag(200).is_err());
+        assert!(loss_from_tag(200).is_err());
+    }
+}

@@ -433,7 +433,7 @@ mod tests {
         assert_eq!(s.window[0][0], 390.0);
         assert_eq!(s.short.len(), 20);
         assert_eq!(s.short[19][0], 389.0);
-        s.validate();
+        s.validate().unwrap();
     }
 
     #[test]

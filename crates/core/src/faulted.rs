@@ -1,0 +1,491 @@
+//! Fault-injected streaming: drives the online detector against a
+//! [`FaultedWorld`] with graceful degradation and crash-safe
+//! checkpoint/resume.
+//!
+//! This is the robustness harness the clean pipeline deliberately lacks.
+//! The clean [`crate::pipeline`] assumes a perfect collector: every
+//! customer, every minute, every flow. This driver assumes the opposite —
+//! a [`FaultSchedule`] suppresses bins, duplicates and delays flows,
+//! renegotiates sampling rates and takes the CDet alert feed down — and
+//! checks that the detector *degrades* instead of breaking:
+//!
+//! * Absent customer-minutes are driven through
+//!   [`OnlineDetector::observe_gap`] the minute they happen, so staleness
+//!   handling runs on wall-clock time.
+//! * While the CDet alert feed has been silent longer than
+//!   `cdet_silence_limit`, extracted frames fall back to their volumetric
+//!   block ([`FeatureFrame::degrade_to_volumetric`]) — auxiliary trackers
+//!   frozen by the dead feed must not be served as live evidence.
+//! * The run can checkpoint the detector at a chosen minute (atomic,
+//!   checksummed — see [`crate::checkpoint`]), simulate a crash, and
+//!   resume bit-identically: the world, volume store, CDet and feature
+//!   extractor are deterministic functions of the seed and are fast-
+//!   forwarded by re-streaming; only the detector state is restored from
+//!   disk.
+//!
+//! To keep resume exact, this driver does **not** auto-regress Xatu's own
+//! alerts into the extractor trackers (the clean pipeline's test phase
+//! does): the extractor's evolution must depend only on the seeded world
+//! and CDet, never on the detector being fast-forwarded past.
+
+use crate::checkpoint::{load_detector, save_detector};
+use crate::config::XatuConfig;
+use crate::error::XatuError;
+use crate::eval::VolumeStore;
+use crate::model::XatuModel;
+use crate::online::OnlineDetector;
+use crate::pipeline::{build_extractor, handle_alert_event, update_trackers, ActiveAlert};
+use std::collections::HashMap;
+use std::path::Path;
+use xatu_detectors::alert::Alert;
+use xatu_detectors::netscout::NetScout;
+use xatu_detectors::traits::{Detector, DetectorEvent, MinuteObservation};
+use xatu_features::frame::FeatureFrame;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_par::{par_map, resolve_threads};
+use xatu_simnet::{FaultSchedule, FaultedWorld, World, WorldConfig};
+
+/// Configuration of one fault-injected run.
+#[derive(Clone, Debug)]
+pub struct FaultedRunConfig {
+    /// The simulated world (drives customers, attacks, blocklists).
+    pub world: WorldConfig,
+    /// Model/streaming knobs (timescales, window, threads).
+    pub xatu: XatuConfig,
+    /// The fault schedule layered over the world's flow stream.
+    pub schedule: FaultSchedule,
+    /// Minutes of CDet-feed silence tolerated before extracted frames are
+    /// degraded to volumetric-only features.
+    pub cdet_silence_limit: u32,
+}
+
+impl FaultedRunConfig {
+    /// Smoke-scale config with the given fault schedule.
+    pub fn smoke_test(seed: u64, schedule: FaultSchedule) -> Self {
+        let world = WorldConfig::smoke_test(seed);
+        FaultedRunConfig {
+            world,
+            xatu: XatuConfig {
+                seed: seed.wrapping_add(1),
+                ..XatuConfig::smoke_test()
+            },
+            schedule,
+            cdet_silence_limit: 10,
+        }
+    }
+}
+
+/// Crash-safety control for [`run_faulted`].
+#[derive(Clone, Copy, Debug)]
+pub enum RunControl<'a> {
+    /// Run start to finish.
+    Full,
+    /// Save a detector checkpoint after processing `minute`; with `kill`
+    /// set, abandon the run right after saving (simulating a crash — the
+    /// partial report is what a dead process would leave behind).
+    CheckpointAt {
+        /// Minute after which to checkpoint.
+        minute: u32,
+        /// Checkpoint file.
+        path: &'a Path,
+        /// Abandon the run after saving.
+        kill: bool,
+    },
+    /// Load the detector from `path` and fast-forward the deterministic
+    /// world/extractor/CDet state past the checkpointed minute; scores are
+    /// recorded only for the resumed tail.
+    ResumeFrom {
+        /// Checkpoint file written by a previous `CheckpointAt`.
+        path: &'a Path,
+    },
+}
+
+/// Fault-injection counters, denormalized from the live counters so the
+/// report is plain data (all zero when the `obs` feature is off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Customer-minute bins suppressed by outages/gaps.
+    pub bins_suppressed: u64,
+    /// Flows duplicated in delivery.
+    pub flows_duplicated: u64,
+    /// Flows held back for late delivery.
+    pub flows_delayed: u64,
+    /// Held-back flows that did arrive (late).
+    pub flows_delivered_late: u64,
+    /// Held-back flows lost entirely.
+    pub flows_lost_late: u64,
+    /// Flows removed by sampling renegotiation.
+    pub flows_thinned_away: u64,
+    /// Minutes with the CDet alert feed down.
+    pub cdet_down_minutes: u64,
+    /// Missing minutes the detector imputed.
+    pub gaps_imputed: u64,
+    /// Non-finite feature values sanitized.
+    pub values_sanitized: u64,
+    /// Customer states cold-restarted.
+    pub cold_restarts: u64,
+    /// Minutes served volumetric-only because the CDet feed was silent.
+    pub degraded_feature_minutes: u64,
+}
+
+/// What one fault-injected run produced.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Customers, in world order — the column order of `survivals`.
+    pub customers: Vec<Ipv4>,
+    /// First minute with recorded scores (0 for full runs, the minute
+    /// after the checkpoint for resumed runs).
+    pub first_minute: u32,
+    /// Minutes actually recorded (rows of `survivals`).
+    pub minutes_recorded: u32,
+    /// Reported survival per recorded minute × customer, row-major.
+    /// Bit-comparable across runs: resume must reproduce these exactly.
+    pub survivals: Vec<f64>,
+    /// Xatu alerts over the recorded span (ends filled in when observed).
+    pub alerts: Vec<Alert>,
+    /// CDet alerts that got through the (possibly down) feed.
+    pub cdet_alerts: Vec<Alert>,
+    /// Fault-injection counters.
+    pub counts: FaultCounts,
+}
+
+impl FaultReport {
+    /// The recorded survival for (`minute`, customer index), if recorded.
+    pub fn survival_at(&self, minute: u32, customer_idx: usize) -> Option<f64> {
+        let row = minute.checked_sub(self.first_minute)? as usize;
+        if row >= self.minutes_recorded as usize {
+            return None;
+        }
+        Some(self.survivals[row * self.customers.len() + customer_idx])
+    }
+
+    /// True when no recorded value is NaN/∞ — the degradation contract.
+    pub fn all_finite(&self) -> bool {
+        self.survivals.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Streams the faulted world through the feature extractor and detector.
+///
+/// `model` is the (already trained, or deliberately untrained) survival
+/// model; the detector serves `attack_type` at `threshold`. Returns the
+/// per-minute score record plus fault accounting. See [`RunControl`] for
+/// the checkpoint/kill/resume modes.
+pub fn run_faulted(
+    model: XatuModel,
+    attack_type: AttackType,
+    threshold: f64,
+    cfg: &FaultedRunConfig,
+    control: RunControl<'_>,
+) -> Result<FaultReport, XatuError> {
+    let world = World::new(cfg.world);
+    let customers: Vec<Ipv4> = world.customers().to_vec();
+    let total_minutes = world.total_minutes();
+    let threads = resolve_threads(cfg.xatu.threads);
+
+    let mut extractor = build_extractor(&world, &cfg.xatu, None);
+    let mut volumes = VolumeStore::new(total_minutes);
+    let mut cdet = NetScout::new();
+    let mut active_cdet: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+    let mut cdet_alerts: Vec<Alert> = Vec::new();
+
+    // Resume: restore the detector, then replay the deterministic parts of
+    // the stream (world, volumes, CDet, trackers) up to and including the
+    // checkpointed minute without touching the detector.
+    let (mut det, resume_after) = match control {
+        RunControl::ResumeFrom { path } => {
+            let ck = load_detector(path)?;
+            let det = OnlineDetector::from_checkpoint(&ck)
+                .map_err(|e| XatuError::corrupt(path, e))?;
+            let minute = ck
+                .customers
+                .iter()
+                .filter_map(|c| c.last_minute)
+                .max()
+                .ok_or_else(|| {
+                    XatuError::corrupt(path, "checkpoint has no driven customers to resume from")
+                })?;
+            (det, Some(minute))
+        }
+        _ => {
+            let mut det = OnlineDetector::new(model.clone(), attack_type, threshold, &cfg.xatu);
+            det.set_warmup(2 * cfg.xatu.window as u32);
+            (det, None)
+        }
+    };
+
+    let mut fw = FaultedWorld::new(world, cfg.schedule.clone());
+    let first_minute = resume_after.map_or(0, |m| m + 1);
+    let rows = (total_minutes - first_minute) as usize;
+    let mut survivals: Vec<f64> = Vec::with_capacity(rows * customers.len());
+    let mut alerts: Vec<Alert> = Vec::new();
+    let mut cdet_silence = u32::MAX; // no CDet contact yet
+    let mut degraded_feature_minutes = 0u64;
+    let mut minutes_recorded = 0u32;
+
+    while !fw.finished() {
+        let delivery = fw.step();
+        let minute = delivery.minute;
+        let fast_forward = resume_after.is_some_and(|m| minute <= m);
+
+        // Volumes and CDet see only what the collector delivered.
+        for (bin, &present) in delivery.bins.iter().zip(&delivery.present) {
+            if present {
+                volumes.record(bin);
+            }
+        }
+        if delivery.cdet_up {
+            cdet_silence = 0;
+            for (bin, &present) in delivery.bins.iter().zip(&delivery.present) {
+                if !present {
+                    continue;
+                }
+                for ty in AttackType::ALL {
+                    let obs = MinuteObservation {
+                        minute,
+                        customer: bin.customer,
+                        attack_type: ty,
+                        bytes: volumes.bytes_at(bin.customer, ty, minute),
+                        packets: volumes.packets_at(bin.customer, ty, minute),
+                    };
+                    for ev in cdet.observe(&obs) {
+                        handle_alert_event(
+                            &ev,
+                            minute,
+                            &volumes,
+                            &mut extractor,
+                            &mut active_cdet,
+                            &mut cdet_alerts,
+                        );
+                    }
+                }
+            }
+        } else {
+            cdet_silence = cdet_silence.saturating_add(1);
+        }
+        for (bin, &present) in delivery.bins.iter().zip(&delivery.present) {
+            if present {
+                update_trackers(&mut extractor, bin, &mut active_cdet, &volumes, false);
+            }
+        }
+
+        if fast_forward {
+            continue;
+        }
+
+        // Feature extraction for delivered bins only; absent customers go
+        // through explicit gap observation instead of fake empty frames.
+        extractor.spoof.ensure_built();
+        let present_bins: Vec<_> = delivery
+            .bins
+            .iter()
+            .zip(&delivery.present)
+            .filter_map(|(bin, &p)| p.then_some(bin))
+            .collect();
+        let degrade = cdet_silence > cfg.cdet_silence_limit;
+        if degrade {
+            degraded_feature_minutes += 1;
+        }
+        let frames: Vec<FeatureFrame> = par_map(threads, &present_bins, |_, bin| {
+            let mut frame = extractor.extract_shared(bin);
+            if degrade {
+                frame.degrade_to_volumetric();
+            }
+            frame
+        });
+
+        let mut frame_iter = frames.into_iter();
+        for (bin, &present) in delivery.bins.iter().zip(&delivery.present) {
+            let events = if present {
+                // Invariant: one frame per present bin, in bin order.
+                let frame = frame_iter.next().expect("one frame per present bin");
+                let (_, _, ev) = det.observe(bin.customer, minute, &frame.0)?;
+                ev
+            } else {
+                let (_, _, ev) = det.observe_gap(bin.customer, minute)?;
+                ev
+            };
+            for e in events {
+                match e {
+                    DetectorEvent::Raised(a) => alerts.push(a),
+                    DetectorEvent::Ended(a) => close_alert(&mut alerts, &a),
+                }
+            }
+        }
+        for c in &customers {
+            survivals.push(det.survival_of(*c));
+        }
+        minutes_recorded += 1;
+
+        if let RunControl::CheckpointAt {
+            minute: at,
+            path,
+            kill,
+        } = control
+        {
+            if minute == at {
+                save_detector(path, &det.to_checkpoint())?;
+                if kill {
+                    // Simulated crash: whatever was recorded so far is the
+                    // dead process's legacy; the checkpoint is on disk.
+                    return Ok(report(
+                        customers,
+                        first_minute,
+                        minutes_recorded,
+                        survivals,
+                        alerts,
+                        cdet_alerts,
+                        &fw,
+                        &det,
+                        degraded_feature_minutes,
+                    ));
+                }
+            }
+        }
+    }
+
+    for e in det.close_all(total_minutes) {
+        if let DetectorEvent::Ended(a) = e {
+            close_alert(&mut alerts, &a);
+        }
+    }
+    Ok(report(
+        customers,
+        first_minute,
+        minutes_recorded,
+        survivals,
+        alerts,
+        cdet_alerts,
+        &fw,
+        &det,
+        degraded_feature_minutes,
+    ))
+}
+
+/// Marks the newest matching open alert as ended.
+fn close_alert(log: &mut [Alert], ended: &Alert) {
+    if let Some(slot) = log.iter_mut().rev().find(|x| {
+        x.customer == ended.customer
+            && x.attack_type == ended.attack_type
+            && x.mitigation_end.is_none()
+    }) {
+        slot.mitigation_end = ended.mitigation_end;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    customers: Vec<Ipv4>,
+    first_minute: u32,
+    minutes_recorded: u32,
+    survivals: Vec<f64>,
+    alerts: Vec<Alert>,
+    cdet_alerts: Vec<Alert>,
+    fw: &FaultedWorld,
+    det: &OnlineDetector,
+    degraded_feature_minutes: u64,
+) -> FaultReport {
+    let f = fw.obs();
+    let d = det.obs();
+    FaultReport {
+        customers,
+        first_minute,
+        minutes_recorded,
+        survivals,
+        alerts,
+        cdet_alerts,
+        counts: FaultCounts {
+            bins_suppressed: f.bins_suppressed.get(),
+            flows_duplicated: f.flows_duplicated.get(),
+            flows_delayed: f.flows_delayed.get(),
+            flows_delivered_late: f.flows_delivered_late.get(),
+            flows_lost_late: f.flows_lost_late.get(),
+            flows_thinned_away: f.flows_thinned_away.get(),
+            cdet_down_minutes: f.cdet_down_minutes.get(),
+            gaps_imputed: d.gaps_imputed.get(),
+            values_sanitized: d.values_sanitized.get(),
+            cold_restarts: d.cold_restarts.get(),
+            degraded_feature_minutes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xatu_faulted_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn run(schedule: FaultSchedule, control: RunControl<'_>) -> FaultReport {
+        let cfg = FaultedRunConfig::smoke_test(7, schedule);
+        let model = XatuModel::new(&cfg.xatu);
+        run_faulted(model, AttackType::UdpFlood, 0.5, &cfg, control).expect("run")
+    }
+
+    #[test]
+    fn clean_schedule_records_every_minute() {
+        let cfg = FaultedRunConfig::smoke_test(7, FaultSchedule::clean());
+        let total = World::new(cfg.world).total_minutes();
+        let report = run(FaultSchedule::clean(), RunControl::Full);
+        assert_eq!(report.first_minute, 0);
+        assert_eq!(report.minutes_recorded, total);
+        assert!(report.all_finite());
+        assert_eq!(report.counts, FaultCounts::default());
+    }
+
+    #[test]
+    fn everything_schedule_degrades_without_breaking() {
+        let cfg = FaultedRunConfig::smoke_test(7, FaultSchedule::clean());
+        let total = World::new(cfg.world).total_minutes();
+        let n = World::new(cfg.world).customers().len();
+        let schedule = FaultSchedule::builtin("everything", total, n).unwrap();
+        let report = run(schedule, RunControl::Full);
+        assert_eq!(report.minutes_recorded, total);
+        assert!(report.all_finite());
+        if xatu_obs::enabled() {
+            assert!(report.counts.bins_suppressed > 0, "{:?}", report.counts);
+            assert!(report.counts.gaps_imputed > 0, "{:?}", report.counts);
+        }
+    }
+
+    #[test]
+    fn checkpoint_kill_resume_is_bit_identical() {
+        let cfg = FaultedRunConfig::smoke_test(7, FaultSchedule::clean());
+        let total = World::new(cfg.world).total_minutes();
+        let n = World::new(cfg.world).customers().len();
+        let schedule = FaultSchedule::builtin("dup_late", total, n).unwrap();
+        let at = total / 2;
+        let path = tmp("kill_resume");
+        let _ = std::fs::remove_file(&path);
+
+        let full = run(schedule.clone(), RunControl::Full);
+        let killed = run(
+            schedule.clone(),
+            RunControl::CheckpointAt {
+                minute: at,
+                path: &path,
+                kill: true,
+            },
+        );
+        assert_eq!(killed.minutes_recorded, at + 1);
+        let resumed = run(schedule, RunControl::ResumeFrom { path: &path });
+        assert_eq!(resumed.first_minute, at + 1);
+        assert_eq!(resumed.minutes_recorded, total - at - 1);
+        // The resumed tail reproduces the uninterrupted run bit for bit.
+        let tail_start = (at + 1) as usize * full.customers.len();
+        assert_eq!(full.survivals.len() - tail_start, resumed.survivals.len());
+        for (i, (a, b)) in full.survivals[tail_start..]
+            .iter()
+            .zip(&resumed.survivals)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "survival {i} diverged");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

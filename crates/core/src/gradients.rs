@@ -43,6 +43,8 @@ pub fn attribute(model: &mut XatuModel, sample: &Sample) -> Attribution {
         *d = 1.0;
     }
     model.zero_grads_for_attribution();
+    // Invariant, not input-dependent: `backward(.., true)` always returns
+    // Some — the flag we just passed is what requests input gradients.
     let gx = model
         .backward(&trace, Some(&d_hazards), None, true)
         .expect("input gradients requested");
@@ -88,8 +90,10 @@ impl Attribution {
         totals
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
+            // Invariant: `totals` is a fixed-size six-entry array, so the
+            // iterator is never empty.
             .expect("six blocks")
     }
 
@@ -169,7 +173,7 @@ mod tests {
         let c = cfg();
         let mut model = XatuModel::new(&c);
         let samples = a2_driven_dataset(&c, 16);
-        train(&mut model, &samples, &c);
+        train(&mut model, &samples, &c).unwrap();
         // Fig 11's finding, reproduced in miniature. At this model scale
         // the per-block *mean* |gradient| carries substantial
         // initialisation noise (the planted signal lives in one of A2's 63
@@ -197,7 +201,7 @@ mod tests {
         let top = per_feature
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("273 features");
         assert_eq!(

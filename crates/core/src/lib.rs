@@ -23,10 +23,20 @@
 //!   → evaluate all systems on the test period.
 //! * [`gradients`] — input-gradient attribution (Fig 11: which auxiliary
 //!   signal drove a detection, and when).
+//! * [`error`] — the typed fault taxonomy ([`XatuError`]): what degraded
+//!   input, corrupt checkpoints and I/O failures look like to callers.
+//! * [`checkpoint`] — crash-safe checkpoint files (atomic write-then-
+//!   rename, checksummed, versioned) for the trainer and online detector.
+//! * [`faulted`] — the fault-injected streaming driver: runs the online
+//!   detector against a [`xatu_simnet::FaultedWorld`] with graceful
+//!   degradation and optional mid-run checkpoint/kill/resume.
 
+pub mod checkpoint;
 pub mod config;
 pub mod dataset;
+pub mod error;
 pub mod eval;
+pub mod faulted;
 pub mod gradients;
 pub mod model;
 pub mod online;
@@ -35,5 +45,6 @@ pub mod sample;
 pub mod trainer;
 
 pub use config::XatuConfig;
+pub use error::XatuError;
 pub use model::XatuModel;
 pub use pipeline::{Pipeline, PipelineConfig};

@@ -145,6 +145,23 @@ impl XatuModel {
         }
     }
 
+    /// Builds a model directly from a [`ModelConfig`], with placeholder
+    /// weights (seed 0). Used by checkpoint restore, which immediately
+    /// overwrites every parameter via `Params::import_params_from`.
+    pub fn with_config(cfg: ModelConfig) -> Self {
+        let mut init = Initializer::new(0);
+        let h = cfg.hidden;
+        let mut head = Dense::new(3 * h, 1, &mut init);
+        head.bias_mut()[0] = -4.0;
+        XatuModel {
+            cfg,
+            lstm_short: Lstm::new(NUM_FEATURES, h, &mut init),
+            lstm_medium: Lstm::new(NUM_FEATURES, h, &mut init),
+            lstm_long: Lstm::new(NUM_FEATURES, h, &mut init),
+            head,
+        }
+    }
+
     /// Hidden dimension.
     pub fn hidden(&self) -> usize {
         self.cfg.hidden
@@ -503,6 +520,58 @@ impl DualState {
     pub fn hidden(&self) -> &[f64] {
         &self.aged.h
     }
+
+    /// The configured reset period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Current `(aged_age, fresh_age)` context lengths.
+    pub fn ages(&self) -> (u32, u32) {
+        (self.aged_age, self.fresh_age)
+    }
+
+    /// The `(aged, fresh)` LSTM states, for checkpointing.
+    pub fn states(&self) -> (&LstmState, &LstmState) {
+        (&self.aged, &self.fresh)
+    }
+
+    /// Rebuilds a dual state from checkpointed parts. Returns `Err` when
+    /// the parts are internally inconsistent (mismatched hidden sizes,
+    /// non-finite values, an aged age at or past the swap point — a state
+    /// the stepping logic can never be observed in).
+    pub fn restore(
+        aged: LstmState,
+        fresh: LstmState,
+        aged_age: u32,
+        fresh_age: u32,
+        period: u32,
+    ) -> Result<Self, &'static str> {
+        if period == 0 {
+            return Err("dual-state period must be >= 1");
+        }
+        let h = aged.h.len();
+        if aged.c.len() != h || fresh.h.len() != h || fresh.c.len() != h {
+            return Err("dual-state hidden sizes disagree");
+        }
+        if aged_age >= 2 * period || fresh_age > aged_age {
+            return Err("dual-state ages out of range");
+        }
+        let finite = |s: &LstmState| {
+            s.h.iter().all(|v| v.is_finite()) && s.c.iter().all(|v| v.is_finite())
+        };
+        if !finite(&aged) || !finite(&fresh) {
+            return Err("non-finite dual-state values");
+        }
+        Ok(DualState {
+            aged,
+            fresh,
+            aged_age,
+            fresh_age,
+            period,
+            z: Vec::new(),
+        })
+    }
 }
 
 /// Streaming state with bounded-context dual LSTM states, used by the
@@ -517,6 +586,32 @@ pub struct StreamingState {
     pub long: DualState,
     /// Combiner input scratch (`3h`).
     input: Vec<f64>,
+}
+
+impl StreamingState {
+    /// Assembles a streaming state from checkpointed dual states (scratch
+    /// buffers start empty and grow on the first step).
+    pub fn from_parts(short: DualState, medium: DualState, long: DualState) -> Self {
+        StreamingState {
+            short,
+            medium,
+            long,
+            input: Vec::new(),
+        }
+    }
+}
+
+impl OnlineState {
+    /// Assembles an online state from checkpointed LSTM states.
+    pub fn from_parts(short: LstmState, medium: LstmState, long: LstmState) -> Self {
+        OnlineState {
+            short,
+            medium,
+            long,
+            z: Vec::new(),
+            input: Vec::new(),
+        }
+    }
 }
 
 impl XatuModel {
@@ -1057,6 +1152,67 @@ mod tests {
         for (a, b) in ws.medium.dxs().data().iter().zip(gx_b.medium.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn with_config_plus_param_import_reproduces_a_model() {
+        let c = cfg();
+        let mut original = XatuModel::new(&c);
+        let n = original.param_count();
+        let mut params = vec![0.0; n];
+        original.export_params_into(&mut params);
+
+        let mut restored = XatuModel::with_config(original.cfg);
+        assert_eq!(restored.param_count(), n);
+        restored.import_params_from(&params);
+
+        let s = sample(&c, true);
+        let a = original.hazards(&s);
+        let b = restored.hazards(&s);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn dual_state_restore_resumes_bit_identically() {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        let frame = |t: usize| -> Vec<f64> {
+            (0..NUM_FEATURES)
+                .map(|k| 0.2 * (((t * 13 + k) % 11) as f64 / 11.0 - 0.5))
+                .collect()
+        };
+        let mut a = DualState::new(c.hidden, 4);
+        for t in 0..9 {
+            a.step(&model.lstm_short, &frame(t));
+        }
+        let (aged, fresh) = a.states();
+        let (aged_age, fresh_age) = a.ages();
+        let mut b =
+            DualState::restore(aged.clone(), fresh.clone(), aged_age, fresh_age, a.period())
+                .unwrap();
+        // Continue past a swap boundary on both copies.
+        for t in 9..20 {
+            let ha: Vec<f64> = a.step(&model.lstm_short, &frame(t)).to_vec();
+            let hb = b.step(&model.lstm_short, &frame(t));
+            for (x, y) in ha.iter().zip(hb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_state_restore_rejects_inconsistent_parts() {
+        let ok = LstmState::zeros(3);
+        assert!(DualState::restore(ok.clone(), ok.clone(), 1, 0, 0).is_err());
+        assert!(DualState::restore(ok.clone(), LstmState::zeros(4), 1, 0, 4).is_err());
+        assert!(DualState::restore(ok.clone(), ok.clone(), 8, 0, 4).is_err());
+        assert!(DualState::restore(ok.clone(), ok.clone(), 2, 3, 4).is_err());
+        let mut bad = LstmState::zeros(3);
+        bad.h[0] = f64::NAN;
+        assert!(DualState::restore(bad, ok.clone(), 4, 1, 4).is_err());
+        assert!(DualState::restore(ok.clone(), ok, 4, 1, 4).is_ok());
     }
 
     #[test]

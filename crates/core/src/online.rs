@@ -10,21 +10,49 @@
 //! Auto-regression (§5.3): the pipeline feeds every alert this detector
 //! raises back into the A2/A4/A5 trackers of the feature extractor it is
 //! served features from.
+//!
+//! # Degraded input
+//!
+//! Real collectors drop minutes, deliver flows late, and occasionally emit
+//! garbage. The detector's contract under degradation:
+//!
+//! * **Out-of-order minutes are rejected**, never silently absorbed —
+//!   [`OnlineDetector::observe`] returns
+//!   [`XatuError::OutOfOrderMinute`](crate::error::XatuError) and leaves
+//!   the customer's state untouched.
+//! * **Short gaps are imputed** by zero-order hold: each missing minute
+//!   replays the customer's last sanitized frame so LSTM clocks, pooling
+//!   buckets and the survival window stay aligned with wall time.
+//! * **Staleness widens uncertainty.** Every imputed minute grows a
+//!   per-customer stale run; the reported survival is blended toward 1.0
+//!   (no evidence of attack) as the run approaches the survival window, and
+//!   *new* alerts are suppressed once the input is fully stale. An open
+//!   alert can still end — a scrubbing centre must not hold traffic on
+//!   evidence that no longer exists.
+//! * **Long gaps cold-restart the customer**: beyond `3 × window` missing
+//!   minutes the imputation would be fiction, so the state is rebuilt from
+//!   scratch (ending any open alert) and warm-up runs again.
+//! * **Non-finite feature values are zeroed** on ingestion, before they
+//!   can poison the LSTM cell state; every replacement is counted.
 
+use crate::checkpoint::{CustomerCheckpoint, DetectorCheckpoint, DualStateCheckpoint};
 use crate::config::XatuConfig;
-use crate::model::{StreamingState, XatuModel};
+use crate::error::XatuError;
+use crate::model::{DualState, ModelConfig, StreamingState, XatuModel};
 use std::collections::HashMap;
 use xatu_detectors::alert::Alert;
 use xatu_detectors::traits::DetectorEvent;
+use xatu_features::frame::NUM_FEATURES;
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::AttackType;
-use xatu_obs::{Counter, FixedHistogram, SURVIVAL_BOUNDS};
+use xatu_nn::{LstmState, Params};
+use xatu_obs::{Counter, FixedHistogram, GAP_RUN_BOUNDS, SURVIVAL_BOUNDS};
 use xatu_survival::hazard::RollingSurvival;
 
 /// Telemetry embedded in the detector hot path.
 ///
-/// Plain counters and a fixed-bucket histogram — one integer add (plus one
-/// float compare chain for the histogram) per observation, no locks, no
+/// Plain counters and fixed-bucket histograms — one integer add (plus one
+/// float compare chain per histogram) per observation, no locks, no
 /// allocation, compiled out entirely without the `obs` feature. Alert
 /// lifecycle counts and the survival distribution are functions of the
 /// seeded input stream alone, so they are digest-safe when folded into a
@@ -42,6 +70,16 @@ pub struct DetectorObs {
     pub warmup_suppressed: Counter,
     /// Distribution of rolling survival values over every observation.
     pub survival: FixedHistogram,
+    /// Missing minutes filled by zero-order-hold imputation.
+    pub gaps_imputed: Counter,
+    /// Non-finite feature values zeroed on ingestion.
+    pub values_sanitized: Counter,
+    /// Out-of-order minutes rejected.
+    pub out_of_order: Counter,
+    /// Customer states rebuilt after a gap too long to impute.
+    pub cold_restarts: Counter,
+    /// Distribution of gap-run lengths (imputed or skipped minutes).
+    pub gap_runs: FixedHistogram,
 }
 
 impl Default for DetectorObs {
@@ -52,6 +90,11 @@ impl Default for DetectorObs {
             force_ended: Counter::new(),
             warmup_suppressed: Counter::new(),
             survival: FixedHistogram::new(SURVIVAL_BOUNDS),
+            gaps_imputed: Counter::new(),
+            values_sanitized: Counter::new(),
+            out_of_order: Counter::new(),
+            cold_restarts: Counter::new(),
+            gap_runs: FixedHistogram::new(GAP_RUN_BOUNDS),
         }
     }
 }
@@ -70,6 +113,31 @@ struct CustomerState {
     last_survival: f64,
     /// Observations seen so far (for warm-up suppression).
     observed: u32,
+    /// Last sanitized frame — the zero-order-hold imputation source.
+    last_frame: Vec<f64>,
+    /// Consecutive imputed minutes ending at the current step.
+    stale_run: u32,
+    /// Newest minute this customer has been driven to.
+    last_minute: Option<u32>,
+}
+
+/// Scalar knobs copied out of the detector so the per-minute free
+/// functions can borrow the customer map mutably alongside them.
+#[derive(Clone, Copy)]
+struct Tunables {
+    attack_type: AttackType,
+    threshold: f64,
+    window: usize,
+    quiet: u32,
+    warmup: u32,
+    max_alert_minutes: u32,
+    med_gran: u32,
+    long_gran: u32,
+    ctx: (usize, usize, usize),
+    /// Stale run at which the blend saturates and raises are suppressed.
+    stale_limit: u32,
+    /// Longest gap bridged by imputation; anything longer cold-restarts.
+    max_imputed_gap: u32,
 }
 
 /// The streaming detector for one attack type.
@@ -150,85 +218,90 @@ impl OnlineDetector {
         self.attack_type
     }
 
+    fn tunables(&self) -> Tunables {
+        let (_, med_gran, long_gran) = self.model.cfg.timescales;
+        Tunables {
+            attack_type: self.attack_type,
+            threshold: self.threshold,
+            window: self.window,
+            quiet: self.quiet,
+            warmup: self.warmup,
+            max_alert_minutes: self.max_alert_minutes,
+            med_gran,
+            long_gran,
+            ctx: self.ctx_lens,
+            stale_limit: (self.window as u32).max(1),
+            max_imputed_gap: 3 * self.window as u32,
+        }
+    }
+
     /// Feeds one minute's feature frame for `customer`; returns the hazard,
-    /// the rolling survival, and any lifecycle events.
+    /// the (possibly staleness-blended) rolling survival, and any lifecycle
+    /// events — including events from minutes imputed to bridge a gap since
+    /// the customer's previous observation.
+    ///
+    /// Fails on a wrong-width frame or a minute at or before the
+    /// customer's newest, leaving the customer state untouched in both
+    /// cases.
     pub fn observe(
         &mut self,
         customer: Ipv4,
         minute: u32,
         frame: &[f64],
-    ) -> (f64, f64, Vec<DetectorEvent>) {
-        let dim = frame.len();
-        let (_, med_gran, long_gran) = self.model.cfg.timescales;
-        let window = self.window;
-        let (sl, ml, ll) = self.ctx_lens;
-        let state = self.customers.entry(customer).or_insert_with(|| CustomerState {
-            lstm: self.model.new_streaming_state(sl, ml, ll),
-            survival: RollingSurvival::new(window),
-            med_partial: (vec![0.0; dim], 0),
-            long_partial: (vec![0.0; dim], 0),
-            active: None,
-            quiet_run: 0,
-            last_survival: 1.0,
-            observed: 0,
-        });
-
-        // Accumulate pooling buckets; complete ones step the coarse LSTMs.
-        let med_bucket = accumulate(&mut state.med_partial, frame, med_gran);
-        let long_bucket = accumulate(&mut state.long_partial, frame, long_gran);
-
-        let hazard = self.model.step_streaming(
-            &mut state.lstm,
-            frame,
-            med_bucket.as_deref(),
-            long_bucket.as_deref(),
-        );
-        let survival = state.survival.push(hazard);
-        state.last_survival = survival;
-        state.observed += 1;
-        self.obs.survival.observe(survival);
-
+    ) -> Result<(f64, f64, Vec<DetectorEvent>), XatuError> {
+        if frame.len() != NUM_FEATURES {
+            return Err(XatuError::DimensionMismatch {
+                expected: NUM_FEATURES,
+                found: frame.len(),
+            });
+        }
+        let p = self.tunables();
+        let state = entry(&mut self.customers, &self.model, &p, customer);
         let mut events = Vec::new();
-        if state.observed <= self.warmup {
-            self.obs.warmup_suppressed.inc();
-            return (hazard, survival, events);
+        catch_up(&self.model, &p, &mut self.obs, state, customer, minute, &mut events)?;
+
+        // Sanitize the incoming frame into the ZOH buffer in place.
+        let mut replaced = 0u64;
+        for (dst, &v) in state.last_frame.iter_mut().zip(frame) {
+            *dst = if v.is_finite() {
+                v
+            } else {
+                replaced += 1;
+                0.0
+            };
         }
-        match state.active {
-            None => {
-                if survival < self.threshold {
-                    let alert = Alert {
-                        customer,
-                        attack_type: self.attack_type,
-                        detected_at: minute,
-                        mitigation_end: None,
-                    };
-                    state.active = Some(alert);
-                    state.quiet_run = 0;
-                    self.obs.raised.inc();
-                    events.push(DetectorEvent::Raised(alert));
-                }
-            }
-            Some(mut alert) => {
-                let over_cap =
-                    minute.saturating_sub(alert.detected_at) >= self.max_alert_minutes;
-                if survival < self.threshold && !over_cap {
-                    state.quiet_run = 0;
-                } else {
-                    state.quiet_run += 1;
-                    if state.quiet_run >= self.quiet || over_cap {
-                        alert.mitigation_end = Some(minute);
-                        state.active = None;
-                        state.quiet_run = 0;
-                        self.obs.ended.inc();
-                        if over_cap {
-                            self.obs.force_ended.inc();
-                        }
-                        events.push(DetectorEvent::Ended(alert));
-                    }
-                }
-            }
+        if replaced > 0 {
+            self.obs.values_sanitized.add(replaced);
         }
-        (hazard, survival, events)
+        // A real frame ends any stale run.
+        if state.stale_run > 0 {
+            self.obs.gap_runs.observe(state.stale_run as f64);
+            state.stale_run = 0;
+        }
+        let (hazard, survival) =
+            step_minute(&self.model, &p, &mut self.obs, state, customer, minute, false, &mut events);
+        state.last_minute = Some(minute);
+        Ok((hazard, survival, events))
+    }
+
+    /// Drives `customer` through a minute known to be absent (collector
+    /// outage, per-customer gap) without waiting for the next real frame:
+    /// the minute is imputed immediately, so alert lifecycle decisions —
+    /// in particular ending an alert whose evidence has gone stale — happen
+    /// on time instead of retroactively.
+    pub fn observe_gap(
+        &mut self,
+        customer: Ipv4,
+        minute: u32,
+    ) -> Result<(f64, f64, Vec<DetectorEvent>), XatuError> {
+        let p = self.tunables();
+        let state = entry(&mut self.customers, &self.model, &p, customer);
+        let mut events = Vec::new();
+        catch_up(&self.model, &p, &mut self.obs, state, customer, minute, &mut events)?;
+        let (hazard, survival) =
+            step_minute(&self.model, &p, &mut self.obs, state, customer, minute, true, &mut events);
+        state.last_minute = Some(minute);
+        Ok((hazard, survival, events))
     }
 
     /// The current rolling survival for a customer (1.0 if unseen).
@@ -250,6 +323,410 @@ impl OnlineDetector {
         }
         events
     }
+
+    /// Snapshots the full detector — configuration, model parameters, and
+    /// every customer's streaming state — into a checkpoint. Telemetry is
+    /// deliberately excluded: counters restart at zero on resume and cover
+    /// the resumed segment only.
+    pub fn to_checkpoint(&mut self) -> DetectorCheckpoint {
+        let mut params = vec![0.0; self.model.param_count()];
+        self.model.export_params_into(&mut params);
+        let mut customers: Vec<&Ipv4> = self.customers.keys().collect();
+        customers.sort_unstable_by_key(|a| a.0);
+        let customers = customers
+            .into_iter()
+            .map(|addr| {
+                let s = &self.customers[addr];
+                let dual = [&s.lstm.short, &s.lstm.medium, &s.lstm.long].map(|d| {
+                    let (aged, fresh) = d.states();
+                    let (aged_age, fresh_age) = d.ages();
+                    DualStateCheckpoint {
+                        aged_h: aged.h.clone(),
+                        aged_c: aged.c.clone(),
+                        fresh_h: fresh.h.clone(),
+                        fresh_c: fresh.c.clone(),
+                        aged_age,
+                        fresh_age,
+                        period: d.period(),
+                    }
+                });
+                let (window, buf, head, filled, sum) = s.survival.state();
+                CustomerCheckpoint {
+                    addr: addr.0,
+                    dual,
+                    survival: (window as u64, buf.to_vec(), head as u64, filled as u64, sum),
+                    med_partial: (s.med_partial.0.clone(), s.med_partial.1),
+                    long_partial: (s.long_partial.0.clone(), s.long_partial.1),
+                    active_since: s.active.map(|a| a.detected_at),
+                    quiet_run: s.quiet_run,
+                    last_survival: s.last_survival,
+                    observed: s.observed,
+                    last_frame: s.last_frame.clone(),
+                    stale_run: s.stale_run,
+                    last_minute: s.last_minute,
+                }
+            })
+            .collect();
+        DetectorCheckpoint {
+            attack_type: self.attack_type,
+            threshold: self.threshold,
+            window: self.window as u64,
+            quiet: self.quiet,
+            warmup: self.warmup,
+            ctx_lens: (
+                self.ctx_lens.0 as u64,
+                self.ctx_lens.1 as u64,
+                self.ctx_lens.2 as u64,
+            ),
+            max_alert_minutes: self.max_alert_minutes,
+            timescales: self.model.cfg.timescales,
+            hidden: self.model.cfg.hidden as u64,
+            mode: self.model.cfg.mode,
+            params,
+            customers,
+        }
+    }
+
+    /// Rebuilds a detector from a checkpoint, validating every invariant
+    /// the streaming logic depends on (shape agreement, finite floats,
+    /// consistent dual-state ages). The result resumes bit-identically to
+    /// the detector that was snapshotted.
+    pub fn from_checkpoint(ck: &DetectorCheckpoint) -> Result<Self, String> {
+        let cfg = ModelConfig {
+            timescales: ck.timescales,
+            hidden: ck.hidden as usize,
+            mode: ck.mode,
+        };
+        if ck.timescales.0 == 0 || ck.timescales.1 == 0 || ck.timescales.2 == 0 {
+            return Err("timescale granularities must be >= 1".into());
+        }
+        let mut model = XatuModel::with_config(cfg);
+        if ck.params.len() != model.param_count() {
+            return Err(format!(
+                "checkpoint has {} parameters, model shape needs {}",
+                ck.params.len(),
+                model.param_count()
+            ));
+        }
+        if ck.params.iter().any(|v| !v.is_finite()) {
+            return Err("non-finite model parameter".into());
+        }
+        model.import_params_from(&ck.params);
+
+        let window = ck.window as usize;
+        if window == 0 {
+            return Err("survival window must be >= 1".into());
+        }
+        let mut customers = HashMap::with_capacity(ck.customers.len());
+        for c in &ck.customers {
+            let state = restore_customer(&model, c, window, ck)
+                .map_err(|e| format!("customer {}: {e}", c.addr))?;
+            if customers.insert(Ipv4(c.addr), state).is_some() {
+                return Err(format!("customer {} appears twice", c.addr));
+            }
+        }
+        Ok(OnlineDetector {
+            model,
+            attack_type: ck.attack_type,
+            threshold: ck.threshold,
+            window,
+            quiet: ck.quiet,
+            warmup: ck.warmup,
+            ctx_lens: (
+                ck.ctx_lens.0 as usize,
+                ck.ctx_lens.1 as usize,
+                ck.ctx_lens.2 as usize,
+            ),
+            max_alert_minutes: ck.max_alert_minutes,
+            customers,
+            obs: DetectorObs::default(),
+        })
+    }
+}
+
+/// Fetches or cold-creates one customer's state. A free function over the
+/// map field (not a method) so the caller can keep borrowing the model and
+/// telemetry alongside the returned state.
+fn entry<'a>(
+    customers: &'a mut HashMap<Ipv4, CustomerState>,
+    model: &XatuModel,
+    p: &Tunables,
+    customer: Ipv4,
+) -> &'a mut CustomerState {
+    let (sl, ml, ll) = p.ctx;
+    customers.entry(customer).or_insert_with(|| CustomerState {
+        lstm: model.new_streaming_state(sl, ml, ll),
+        survival: RollingSurvival::new(p.window),
+        med_partial: (vec![0.0; NUM_FEATURES], 0),
+        long_partial: (vec![0.0; NUM_FEATURES], 0),
+        active: None,
+        quiet_run: 0,
+        last_survival: 1.0,
+        observed: 0,
+        last_frame: vec![0.0; NUM_FEATURES],
+        stale_run: 0,
+        last_minute: None,
+    })
+}
+
+/// Rebuilds one customer's state from its checkpoint record.
+fn restore_customer(
+    model: &XatuModel,
+    c: &CustomerCheckpoint,
+    window: usize,
+    ck: &DetectorCheckpoint,
+) -> Result<CustomerState, String> {
+    let [short, medium, long] = &c.dual;
+    let duals: Vec<DualState> = [short, medium, long]
+        .into_iter()
+        .map(|d| {
+            DualState::restore(
+                LstmState {
+                    h: d.aged_h.clone(),
+                    c: d.aged_c.clone(),
+                },
+                LstmState {
+                    h: d.fresh_h.clone(),
+                    c: d.fresh_c.clone(),
+                },
+                d.aged_age,
+                d.fresh_age,
+                d.period,
+            )
+            .map_err(String::from)
+        })
+        .collect::<Result<_, _>>()?;
+    let hidden = model.cfg.hidden;
+    for d in &duals {
+        if d.states().0.h.len() != hidden {
+            return Err(format!(
+                "dual-state hidden size {} does not match model hidden {hidden}",
+                d.states().0.h.len()
+            ));
+        }
+    }
+    let mut it = duals.into_iter();
+    let lstm = StreamingState::from_parts(
+        it.next().expect("three duals"),
+        it.next().expect("three duals"),
+        it.next().expect("three duals"),
+    );
+
+    let (w, buf, head, filled, sum) = &c.survival;
+    if *w as usize != window {
+        return Err(format!("survival window {w} does not match detector window {window}"));
+    }
+    let survival =
+        RollingSurvival::restore(*w as usize, buf.clone(), *head as usize, *filled as usize, *sum)
+            .map_err(String::from)?;
+
+    for (name, partial) in [("medium", &c.med_partial), ("long", &c.long_partial)] {
+        if partial.0.len() != NUM_FEATURES {
+            return Err(format!("{name} partial bucket has width {}", partial.0.len()));
+        }
+        if partial.0.iter().any(|v| !v.is_finite()) {
+            return Err(format!("non-finite value in {name} partial bucket"));
+        }
+    }
+    let (_, med_gran, long_gran) = ck.timescales;
+    if c.med_partial.1 >= med_gran || c.long_partial.1 >= long_gran {
+        return Err("partial bucket count at or past its granularity".into());
+    }
+    if c.last_frame.len() != NUM_FEATURES {
+        return Err(format!("last frame has width {}", c.last_frame.len()));
+    }
+    if c.last_frame.iter().any(|v| !v.is_finite()) || !c.last_survival.is_finite() {
+        return Err("non-finite value in customer scalars".into());
+    }
+    Ok(CustomerState {
+        lstm,
+        survival,
+        med_partial: (c.med_partial.0.clone(), c.med_partial.1),
+        long_partial: (c.long_partial.0.clone(), c.long_partial.1),
+        active: c.active_since.map(|detected_at| Alert {
+            customer: Ipv4(c.addr),
+            attack_type: ck.attack_type,
+            detected_at,
+            mitigation_end: None,
+        }),
+        quiet_run: c.quiet_run,
+        last_survival: c.last_survival,
+        observed: c.observed,
+        last_frame: c.last_frame.clone(),
+        stale_run: c.stale_run,
+        last_minute: c.last_minute,
+    })
+}
+
+/// Validates minute ordering and bridges any gap since the customer's last
+/// observation: short gaps are imputed minute by minute, long gaps
+/// cold-restart the customer.
+fn catch_up(
+    model: &XatuModel,
+    p: &Tunables,
+    obs: &mut DetectorObs,
+    state: &mut CustomerState,
+    customer: Ipv4,
+    minute: u32,
+    events: &mut Vec<DetectorEvent>,
+) -> Result<(), XatuError> {
+    let Some(last) = state.last_minute else {
+        return Ok(());
+    };
+    if minute <= last {
+        obs.out_of_order.inc();
+        return Err(XatuError::OutOfOrderMinute {
+            customer,
+            minute,
+            last,
+        });
+    }
+    let gap = minute - last - 1;
+    if gap == 0 {
+        return Ok(());
+    }
+    if gap > p.max_imputed_gap {
+        // Imputing hours of fiction would be slower *and* wronger than
+        // admitting the context is gone.
+        obs.gap_runs.observe(gap as f64);
+        cold_restart(model, p, obs, state, minute, events);
+    } else {
+        for m in last + 1..minute {
+            step_minute(model, p, obs, state, customer, m, true, events);
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds a customer from scratch after an unbridgeable gap: ends any
+/// open alert, resets every accumulator, and re-enters warm-up.
+fn cold_restart(
+    model: &XatuModel,
+    p: &Tunables,
+    obs: &mut DetectorObs,
+    state: &mut CustomerState,
+    minute: u32,
+    events: &mut Vec<DetectorEvent>,
+) {
+    if let Some(mut alert) = state.active.take() {
+        alert.mitigation_end = Some(minute);
+        obs.ended.inc();
+        events.push(DetectorEvent::Ended(alert));
+    }
+    let (sl, ml, ll) = p.ctx;
+    state.lstm = model.new_streaming_state(sl, ml, ll);
+    state.survival = RollingSurvival::new(p.window);
+    state.med_partial.0.iter_mut().for_each(|v| *v = 0.0);
+    state.med_partial.1 = 0;
+    state.long_partial.0.iter_mut().for_each(|v| *v = 0.0);
+    state.long_partial.1 = 0;
+    state.quiet_run = 0;
+    state.last_survival = 1.0;
+    state.observed = 0;
+    state.last_frame.iter_mut().for_each(|v| *v = 0.0);
+    state.stale_run = 0;
+    obs.cold_restarts.inc();
+}
+
+/// Advances one customer by one minute, stepping from the sanitized
+/// `last_frame` (the caller has already refreshed it for real minutes;
+/// imputed minutes replay it as-is). Returns `(hazard, reported
+/// survival)`; lifecycle events append to `events`.
+#[allow(clippy::too_many_arguments)]
+fn step_minute(
+    model: &XatuModel,
+    p: &Tunables,
+    obs: &mut DetectorObs,
+    state: &mut CustomerState,
+    customer: Ipv4,
+    minute: u32,
+    imputed: bool,
+    events: &mut Vec<DetectorEvent>,
+) -> (f64, f64) {
+    // Disjoint field borrows: the ZOH frame is read while the accumulators
+    // are written.
+    let CustomerState {
+        lstm,
+        survival,
+        med_partial,
+        long_partial,
+        active,
+        quiet_run,
+        last_survival,
+        observed,
+        last_frame,
+        stale_run,
+        ..
+    } = state;
+    let frame: &[f64] = last_frame;
+
+    if imputed {
+        *stale_run += 1;
+        obs.gaps_imputed.inc();
+    }
+
+    // Accumulate pooling buckets; complete ones step the coarse LSTMs.
+    let med_bucket = accumulate(med_partial, frame, p.med_gran);
+    let long_bucket = accumulate(long_partial, frame, p.long_gran);
+    let hazard = model.step_streaming(lstm, frame, med_bucket.as_deref(), long_bucket.as_deref());
+    let raw = survival.push(hazard);
+
+    // Staleness blend: with no fresh evidence the reported survival decays
+    // toward 1.0 ("nothing observable is wrong") as the stale run
+    // approaches the survival window. The clean path (stale_run == 0)
+    // reports `raw` untouched, bit-identically to a fault-free run.
+    let reported = if *stale_run == 0 {
+        raw
+    } else {
+        let w = (*stale_run).min(p.stale_limit) as f64 / p.stale_limit as f64;
+        raw + (1.0 - raw) * w
+    };
+    *last_survival = reported;
+    *observed += 1;
+    obs.survival.observe(reported);
+
+    if *observed <= p.warmup {
+        obs.warmup_suppressed.inc();
+        return (hazard, reported);
+    }
+    match *active {
+        None => {
+            // Stale input can never *raise*: a new alert needs fresh
+            // evidence, and an imputed minute only replays old evidence.
+            // (Open alerts may still *end* on stale input, below.)
+            if reported < p.threshold && *stale_run == 0 {
+                let alert = Alert {
+                    customer,
+                    attack_type: p.attack_type,
+                    detected_at: minute,
+                    mitigation_end: None,
+                };
+                *active = Some(alert);
+                *quiet_run = 0;
+                obs.raised.inc();
+                events.push(DetectorEvent::Raised(alert));
+            }
+        }
+        Some(mut alert) => {
+            let over_cap = minute.saturating_sub(alert.detected_at) >= p.max_alert_minutes;
+            if reported < p.threshold && !over_cap {
+                *quiet_run = 0;
+            } else {
+                *quiet_run += 1;
+                if *quiet_run >= p.quiet || over_cap {
+                    alert.mitigation_end = Some(minute);
+                    *active = None;
+                    *quiet_run = 0;
+                    obs.ended.inc();
+                    if over_cap {
+                        obs.force_ended.inc();
+                    }
+                    events.push(DetectorEvent::Ended(alert));
+                }
+            }
+        }
+    }
+    (hazard, reported)
 }
 
 /// Adds `frame` to a partial bucket; when `gran` frames accumulated,
@@ -276,7 +753,6 @@ mod tests {
     use crate::config::XatuConfig;
     use crate::sample::{Sample, SampleMeta};
     use crate::trainer::train;
-    use xatu_features::frame::NUM_FEATURES;
 
     fn cfg() -> XatuConfig {
         XatuConfig {
@@ -334,8 +810,12 @@ mod tests {
             });
         }
         let mut model = XatuModel::new(c);
-        train(&mut model, &samples, c);
+        train(&mut model, &samples, c).expect("training succeeds");
         model
+    }
+
+    fn obs(det: &mut OnlineDetector, cust: Ipv4, m: u32, v: f64) -> (f64, f64, Vec<DetectorEvent>) {
+        det.observe(cust, m, &frame(v)).expect("in-order observe")
     }
 
     #[test]
@@ -344,7 +824,7 @@ mod tests {
         let model = trained_model(&c);
         let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
         for m in 0..200 {
-            let (_, s, events) = det.observe(Ipv4(1), m, &frame(0.05));
+            let (_, s, events) = obs(&mut det, Ipv4(1), m, 0.05);
             assert!(events.is_empty(), "minute {m}: survival {s}");
             if m > 30 {
                 assert!(s > 0.5, "minute {m}: settled survival {s}");
@@ -361,7 +841,7 @@ mod tests {
         let mut ended = None;
         for m in 0..300u32 {
             let v = if (100..140).contains(&m) { 2.0 } else { 0.05 };
-            let (_, _, events) = det.observe(Ipv4(1), m, &frame(v));
+            let (_, _, events) = obs(&mut det, Ipv4(1), m, v);
             for e in events {
                 match e {
                     DetectorEvent::Raised(a) => raised = Some(a.detected_at),
@@ -386,8 +866,8 @@ mod tests {
         let mut cust2_alerts = 0;
         for m in 0..160u32 {
             let v1 = if m >= 100 { 2.0 } else { 0.05 };
-            det.observe(Ipv4(1), m, &frame(v1));
-            let (_, _, ev) = det.observe(Ipv4(2), m, &frame(0.05));
+            obs(&mut det, Ipv4(1), m, v1);
+            let (_, _, ev) = obs(&mut det, Ipv4(2), m, 0.05);
             cust2_alerts += ev.len();
         }
         assert_eq!(cust2_alerts, 0);
@@ -401,7 +881,7 @@ mod tests {
         let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
         for m in 0..130u32 {
             let v = if m >= 100 { 2.0 } else { 0.05 };
-            det.observe(Ipv4(1), m, &frame(v));
+            obs(&mut det, Ipv4(1), m, v);
         }
         let events = det.close_all(130);
         assert_eq!(events.len(), 1);
@@ -420,7 +900,7 @@ mod tests {
         let mut spans = Vec::new();
         for m in 0..300u32 {
             let v = if m >= 100 { 2.0 } else { 0.05 };
-            let (_, _, events) = det.observe(Ipv4(1), m, &frame(v));
+            let (_, _, events) = obs(&mut det, Ipv4(1), m, v);
             for e in events {
                 if let DetectorEvent::Ended(a) = e {
                     spans.push((a.detected_at, a.mitigation_end.unwrap()));
@@ -454,8 +934,235 @@ mod tests {
         let model = trained_model(&c);
         let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.0, &c);
         for m in 0..150u32 {
-            let (_, _, ev) = det.observe(Ipv4(1), m, &frame(2.0));
+            let (_, _, ev) = obs(&mut det, Ipv4(1), m, 2.0);
             assert!(ev.is_empty());
         }
+    }
+
+    #[test]
+    fn out_of_order_minutes_are_rejected() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        obs(&mut det, Ipv4(1), 10, 0.05);
+        let before = det.survival_of(Ipv4(1));
+        // Repeat and regress both fail, and neither perturbs state.
+        for bad in [10, 3] {
+            match det.observe(Ipv4(1), bad, &frame(0.05)) {
+                Err(XatuError::OutOfOrderMinute { minute, last, .. }) => {
+                    assert_eq!(minute, bad);
+                    assert_eq!(last, 10);
+                }
+                other => panic!("expected OutOfOrderMinute, got {other:?}"),
+            }
+        }
+        assert_eq!(before.to_bits(), det.survival_of(Ipv4(1)).to_bits());
+        // The stream continues normally afterwards.
+        obs(&mut det, Ipv4(1), 11, 0.05);
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().out_of_order.get(), 2);
+        }
+    }
+
+    #[test]
+    fn wrong_width_frame_is_rejected() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        assert!(matches!(
+            det.observe(Ipv4(1), 0, &[0.0; 4]),
+            Err(XatuError::DimensionMismatch {
+                expected: NUM_FEATURES,
+                found: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn short_gaps_are_imputed_and_the_stream_survives() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        for m in 0..60u32 {
+            obs(&mut det, Ipv4(1), m, 0.05);
+        }
+        // Skip minutes 60..=64; minute 65 must impute five ZOH steps.
+        let (_, s, _) = obs(&mut det, Ipv4(1), 65, 0.05);
+        assert!(s.is_finite() && s > 0.5, "post-gap survival {s}");
+        for m in 66..120u32 {
+            let (_, s, _) = obs(&mut det, Ipv4(1), m, 0.05);
+            assert!(s.is_finite());
+        }
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().gaps_imputed.get(), 5);
+            assert_eq!(det.obs().cold_restarts.get(), 0);
+            assert_eq!(det.obs().gap_runs.count(), 1);
+            // Wall-clock accounting stays aligned: 120 driven minutes.
+            assert_eq!(det.obs().survival.count(), 120);
+        }
+    }
+
+    #[test]
+    fn staleness_blends_survival_toward_one_and_suppresses_raises() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        // Attack traffic throughout warm-up and beyond, but with the
+        // threshold at 0.0 nothing can fire; then the feed goes dark.
+        det.set_threshold(0.0);
+        for m in 0..100u32 {
+            obs(&mut det, Ipv4(1), m, 2.0);
+        }
+        det.set_threshold(0.5);
+        let mut last = det.survival_of(Ipv4(1));
+        assert!(last < 0.5, "attack survival {last}");
+        // Drive explicit gap minutes: reported survival must rise
+        // monotonically toward 1.0 as the ZOH evidence goes stale, and no
+        // alert may be raised on fully stale input.
+        for m in 100..120u32 {
+            let (_, s, ev) = det.observe_gap(Ipv4(1), m).expect("in-order gap");
+            // Essentially monotone: the ZOH hazard can wobble slightly as
+            // coarse buckets complete, but the blend must dominate.
+            assert!(s >= last - 0.05, "minute {m}: blend regressed {last} -> {s}");
+            assert!(
+                !ev.iter().any(|e| matches!(e, DetectorEvent::Raised(_))),
+                "raised on stale input at minute {m}"
+            );
+            last = s;
+        }
+        assert!(last > 0.9, "fully stale survival {last}");
+    }
+
+    #[test]
+    fn open_alert_ends_while_the_feed_is_dark() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        let mut raised = false;
+        for m in 0..115u32 {
+            let v = if m >= 100 { 2.0 } else { 0.05 };
+            let (_, _, ev) = obs(&mut det, Ipv4(1), m, v);
+            raised |= ev.iter().any(|e| matches!(e, DetectorEvent::Raised(_)));
+        }
+        assert!(raised, "surge never raised");
+        // Feed goes dark mid-alert: the staleness blend must recover the
+        // survival and end the alert without any real frame arriving.
+        let mut ended_at = None;
+        for m in 115..160u32 {
+            let (_, _, ev) = det.observe_gap(Ipv4(1), m).expect("in-order gap");
+            if let Some(DetectorEvent::Ended(a)) =
+                ev.iter().find(|e| matches!(e, DetectorEvent::Ended(_)))
+            {
+                ended_at = Some(a.mitigation_end.unwrap());
+                break;
+            }
+        }
+        let ended_at = ended_at.expect("alert never ended during the outage");
+        assert!(ended_at < 140, "alert lingered until {ended_at}");
+    }
+
+    #[test]
+    fn long_gaps_cold_restart_the_customer() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        // Get an alert open, then vanish for far longer than 3×window.
+        for m in 0..110u32 {
+            let v = if m >= 100 { 2.0 } else { 0.05 };
+            obs(&mut det, Ipv4(1), m, v);
+        }
+        let (_, s, ev) = obs(&mut det, Ipv4(1), 500, 0.05);
+        assert!(
+            ev.iter().any(|e| matches!(e, DetectorEvent::Ended(_))),
+            "cold restart must end the open alert"
+        );
+        assert!(s.is_finite());
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().cold_restarts.get(), 1);
+            assert_eq!(det.obs().gaps_imputed.get(), 0);
+        }
+        // Re-warm-up: the restarted customer cannot alert immediately.
+        // Minute 500 was its first post-restart observation, so the
+        // warm-up window covers minutes 500..500+warmup-1.
+        for m in 501..(500 + det.warmup) {
+            let (_, _, ev) = obs(&mut det, Ipv4(1), m, 2.0);
+            assert!(ev.is_empty(), "alerted during re-warm-up at {m}");
+        }
+    }
+
+    #[test]
+    fn non_finite_frames_are_sanitized_not_propagated() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        for m in 0..40u32 {
+            let mut f = frame(0.05);
+            if m % 5 == 0 {
+                f[0] = f64::NAN;
+                f[17] = f64::INFINITY;
+            }
+            let (h, s, _) = det.observe(Ipv4(1), m, &f).expect("in-order");
+            assert!(h.is_finite() && s.is_finite(), "minute {m}: {h} {s}");
+        }
+        assert!(det.survival_of(Ipv4(1)).is_finite());
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().values_sanitized.get(), 16);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        // A messy prefix: two customers, a surge, a gap, an open alert.
+        for m in 0..130u32 {
+            let v = if m >= 100 { 2.0 } else { 0.05 };
+            if m != 57 && m != 58 {
+                obs(&mut det, Ipv4(1), m, v);
+            }
+            obs(&mut det, Ipv4(2), m, 0.05);
+        }
+        let ck = det.to_checkpoint();
+        let mut resumed = OnlineDetector::from_checkpoint(&ck).expect("restore");
+        // Continue both detectors through recovery and a second surge.
+        for m in 130..260u32 {
+            let v = if (180..200).contains(&m) { 2.0 } else { 0.05 };
+            let (h1, s1, e1) = obs(&mut det, Ipv4(1), m, v);
+            let (h2, s2, e2) = obs(&mut resumed, Ipv4(1), m, v);
+            assert_eq!(h1.to_bits(), h2.to_bits(), "hazard diverged at {m}");
+            assert_eq!(s1.to_bits(), s2.to_bits(), "survival diverged at {m}");
+            assert_eq!(e1, e2, "events diverged at {m}");
+            let (_, s1b, _) = obs(&mut det, Ipv4(2), m, 0.05);
+            let (_, s2b, _) = obs(&mut resumed, Ipv4(2), m, 0.05);
+            assert_eq!(s1b.to_bits(), s2b.to_bits(), "customer 2 diverged at {m}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_customers() {
+        let c = cfg();
+        let model = trained_model(&c);
+        let mut det = OnlineDetector::new(model, AttackType::UdpFlood, 0.5, &c);
+        for m in 0..50u32 {
+            obs(&mut det, Ipv4(1), m, 0.05);
+        }
+        let good = det.to_checkpoint();
+
+        let mut bad = good.clone();
+        bad.customers[0].last_frame.truncate(10);
+        assert!(OnlineDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.customers[0].dual[0].aged_h[0] = f64::NAN;
+        assert!(OnlineDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.params.pop();
+        assert!(OnlineDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good;
+        bad.customers[0].survival.0 = 99;
+        assert!(OnlineDetector::from_checkpoint(&bad).is_err());
     }
 }

@@ -228,8 +228,8 @@ struct Checkpoint {
 
 /// Bookkeeping for an alert currently scrubbing.
 #[derive(Clone, Copy, Debug)]
-struct ActiveAlert {
-    peak_bpm: f64,
+pub(crate) struct ActiveAlert {
+    pub(crate) peak_bpm: f64,
 }
 
 /// The pipeline driver.
@@ -452,7 +452,12 @@ impl Pipeline {
             obs.add("features.frames_phase_b", frames.len() as u64);
             for (bin, frame) in bins.iter().zip(frames) {
                 for det in detectors.iter_mut() {
-                    let (_, survival, _) = det.observe(bin.customer, minute, &frame.0);
+                    // The pipeline drives every customer strictly minute by
+                    // minute with full-width frames, so observe can only
+                    // fail on a pipeline bug — surface it loudly.
+                    let (_, survival, _) = det
+                        .observe(bin.customer, minute, &frame.0)
+                        .expect("pipeline feeds monotone minutes");
                     if minute >= split.train_end {
                         val_scores_xatu
                             .entry((bin.customer, det.attack_type()))
@@ -939,7 +944,11 @@ impl Prepared {
                     }
                 }
                 for det in detectors.iter_mut() {
-                    let (_, survival, events) = det.observe(bin.customer, minute, &frame_xatu.0);
+                    // Monotone minutes and full-width frames by
+                    // construction, as in phase B.
+                    let (_, survival, events) = det
+                        .observe(bin.customer, minute, &frame_xatu.0)
+                        .expect("pipeline feeds monotone minutes");
                     test_scores_xatu
                         .entry((bin.customer, det.attack_type()))
                         .or_default()
@@ -1313,7 +1322,7 @@ fn snapshot_value(s: &Snapshot) -> Value {
 
 /// Builds a feature extractor loaded with the world's blocklist feed and
 /// routed prefixes.
-fn build_extractor(
+pub(crate) fn build_extractor(
     world: &World,
     xatu: &XatuConfig,
     categories: Option<BlocklistCategorySet>,
@@ -1355,7 +1364,7 @@ fn onset_of(volumes: &VolumeStore, alert: &Alert) -> u32 {
 /// Applies a detector lifecycle event (CDet's or Xatu's own) to the
 /// tracker state: registers active scrubbing, records A4 severity on end,
 /// and keeps the alert log coherent.
-fn handle_alert_event(
+pub(crate) fn handle_alert_event(
     ev: &DetectorEvent,
     minute: u32,
     volumes: &VolumeStore,
@@ -1412,7 +1421,7 @@ fn close_alert(log: &mut [Alert], ended: &Alert) {
 /// alive — a runaway auto-regressive feedback loop. The gate breaks it:
 /// sources are only recorded while the signature volume exceeds a
 /// multiple of the customer's trailing baseline.
-fn update_trackers(
+pub(crate) fn update_trackers(
     extractor: &mut FeatureExtractor,
     bin: &MinuteFlows,
     active: &mut HashMap<(Ipv4, AttackType), ActiveAlert>,
@@ -1504,7 +1513,9 @@ fn train_models(
                 ],
             );
             let mut model = XatuModel::new(cfg);
-            train_with_obs(&mut model, &samples, cfg, obs);
+            // Samples come from the dataset builder, which constructs them
+            // consistent by design; a validation failure is a builder bug.
+            train_with_obs(&mut model, &samples, cfg, obs).expect("builder emits valid samples");
             (ty, model)
         })
         .collect()

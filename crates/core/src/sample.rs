@@ -60,21 +60,38 @@ impl Sample {
         seq(&self.short) + seq(&self.medium) + seq(&self.long) + seq(&self.window)
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    /// Panics on inconsistent event steps.
-    pub fn validate(&self) {
-        assert!(!self.window.is_empty(), "empty detection window");
-        assert!(
-            self.event_step >= 1 && self.event_step <= self.window.len(),
-            "event_step {} outside window of {}",
-            self.event_step,
-            self.window.len()
-        );
-        if let Some(a) = self.anomaly_step {
-            assert!(a >= 1 && a <= self.window.len(), "anomaly_step {a} bad");
+    /// Validates internal consistency, describing the first inconsistency
+    /// found. Samples come from external labels (CDet alerts over
+    /// collector data), so a bad one is an *input* fault — callers turn
+    /// this into a typed [`crate::error::XatuError::InvalidSample`] rather
+    /// than panicking.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window.is_empty() {
+            return Err("empty detection window".into());
         }
+        if self.event_step < 1 || self.event_step > self.window.len() {
+            return Err(format!(
+                "event_step {} outside window of {}",
+                self.event_step,
+                self.window.len()
+            ));
+        }
+        if let Some(a) = self.anomaly_step {
+            if a < 1 || a > self.window.len() {
+                return Err(format!(
+                    "anomaly_step {a} outside window of {}",
+                    self.window.len()
+                ));
+            }
+        }
+        let width = self.window[0].len();
+        if let Some(t) = self.window.iter().position(|f| f.len() != width) {
+            return Err(format!(
+                "window frame {t} has width {}, frame 0 has {width}",
+                self.window[t].len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -141,15 +158,23 @@ mod tests {
 
     #[test]
     fn validate_accepts_good_sample() {
-        sample().validate();
+        sample().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "event_step")]
     fn validate_rejects_bad_event_step() {
         let mut s = sample();
         s.event_step = 9;
-        s.validate();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("event_step"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_ragged_window() {
+        let mut s = sample();
+        s.window[2] = vec![0.0f32; 3];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("width"), "{err}");
     }
 
     #[test]

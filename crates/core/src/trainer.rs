@@ -8,11 +8,14 @@
 //! floating-point operations in the same order, so trained parameters are
 //! bit-identical no matter how many workers run.
 
+use crate::checkpoint::{load_trainer, save_trainer, TrainerCheckpoint};
 use crate::config::{LossKind, XatuConfig};
+use crate::error::XatuError;
 use crate::model::{ForwardTrace, ModelWorkspace, XatuModel};
 use crate::sample::{Sample, WideSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::Path;
 use xatu_nn::activations::sigmoid;
 use xatu_nn::{Adam, GradBufferPool, Params};
 use xatu_obs::{alloc_hook, Registry};
@@ -30,12 +33,54 @@ pub struct EpochStats {
     pub mean_grad_norm: f64,
 }
 
+/// Crash-safe checkpointing policy for [`train_resumable`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrainCheckpointSpec<'a> {
+    /// Checkpoint file (written atomically; see [`crate::checkpoint`]).
+    pub path: &'a Path,
+    /// Save after every this many completed epochs (and at the end).
+    pub every_epochs: usize,
+    /// Load `path` before training if it exists, resuming where the
+    /// checkpoint left off instead of starting over.
+    pub resume: bool,
+    /// Fault injection: abandon the run after this many epochs *this
+    /// invocation*, simulating a crash. Nothing is saved at the kill
+    /// point — only the periodic checkpoints survive, exactly as when a
+    /// real process dies.
+    pub kill_after_epochs: Option<usize>,
+}
+
 /// Trains `model` on `samples` in place; returns per-epoch stats.
 ///
 /// Shuffling is seeded from `cfg.seed` so training is fully reproducible.
-pub fn train(model: &mut XatuModel, samples: &[Sample], cfg: &XatuConfig) -> Vec<EpochStats> {
+/// Fails on an internally inconsistent sample ([`XatuError::InvalidSample`]).
+pub fn train(
+    model: &mut XatuModel,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+) -> Result<Vec<EpochStats>, XatuError> {
     let mut obs = Registry::new();
     train_with_obs(model, samples, cfg, &mut obs)
+}
+
+/// [`train_with_obs`] with crash-safe checkpoint/resume.
+///
+/// With `spec.resume` set and a checkpoint on disk, training fast-forwards
+/// to the checkpointed epoch — parameters and Adam moments are restored
+/// exactly, and the shuffle RNG is replayed through the completed epochs'
+/// permutations — so the final model is bit-identical to an uninterrupted
+/// run, at every thread count. A checkpoint from a different run (other
+/// seed, loss, learning rate, batch size, sample count, epoch budget or
+/// model shape) is rejected with [`XatuError::CheckpointMismatch`] instead
+/// of silently producing a chimera.
+pub fn train_resumable(
+    model: &mut XatuModel,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+    obs: &mut Registry,
+    spec: &TrainCheckpointSpec<'_>,
+) -> Result<Vec<EpochStats>, XatuError> {
+    train_inner(model, samples, cfg, obs, Some(spec))
 }
 
 /// [`train`], recording telemetry into `obs`.
@@ -51,18 +96,51 @@ pub fn train_with_obs(
     samples: &[Sample],
     cfg: &XatuConfig,
     obs: &mut Registry,
-) -> Vec<EpochStats> {
+) -> Result<Vec<EpochStats>, XatuError> {
+    train_inner(model, samples, cfg, obs, None)
+}
+
+fn train_inner(
+    model: &mut XatuModel,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+    obs: &mut Registry,
+    ckpt: Option<&TrainCheckpointSpec<'_>>,
+) -> Result<Vec<EpochStats>, XatuError> {
     if samples.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    for s in samples {
-        s.validate();
+    for (index, s) in samples.iter().enumerate() {
+        s.validate()
+            .map_err(|reason| XatuError::InvalidSample { index, reason })?;
     }
     let threads = resolve_threads(cfg.threads);
     let mut adam = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
+
+    // Resume: restore parameters and optimizer state exactly, then replay
+    // the completed epochs' Fisher-Yates permutations so both the RNG and
+    // the `order` vector (which persists across epochs) reach the precise
+    // state the checkpointed run had — resumed training is bit-identical
+    // to never having stopped.
+    let mut start_epoch = 0usize;
+    if let Some(spec) = ckpt {
+        if spec.resume && spec.path.exists() {
+            let ck = load_trainer(spec.path)?;
+            check_resume_identity(&ck, model, samples, cfg, spec.path)?;
+            model.import_params_from(&ck.params);
+            adam.restore_moments(ck.adam_t, ck.adam_m.clone(), ck.adam_v.clone())
+                .map_err(|e| XatuError::corrupt(spec.path, e))?;
+            for _ in 0..ck.epochs_done {
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.random_range(0..=i));
+                }
+            }
+            start_epoch = ck.epochs_done as usize;
+        }
+    }
 
     // Every sample is widened f32→f64 exactly once, up front; the epoch
     // loop then runs entirely on the flat arenas.
@@ -84,8 +162,8 @@ pub fn train_with_obs(
     let mut seq_dlogits: Vec<f64> = Vec::new();
 
     obs.add("train.samples", samples.len() as u64);
-    obs.add("train.epochs", cfg.epochs as u64);
-    for epoch in 0..cfg.epochs {
+    obs.add("train.epochs", (cfg.epochs - start_epoch) as u64);
+    for epoch in start_epoch..cfg.epochs {
         let epoch_start = xatu_obs::enabled().then(std::time::Instant::now);
         let allocs_before = alloc_hook::allocs();
         // Fisher-Yates shuffle.
@@ -182,8 +260,99 @@ pub fn train_with_obs(
             alloc_hook::allocs().saturating_sub(allocs_before),
         );
         stats.push(st);
+
+        if let Some(spec) = ckpt {
+            let done = epoch + 1;
+            if done % spec.every_epochs.max(1) == 0 || done == cfg.epochs {
+                save_trainer(spec.path, &snapshot(model, &adam, samples, cfg, done))?;
+            }
+            if spec.kill_after_epochs == Some(done - start_epoch) && done < cfg.epochs {
+                // Simulated crash: return what ran, save nothing further.
+                return Ok(stats);
+            }
+        }
     }
-    stats
+    Ok(stats)
+}
+
+/// Builds the checkpoint record for the current training state.
+fn snapshot(
+    model: &mut XatuModel,
+    adam: &Adam,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+    epochs_done: usize,
+) -> TrainerCheckpoint {
+    let mut params = vec![0.0; model.param_count()];
+    model.export_params_into(&mut params);
+    let (adam_t, m, v) = adam.moments();
+    TrainerCheckpoint {
+        seed: cfg.seed,
+        lr_bits: cfg.lr.to_bits(),
+        batch_size: cfg.batch_size as u64,
+        loss: cfg.loss,
+        sample_count: samples.len() as u64,
+        epochs_total: cfg.epochs as u64,
+        epochs_done: epochs_done as u64,
+        params,
+        adam_t,
+        adam_m: m.to_vec(),
+        adam_v: v.to_vec(),
+    }
+}
+
+/// Rejects a checkpoint that does not describe *this* run.
+fn check_resume_identity(
+    ck: &TrainerCheckpoint,
+    model: &mut XatuModel,
+    samples: &[Sample],
+    cfg: &XatuConfig,
+    path: &Path,
+) -> Result<(), XatuError> {
+    let mismatch = |reason: String| XatuError::CheckpointMismatch {
+        path: path.display().to_string(),
+        reason,
+    };
+    if ck.seed != cfg.seed {
+        return Err(mismatch(format!("seed {} != {}", ck.seed, cfg.seed)));
+    }
+    if ck.lr_bits != cfg.lr.to_bits() {
+        return Err(mismatch(format!(
+            "learning rate {} != {}",
+            f64::from_bits(ck.lr_bits),
+            cfg.lr
+        )));
+    }
+    if ck.batch_size != cfg.batch_size as u64 {
+        return Err(mismatch(format!(
+            "batch size {} != {}",
+            ck.batch_size, cfg.batch_size
+        )));
+    }
+    if ck.loss != cfg.loss {
+        return Err(mismatch(format!("loss {:?} != {:?}", ck.loss, cfg.loss)));
+    }
+    if ck.sample_count != samples.len() as u64 {
+        return Err(mismatch(format!(
+            "sample count {} != {}",
+            ck.sample_count,
+            samples.len()
+        )));
+    }
+    if ck.epochs_total != cfg.epochs as u64 {
+        return Err(mismatch(format!(
+            "epoch budget {} != {}",
+            ck.epochs_total, cfg.epochs
+        )));
+    }
+    if ck.params.len() != model.param_count() {
+        return Err(mismatch(format!(
+            "parameter count {} != {}",
+            ck.params.len(),
+            model.param_count()
+        )));
+    }
+    Ok(())
 }
 
 /// One worker replica of the training state: a model copy plus the trace
@@ -324,7 +493,7 @@ mod tests {
         let c = cfg();
         let mut model = XatuModel::new(&c);
         let samples = dataset(&c, 12);
-        let stats = train(&mut model, &samples, &c);
+        let stats = train(&mut model, &samples, &c).unwrap();
         assert_eq!(stats.len(), c.epochs);
         let first = stats[0].mean_loss;
         let last = stats.last().unwrap().mean_loss;
@@ -339,7 +508,7 @@ mod tests {
         let c = cfg();
         let mut model = XatuModel::new(&c);
         let samples = dataset(&c, 16);
-        train(&mut model, &samples, &c);
+        train(&mut model, &samples, &c).unwrap();
         // Survival at the event step: low for attacks, high for quiet.
         let mut atk = Vec::new();
         let mut quiet = Vec::new();
@@ -367,7 +536,7 @@ mod tests {
         c.loss = LossKind::CrossEntropy;
         let mut model = XatuModel::new(&c);
         let samples = dataset(&c, 12);
-        let stats = train(&mut model, &samples, &c);
+        let stats = train(&mut model, &samples, &c).unwrap();
         assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
         // Scores: lower for attacks.
         let s_atk = score_trajectory(&model, &samples[0], c.loss);
@@ -381,8 +550,8 @@ mod tests {
         let samples = dataset(&c, 8);
         let mut m1 = XatuModel::new(&c);
         let mut m2 = XatuModel::new(&c);
-        let s1 = train(&mut m1, &samples, &c);
-        let s2 = train(&mut m2, &samples, &c);
+        let s1 = train(&mut m1, &samples, &c).unwrap();
+        let s2 = train(&mut m2, &samples, &c).unwrap();
         for (a, b) in s1.iter().zip(&s2) {
             assert_eq!(a.mean_loss, b.mean_loss);
         }
@@ -397,8 +566,8 @@ mod tests {
         let mut m2 = XatuModel::new(&c);
         let mut o1 = Registry::new();
         let mut o2 = Registry::new();
-        let stats = train_with_obs(&mut m1, &samples, &c, &mut o1);
-        train_with_obs(&mut m2, &samples, &c, &mut o2);
+        let stats = train_with_obs(&mut m1, &samples, &c, &mut o1).unwrap();
+        train_with_obs(&mut m2, &samples, &c, &mut o2).unwrap();
         let s1 = o1.snapshot();
         assert_eq!(s1.digest(), o2.snapshot().digest());
         if xatu_obs::enabled() {
@@ -425,7 +594,7 @@ mod tests {
     fn empty_dataset_is_a_noop() {
         let c = cfg();
         let mut model = XatuModel::new(&c);
-        assert!(train(&mut model, &[], &c).is_empty());
+        assert!(train(&mut model, &[], &c).unwrap().is_empty());
     }
 
     #[test]
@@ -433,10 +602,182 @@ mod tests {
         let c = cfg();
         let mut model = XatuModel::new(&c);
         let samples = dataset(&c, 8);
-        let stats = train(&mut model, &samples, &c);
+        let stats = train(&mut model, &samples, &c).unwrap();
         for st in &stats {
             assert!(st.mean_loss.is_finite());
             assert!(st.mean_grad_norm.is_finite());
         }
+    }
+
+    #[test]
+    fn invalid_sample_is_a_typed_error() {
+        let c = cfg();
+        let mut model = XatuModel::new(&c);
+        let mut samples = dataset(&c, 4);
+        samples[2].event_step = 99;
+        match train(&mut model, &samples, &c) {
+            Err(crate::error::XatuError::InvalidSample { index: 2, reason }) => {
+                assert!(reason.contains("event_step"), "{reason}");
+            }
+            other => panic!("expected InvalidSample, got {other:?}"),
+        }
+    }
+
+    fn ck_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xatu_train_ck_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn params_of(m: &mut XatuModel) -> Vec<u64> {
+        let mut p = vec![0.0; m.param_count()];
+        m.export_params_into(&mut p);
+        p.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn killed_training_resumes_bit_identically() {
+        let c = cfg();
+        let samples = dataset(&c, 12);
+        let path = ck_path("kill_resume");
+        let _ = std::fs::remove_file(&path);
+
+        // The reference: one uninterrupted run.
+        let mut reference = XatuModel::new(&c);
+        let ref_stats = train(&mut reference, &samples, &c).unwrap();
+
+        // The victim: checkpoints every 7 epochs, "crashes" after 13 —
+        // so the newest surviving checkpoint is from epoch 7.
+        let mut victim = XatuModel::new(&c);
+        let killed = train_resumable(
+            &mut victim,
+            &samples,
+            &c,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 7,
+                resume: false,
+                kill_after_epochs: Some(13),
+            },
+        )
+        .unwrap();
+        assert_eq!(killed.len(), 13, "kill point ignored");
+
+        // The survivor: a fresh process resuming from disk.
+        let mut survivor = XatuModel::new(&c);
+        let resumed = train_resumable(
+            &mut survivor,
+            &samples,
+            &c,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 7,
+                resume: true,
+                kill_after_epochs: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.len(), c.epochs - 7, "did not resume from epoch 7");
+        assert_eq!(resumed[0].epoch, 7);
+        // Per-epoch losses of the resumed tail match the reference run
+        // exactly, and so do the final parameters.
+        for (a, b) in resumed.iter().zip(&ref_stats[7..]) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            assert_eq!(a.mean_grad_norm.to_bits(), b.mean_grad_norm.to_bits());
+        }
+        assert_eq!(params_of(&mut survivor), params_of(&mut reference));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_across_thread_counts_is_bit_identical() {
+        let mut c1 = cfg();
+        c1.threads = 1;
+        let mut c4 = cfg();
+        c4.threads = 4;
+        let samples = dataset(&c1, 12);
+        let path = ck_path("threads");
+        let _ = std::fs::remove_file(&path);
+
+        // Reference at 1 thread, uninterrupted.
+        let mut reference = XatuModel::new(&c1);
+        train(&mut reference, &samples, &c1).unwrap();
+
+        // Crash at 4 threads, resume at 1: the result must still match.
+        let mut m = XatuModel::new(&c4);
+        train_resumable(
+            &mut m,
+            &samples,
+            &c4,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 5,
+                resume: false,
+                kill_after_epochs: Some(11),
+            },
+        )
+        .unwrap();
+        let mut survivor = XatuModel::new(&c1);
+        train_resumable(
+            &mut survivor,
+            &samples,
+            &c1,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 5,
+                resume: true,
+                kill_after_epochs: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(params_of(&mut survivor), params_of(&mut reference));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let c = cfg();
+        let samples = dataset(&c, 8);
+        let path = ck_path("foreign");
+        let _ = std::fs::remove_file(&path);
+        let mut m = XatuModel::new(&c);
+        train_resumable(
+            &mut m,
+            &samples,
+            &c,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 10,
+                resume: false,
+                kill_after_epochs: Some(10),
+            },
+        )
+        .unwrap();
+        let mut other = cfg();
+        other.seed = c.seed.wrapping_add(1);
+        let mut m2 = XatuModel::new(&other);
+        match train_resumable(
+            &mut m2,
+            &samples,
+            &other,
+            &mut Registry::new(),
+            &TrainCheckpointSpec {
+                path: &path,
+                every_epochs: 10,
+                resume: true,
+                kill_after_epochs: None,
+            },
+        ) {
+            Err(crate::error::XatuError::CheckpointMismatch { reason, .. }) => {
+                assert!(reason.contains("seed"), "{reason}");
+            }
+            other => panic!("expected CheckpointMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

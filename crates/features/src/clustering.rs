@@ -17,7 +17,7 @@
 //! with a non-empty neighbourhood. Incidence is recorded over a sliding
 //! window so the coefficient rises as correlated waves approach (Fig 16).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use xatu_netflow::addr::{Ipv4, Subnet24};
 
 /// The three overlap variants, in Table 1 feature order.
@@ -44,8 +44,12 @@ pub struct ClusteringTracker {
     window_minutes: u32,
     /// FIFO of (minute, attacker, customer) incidences for expiry.
     events: VecDeque<(u32, Subnet24, Ipv4)>,
-    /// customer -> attacker -> multiplicity (within the window).
-    neighbours: HashMap<Ipv4, HashMap<Subnet24, u32>>,
+    /// customer -> attacker -> multiplicity (within the window). A
+    /// BTreeMap so the averaging loop in [`Self::coefficients`] visits
+    /// peers in address order: floating-point accumulation order is part
+    /// of the determinism contract, and a hash map would randomize it
+    /// (and the result's low bits) per process.
+    neighbours: BTreeMap<Ipv4, BTreeMap<Subnet24, u32>>,
 }
 
 impl ClusteringTracker {
@@ -58,7 +62,7 @@ impl ClusteringTracker {
         ClusteringTracker {
             window_minutes,
             events: VecDeque::new(),
-            neighbours: HashMap::new(),
+            neighbours: BTreeMap::new(),
         }
     }
 

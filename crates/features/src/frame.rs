@@ -49,6 +49,39 @@ impl FeatureFrame {
         &self.0[offsets::V..offsets::A1]
     }
 
+    /// Replaces every non-finite value with 0.0, returning how many were
+    /// replaced.
+    ///
+    /// A corrupted collector record (division by a zero sampling estimate,
+    /// an overflowed counter) must not propagate NaN into the LSTM state,
+    /// where it would poison every subsequent score for the customer. Zero
+    /// is the correct neutral: it matches the value an empty minute
+    /// produces for every feature family.
+    pub fn sanitize(&mut self) -> u32 {
+        let mut replaced = 0;
+        for v in &mut self.0 {
+            if !v.is_finite() {
+                *v = 0.0;
+                replaced += 1;
+            }
+        }
+        replaced
+    }
+
+    /// True when every value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Degrades the frame in place to its volumetric block, zeroing every
+    /// auxiliary family — the bounded fallback used when the auxiliary
+    /// feeds (blocklists, CDet history, BGP tables) are known to be stale
+    /// or absent, so the model sees "no auxiliary evidence" rather than
+    /// frozen evidence.
+    pub fn degrade_to_volumetric(&mut self) {
+        FeatureMask::volumetric_only().apply(self);
+    }
+
     /// One of the five auxiliary blocks by signal index 1..=5.
     pub fn aux_block(&self, signal: usize) -> &[f64] {
         match signal {
@@ -207,5 +240,31 @@ mod tests {
     #[should_panic(expected = "not in 1..=5")]
     fn bad_signal_index_panics() {
         FeatureFrame::zeros().aux_block(6);
+    }
+
+    #[test]
+    fn sanitize_replaces_only_non_finite_values() {
+        let mut f = FeatureFrame(vec![1.5; NUM_FEATURES]);
+        f.0[0] = f64::NAN;
+        f.0[100] = f64::INFINITY;
+        f.0[272] = f64::NEG_INFINITY;
+        assert!(!f.is_finite());
+        assert_eq!(f.sanitize(), 3);
+        assert!(f.is_finite());
+        assert_eq!(f.0[0], 0.0);
+        assert_eq!(f.0[100], 0.0);
+        assert_eq!(f.0[1], 1.5);
+        // Idempotent once clean.
+        assert_eq!(f.sanitize(), 0);
+    }
+
+    #[test]
+    fn degrade_to_volumetric_matches_the_ablation_mask() {
+        let mut a = FeatureFrame(vec![2.0; NUM_FEATURES]);
+        let mut b = a.clone();
+        a.degrade_to_volumetric();
+        FeatureMask::volumetric_only().apply(&mut b);
+        assert_eq!(a, b);
+        assert!(a.volumetric().iter().all(|&v| v == 2.0));
     }
 }

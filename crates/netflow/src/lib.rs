@@ -35,7 +35,7 @@ pub use binning::{MinuteBinner, MinuteFlows};
 pub use country::{Country, CountryMapper};
 pub use export::{FlowReader, FlowWriter};
 pub use record::{FlowRecord, Protocol, TcpFlags};
-pub use sampler::{PacketSampler, SamplingMode};
+pub use sampler::{FlowThinner, PacketSampler, SamplingMode};
 
 /// Number of minutes in a day, used throughout the workspace.
 pub const MINUTES_PER_DAY: u32 = 24 * 60;

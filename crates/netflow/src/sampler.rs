@@ -119,6 +119,74 @@ impl PacketSampler {
     }
 }
 
+/// Systematic re-thinning of *already-sampled* flows, modelling a
+/// sampling-rate renegotiation mid-stream.
+///
+/// When a router renegotiates its export rate from 1:N to 1:(N·k), flows
+/// the collector already holds at 1:N are effectively decimated by a
+/// further factor `k`. The thinner keeps the estimates unbiased: surviving
+/// flows get `sampling` multiplied by `k`, so `est_bytes`/`est_packets`
+/// still upscale to the true volume in expectation. This is the inverse
+/// situation from [`PacketSampler`], which refuses already-sampled input —
+/// the thinner *requires* it conceptually but accepts any flow, composing
+/// its factor onto whatever `sampling` the flow carries.
+#[derive(Clone, Debug)]
+pub struct FlowThinner {
+    factor: u32,
+    phase: u64,
+    /// Flows whose re-thinned packet count rounded to zero (telemetry).
+    vanished: Counter,
+}
+
+impl FlowThinner {
+    /// Creates a thinner that keeps roughly 1 in `factor` packets.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "thinning factor must be >= 1");
+        FlowThinner {
+            factor,
+            phase: 0,
+            vanished: Counter::new(),
+        }
+    }
+
+    /// The additional decimation factor `k`.
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Flows dropped because no packet survived re-thinning.
+    pub fn vanished(&self) -> u64 {
+        self.vanished.get()
+    }
+
+    /// Re-thins a flow by the configured factor, composing onto its
+    /// existing `sampling` rate. Returns `None` if no packet survives.
+    pub fn thin(&mut self, mut flow: FlowRecord) -> Option<FlowRecord> {
+        if self.factor == 1 {
+            return Some(flow);
+        }
+        let k = self.factor as u64;
+        // Same persistent-phase systematic rule as PacketSampler: count
+        // multiples of `k` in (phase, phase + packets].
+        let start = self.phase;
+        let end = self.phase + flow.packets;
+        self.phase = end;
+        let kept = end / k - start / k;
+        if kept == 0 {
+            self.vanished.inc();
+            return None;
+        }
+        let avg_pkt = flow.bytes as f64 / flow.packets as f64;
+        flow.bytes = (avg_pkt * kept as f64).round() as u64;
+        flow.packets = kept;
+        flow.sampling = flow.sampling.saturating_mul(self.factor);
+        Some(flow)
+    }
+}
+
 /// A standard normal draw via Box–Muller.
 fn standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
@@ -215,6 +283,57 @@ mod tests {
         // Fresh flows afterwards still sample normally.
         let fresh = s.sample(flow(1000, 1000 * 60)).expect("flow survives");
         assert_eq!(fresh.sampling, 100);
+    }
+
+    #[test]
+    fn thinner_composes_onto_existing_sampling_rate() {
+        let mut s = PacketSampler::new(10, SamplingMode::Systematic, 7);
+        let sampled = s.sample(flow(100, 100 * 80)).expect("flow survives");
+        assert_eq!(sampled.sampling, 10);
+        let mut t = FlowThinner::new(5);
+        let thinned = t.thin(sampled).expect("flow survives thinning");
+        assert_eq!(thinned.sampling, 50);
+        assert_eq!(thinned.packets, 2);
+        // Estimates stay unbiased: 2 packets × 1:50 upscales to the truth.
+        assert_eq!(thinned.est_packets(), 100);
+    }
+
+    #[test]
+    fn thinner_preserves_long_run_estimates() {
+        let mut t = FlowThinner::new(7);
+        let mut est = 0u64;
+        let mut truth = 0u64;
+        for _ in 0..1000 {
+            let f = flow(37, 37 * 500);
+            truth += f.est_packets();
+            if let Some(out) = t.thin(f) {
+                est += out.est_packets();
+            }
+        }
+        let err = (est as i64 - truth as i64).unsigned_abs();
+        assert!(err <= 7 * 37, "err={err}");
+    }
+
+    #[test]
+    fn thinner_factor_one_is_identity() {
+        let mut t = FlowThinner::new(1);
+        let f = flow(3, 180);
+        assert_eq!(t.thin(f), Some(f));
+    }
+
+    #[test]
+    fn thinner_counts_vanished_flows() {
+        let mut t = FlowThinner::new(1000);
+        let mut survived = 0;
+        for _ in 0..50 {
+            if t.thin(flow(1, 60)).is_some() {
+                survived += 1;
+            }
+        }
+        assert_eq!(survived, 0);
+        if xatu_obs::enabled() {
+            assert_eq!(t.vanished(), 50);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod attack;
 pub mod benign;
 pub mod botnet;
 pub mod config;
+pub mod faults;
 pub mod schedule;
 pub mod scenario;
 pub mod world;
@@ -34,4 +35,8 @@ pub mod world;
 pub use attack::{AttackEvent, AttackPhase};
 pub use botnet::{Botnet, Ecosystem};
 pub use config::WorldConfig;
+pub use faults::{
+    FaultKind, FaultObs, FaultSchedule, FaultWindow, FaultedWorld, MinuteDelivery,
+    BUILTIN_SCHEDULES,
+};
 pub use world::{World, WorldObs};

@@ -71,8 +71,14 @@ impl RollingSurvival {
     }
 
     /// Pushes the next hazard and returns the current survival probability.
+    ///
+    /// Non-finite hazards are treated as 0 (certain survival contribution):
+    /// `NaN.max(0.0)` is `NaN`, so without the guard a single corrupted
+    /// input would poison the ring buffer's running sum forever — every
+    /// subsequent survival value would be `NaN` even after the bad value
+    /// rotated out of the window.
     pub fn push(&mut self, hazard: f64) -> f64 {
-        let h = hazard.max(0.0);
+        let h = if hazard.is_finite() { hazard.max(0.0) } else { 0.0 };
         self.sum += h - self.buf[self.head];
         self.buf[self.head] = h;
         self.head = (self.head + 1) % self.window;
@@ -94,6 +100,45 @@ impl RollingSurvival {
     /// Current survival probability without pushing.
     pub fn survival(&self) -> f64 {
         (-self.sum).exp()
+    }
+
+    /// The full internal state `(window, buf, head, filled, sum)` for
+    /// checkpointing. Restoring these exact values via
+    /// [`RollingSurvival::restore`] continues the accumulator bit-for-bit.
+    pub fn state(&self) -> (usize, &[f64], usize, usize, f64) {
+        (self.window, &self.buf, self.head, self.filled, self.sum)
+    }
+
+    /// Rebuilds an accumulator from the state captured by
+    /// [`RollingSurvival::state`]. Returns `Err` on internally-inconsistent
+    /// values (wrong buffer length, cursor out of range, non-finite sum) so
+    /// a corrupted checkpoint cannot smuggle a poisoned ring buffer in.
+    pub fn restore(
+        window: usize,
+        buf: Vec<f64>,
+        head: usize,
+        filled: usize,
+        sum: f64,
+    ) -> Result<Self, &'static str> {
+        if window == 0 {
+            return Err("rolling window must be >= 1");
+        }
+        if buf.len() != window {
+            return Err("ring buffer length != window");
+        }
+        if head >= window || filled > window {
+            return Err("ring cursor out of range");
+        }
+        if !sum.is_finite() || sum < 0.0 || buf.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err("non-finite or negative hazard state");
+        }
+        Ok(RollingSurvival {
+            window,
+            buf,
+            head,
+            filled,
+            sum,
+        })
     }
 }
 
@@ -154,6 +199,46 @@ mod tests {
             let s = inc.push(h);
             assert!((s - batch[t]).abs() < 1e-12, "t={t}");
         }
+    }
+
+    #[test]
+    fn nan_hazard_does_not_poison_the_window() {
+        let mut inc = RollingSurvival::new(3);
+        inc.push(0.5);
+        let s = inc.push(f64::NAN);
+        assert!(s.is_finite(), "NaN hazard leaked into survival: {s}");
+        let s = inc.push(f64::INFINITY);
+        assert!(s.is_finite());
+        // Once the finite hazard rotates out, survival fully recovers.
+        for _ in 0..3 {
+            inc.push(0.0);
+        }
+        assert_eq!(inc.survival(), 1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let hz = [0.3, 0.0, 1.2, 0.7, 0.0];
+        let mut a = RollingSurvival::new(3);
+        for &h in &hz {
+            a.push(h);
+        }
+        let (w, buf, head, filled, sum) = a.state();
+        let mut b = RollingSurvival::restore(w, buf.to_vec(), head, filled, sum).unwrap();
+        for &h in &[0.1, 2.0, 0.0, 0.4] {
+            assert_eq!(a.push(h).to_bits(), b.push(h).to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        assert!(RollingSurvival::restore(0, vec![], 0, 0, 0.0).is_err());
+        assert!(RollingSurvival::restore(2, vec![0.0; 3], 0, 0, 0.0).is_err());
+        assert!(RollingSurvival::restore(2, vec![0.0; 2], 2, 0, 0.0).is_err());
+        assert!(RollingSurvival::restore(2, vec![0.0; 2], 0, 3, 0.0).is_err());
+        assert!(RollingSurvival::restore(2, vec![0.0; 2], 0, 0, f64::NAN).is_err());
+        assert!(RollingSurvival::restore(2, vec![f64::NAN; 2], 0, 0, 0.0).is_err());
+        assert!(RollingSurvival::restore(2, vec![0.0; 2], 0, 0, -1.0).is_err());
     }
 
     #[test]

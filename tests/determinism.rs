@@ -75,7 +75,7 @@ fn training_is_bitwise_identical_across_thread_counts() {
         let cfg = train_cfg(threads);
         let samples = dataset(&cfg, 12);
         let mut model = XatuModel::new(&cfg);
-        let stats = train(&mut model, &samples, &cfg);
+        let stats = train(&mut model, &samples, &cfg).expect("training succeeds");
         (params_bits(&mut model), stats)
     };
     let (p1, s1) = run(1);

@@ -71,7 +71,7 @@ fn model_learns_surge_aux_conjunction() {
     let c = cfg();
     let mut model = XatuModel::new(&c);
     let data = conjunction_dataset(&c, 24);
-    train(&mut model, &data, &c);
+    train(&mut model, &data, &c).expect("training succeeds");
     let mut atk = Vec::new();
     let mut flash = Vec::new();
     for s in &data {
@@ -99,7 +99,7 @@ fn survival_mode_detects_earlier_than_event_step() {
     let c = cfg();
     let mut model = XatuModel::new(&c);
     let data = conjunction_dataset(&c, 24);
-    train(&mut model, &data, &c);
+    train(&mut model, &data, &c).expect("training succeeds");
     let attack = data.iter().find(|s| s.label).unwrap();
     let traj = score_trajectory(&model, attack, LossKind::Survival);
     // Survival at the anomaly step +1 is already depressed relative to the
@@ -134,7 +134,7 @@ fn masked_aux_model_cannot_separate_conjunction() {
             }
         }
     }
-    train(&mut model, &data, &c);
+    train(&mut model, &data, &c).expect("training succeeds");
     let mut atk = Vec::new();
     let mut flash = Vec::new();
     for s in &data {
