@@ -9,8 +9,12 @@
 //! degradation counters, as `BENCH_faults_<label>.json`.
 //!
 //! ```text
-//! cargo run --release -p xatu-bench --bin bench_faults -- [label] [seed]
+//! cargo run --release -p xatu-bench --bin bench_faults -- [label] [seed] [customers]
 //! ```
+//!
+//! The optional third argument overrides the smoke world's customer count
+//! (the committed baseline keeps the default), scaling the fault sweep to
+//! larger fleets without touching the preset.
 //!
 //! The run doubles as the streaming determinism check: the "everything"
 //! schedule is replayed at 1 and 4 worker threads and the binary exits
@@ -87,8 +91,11 @@ fn main() {
     let label = args.first().map(String::as_str).unwrap_or("current").to_string();
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(9);
 
-    let cfg = PipelineConfig::smoke_test(seed);
-    let prepared = Pipeline::new(cfg.clone()).prepare();
+    let mut cfg = PipelineConfig::smoke_test(seed);
+    if let Some(n) = args.get(2).and_then(|s| s.parse().ok()) {
+        cfg.world.n_customers = n;
+    }
+    let prepared = Pipeline::new(cfg).prepare();
 
     // Bench the attack type with the most ground truth among those that
     // actually trained a model.

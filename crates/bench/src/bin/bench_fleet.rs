@@ -1,0 +1,249 @@
+//! Fleet-scale detection throughput: how many customers one box carries.
+//!
+//! Streams deterministic synthetic fleet traffic ([`FleetTraffic`])
+//! through a [`FleetDetector`] at 1k / 10k / 100k customers and reports,
+//! per scale, wall time per simulated minute, customer-minutes per
+//! second, flows per second, and the measured per-customer memory budget,
+//! as `BENCH_fleet_<label>.json`.
+//!
+//! ```text
+//! cargo run --release -p xatu-bench --bin bench_fleet -- [label]
+//! cargo run --release -p xatu-bench --bin bench_fleet -- --smoke
+//! ```
+//!
+//! `--smoke` is the CI gate: a 1k-customer fleet is streamed at 1 and 4
+//! worker threads and the FNV digests over every survival bit and every
+//! lifecycle event must match exactly; then the run is killed at its
+//! midpoint, checkpointed through the XCK1 container, resumed, and the
+//! resumed digest must match the uninterrupted one. Exits non-zero on any
+//! mismatch.
+
+use std::time::Instant;
+use xatu_core::checkpoint::{load_detector, save_detector};
+use xatu_core::fleet::{FleetDetector, FleetInput};
+use xatu_core::model::XatuModel;
+use xatu_core::XatuConfig;
+use xatu_detectors::traits::DetectorEvent;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_simnet::{FleetMinute, FleetTraffic};
+
+const SEED: u64 = 17;
+
+fn fnv1a64(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Builds a fleet of `n` customers around the default (paper-shape)
+/// config with an untrained — but deterministic — model. Throughput does
+/// not depend on the weights, and the mid-range threshold keeps the alert
+/// lifecycle busy.
+fn build_fleet(n: usize) -> FleetDetector {
+    let cfg = XatuConfig::default();
+    let model = XatuModel::new(&cfg);
+    let mut fleet = FleetDetector::new(model, AttackType::UdpFlood, 0.9, &cfg);
+    // Short warm-up so the alert lifecycle (raise / quiet-end) is busy
+    // within bench-length streams instead of fully suppressed.
+    fleet.set_warmup(8);
+    for c in 0..n {
+        fleet.add_customer(Ipv4(c as u32));
+    }
+    fleet
+}
+
+/// Streams minutes `[from, to)` through the fleet, folding every survival
+/// bit and every event into an FNV digest. Returns `(digest, flows)`.
+fn stream(
+    fleet: &mut FleetDetector,
+    traffic: &FleetTraffic,
+    from: u32,
+    to: u32,
+    threads: usize,
+) -> (u64, u64) {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut flows_total = 0u64;
+    for m in from..to {
+        let flows = std::sync::atomic::AtomicU64::new(0);
+        let events = fleet
+            .step_minute_batch(m, threads, |c, _addr, frame| {
+                match traffic.fill_frame(c, m, frame) {
+                    FleetMinute::Frame(f) => {
+                        flows.fetch_add(f, std::sync::atomic::Ordering::Relaxed);
+                        FleetInput::Frame
+                    }
+                    FleetMinute::Missing => FleetInput::Gap,
+                }
+            })
+            .expect("in-order fleet stream");
+        for e in events {
+            let (tag, a) = match e {
+                DetectorEvent::Raised(a) => (1u8, a),
+                DetectorEvent::Ended(a) => (2u8, a),
+            };
+            fnv1a64(&mut digest, &[tag]);
+            fnv1a64(&mut digest, &a.customer.0.to_le_bytes());
+            fnv1a64(&mut digest, &a.detected_at.to_le_bytes());
+        }
+        flows_total += flows.into_inner();
+    }
+    for &addr in fleet.addrs() {
+        fnv1a64(&mut digest, &fleet.survival_of(addr).to_bits().to_le_bytes());
+    }
+    (digest, flows_total)
+}
+
+/// One timed scale point of the throughput sweep.
+struct ScaleRow {
+    customers: usize,
+    minutes: u32,
+    wall_s: f64,
+    flows: u64,
+    bytes_per_customer: usize,
+    raised: u64,
+    gaps_imputed: u64,
+}
+
+fn run_scale(customers: usize, minutes: u32) -> ScaleRow {
+    let traffic = FleetTraffic::new(SEED, customers);
+    let mut fleet = build_fleet(customers);
+    // Two untimed minutes to warm allocations (worker scratch, arenas).
+    stream(&mut fleet, &traffic, 0, 2, 1);
+    // Best of three timed windows: the workload is uniform per simulated
+    // minute, so the fastest window is the machine's steady-state rate and
+    // the slower ones are scheduler noise.
+    let mut wall_s = f64::INFINITY;
+    let mut flows = 0u64;
+    let mut from = 2u32;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (_, f) = stream(&mut fleet, &traffic, from, from + minutes, 1);
+        let w = t0.elapsed().as_secs_f64();
+        if w < wall_s {
+            wall_s = w;
+            flows = f;
+        }
+        from += minutes;
+    }
+    ScaleRow {
+        customers,
+        minutes,
+        wall_s,
+        flows,
+        bytes_per_customer: fleet.bytes_per_customer(),
+        raised: fleet.obs().raised.get(),
+        gaps_imputed: fleet.obs().gaps_imputed.get(),
+    }
+}
+
+fn smoke() {
+    const N: usize = 1_000;
+    const MID: u32 = 20;
+    const END: u32 = 40;
+    let traffic = FleetTraffic::new(SEED, N);
+
+    // Gate 1: thread-count invariance, every survival bit and event.
+    let mut f1 = build_fleet(N);
+    let mut f4 = build_fleet(N);
+    let (d1, _) = stream(&mut f1, &traffic, 0, END, 1);
+    let (d4, _) = stream(&mut f4, &traffic, 0, END, 4);
+    if d1 != d4 {
+        eprintln!("[bench_fleet] DIGEST MISMATCH threads=1 ({d1:#x}) vs threads=4 ({d4:#x})");
+        std::process::exit(1);
+    }
+    eprintln!("[bench_fleet] smoke: 1-vs-4-thread digest match ({d1:#x})");
+
+    // Gate 2: kill/resume through the XCK1 container. The uninterrupted
+    // digest must equal resume's second half (survival digests fold the
+    // final state, so compare half-2 digests).
+    let mut full = build_fleet(N);
+    stream(&mut full, &traffic, 0, MID, 2);
+    let (d_full, _) = stream(&mut full, &traffic, MID, END, 2);
+
+    let mut killed = build_fleet(N);
+    stream(&mut killed, &traffic, 0, MID, 2);
+    let path = std::env::temp_dir().join("bench_fleet_smoke.xck");
+    save_detector(&path, &killed.to_checkpoint()).expect("checkpoint save");
+    drop(killed); // the "kill"
+    let ck = load_detector(&path).expect("checkpoint load");
+    let mut resumed = FleetDetector::from_checkpoint(&ck).expect("checkpoint restore");
+    let (d_resumed, _) = stream(&mut resumed, &traffic, MID, END, 4);
+    let _ = std::fs::remove_file(&path);
+    if d_full != d_resumed {
+        eprintln!(
+            "[bench_fleet] RESUME MISMATCH uninterrupted ({d_full:#x}) vs resumed ({d_resumed:#x})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[bench_fleet] smoke: kill/resume digest match ({d_full:#x})");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let label = args.first().map(String::as_str).unwrap_or("current");
+
+    let scales: &[(usize, u32)] = &[(1_000, 60), (10_000, 20), (100_000, 5)];
+    let mut rows = String::new();
+    let mut hundred_k_minute_wall = f64::NAN;
+    for &(customers, minutes) in scales {
+        let r = run_scale(customers, minutes);
+        let per_minute = r.wall_s / r.minutes as f64;
+        let cust_minutes_per_s = r.customers as f64 * r.minutes as f64 / r.wall_s;
+        let flows_per_s = r.flows as f64 / r.wall_s;
+        if customers >= 100_000 {
+            hundred_k_minute_wall = per_minute;
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"customers\": {}, \"sim_minutes\": {}, \"wall_s\": {:.3}, \
+             \"wall_s_per_sim_minute\": {:.4}, \"sim_minutes_per_s\": {:.2}, \
+             \"customer_minutes_per_s\": {:.0}, \"flows_per_s\": {:.0}, \
+             \"bytes_per_customer\": {}, \"alerts_raised\": {}, \"gaps_imputed\": {}}}",
+            r.customers,
+            r.minutes,
+            r.wall_s,
+            per_minute,
+            1.0 / per_minute,
+            cust_minutes_per_s,
+            flows_per_s,
+            r.bytes_per_customer,
+            r.raised,
+            r.gaps_imputed,
+        ));
+        eprintln!(
+            "[bench_fleet] {:>7} customers: {:.4} s/sim-minute, {:.0} customer-minutes/s, \
+             {:.0} flows/s, {} B/customer, {} alerts",
+            r.customers, per_minute, cust_minutes_per_s, flows_per_s, r.bytes_per_customer,
+            r.raised,
+        );
+    }
+
+    let cfg = XatuConfig::default();
+    let json = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"seed\": {SEED},\n  \"hidden\": {},\n  \
+         \"window\": {},\n  \"threads\": 1,\n  \
+         \"hundred_k_sim_minute_wall_s\": {hundred_k_minute_wall:.4},\n  \
+         \"scales\": [\n{rows}\n  ]\n}}\n",
+        cfg.hidden, cfg.window,
+    );
+    let path = format!("BENCH_fleet_{label}.json");
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("[bench_fleet] wrote {path}");
+    // NaN (broken timer) must also fail the gate, hence not `>= 1.0` alone.
+    if !hundred_k_minute_wall.is_finite() || hundred_k_minute_wall >= 1.0 {
+        eprintln!(
+            "[bench_fleet] WARNING: 100k-customer simulated minute took \
+             {hundred_k_minute_wall:.3} s (target < 1 s)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -67,6 +67,17 @@ pub enum XatuError {
         /// What disagreed.
         reason: String,
     },
+    /// A decoded, structurally-valid checkpoint carries values that cannot
+    /// be loaded into a live detector (shape disagreements, non-finite
+    /// state, internally-inconsistent cursors). Unlike
+    /// [`XatuError::CorruptCheckpoint`] this is an in-memory validation
+    /// failure, so it carries no file path; callers that loaded the
+    /// checkpoint from disk can re-wrap it with
+    /// [`XatuError::corrupt`] to attach one.
+    InvalidCheckpoint {
+        /// What was wrong.
+        reason: String,
+    },
     /// An I/O failure while reading or writing a checkpoint.
     Io {
         /// The file in question.
@@ -109,6 +120,9 @@ impl fmt::Display for XatuError {
             XatuError::CheckpointMismatch { path, reason } => {
                 write!(f, "checkpoint {path} does not match this run: {reason}")
             }
+            XatuError::InvalidCheckpoint { reason } => {
+                write!(f, "invalid checkpoint state: {reason}")
+            }
             XatuError::Io { path, op, message } => {
                 write!(f, "checkpoint {op} failed for {path}: {message}")
             }
@@ -132,6 +146,13 @@ impl XatuError {
     pub fn corrupt(path: &std::path::Path, reason: impl Into<String>) -> Self {
         XatuError::CorruptCheckpoint {
             path: path.display().to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// An [`XatuError::InvalidCheckpoint`] from any displayable cause.
+    pub fn invalid_checkpoint(reason: impl Into<String>) -> Self {
+        XatuError::InvalidCheckpoint {
             reason: reason.into(),
         }
     }

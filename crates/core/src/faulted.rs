@@ -197,7 +197,7 @@ pub fn run_faulted(
         RunControl::ResumeFrom { path } => {
             let ck = load_detector(path)?;
             let det = OnlineDetector::from_checkpoint(&ck)
-                .map_err(|e| XatuError::corrupt(path, e))?;
+                .map_err(|e| XatuError::corrupt(path, e.to_string()))?;
             let minute = ck
                 .customers
                 .iter()

@@ -1,0 +1,1869 @@
+//! Fleet-scale online detection: one detector instance serving 100k+
+//! customers from flat structure-of-arrays state.
+//!
+//! [`crate::online::OnlineDetector`] keeps each customer's streaming state
+//! in its own heap objects behind a `HashMap` — fine for evaluation runs
+//! over a handful of simulated customers, hostile to an ISP-scale fleet:
+//! every minute walks thousands of scattered allocations and re-derives the
+//! same LSTM weights per customer. [`FleetDetector`] is the same detector —
+//! the same degradation ladder, the same alert lifecycle, the same
+//! checkpoint format, bit-identical outputs — with the per-customer state
+//! transposed into dense arenas indexed by a compact customer id:
+//!
+//! * **Layout.** Every per-customer quantity lives in one flat vector with
+//!   a fixed per-customer stride (`hidden` floats per dual-state half,
+//!   `window` floats per survival ring, [`NUM_FEATURES`] floats per pooled
+//!   bucket), so a shard of customers is a contiguous slice of every
+//!   arena. An address → dense-id interner ([`FleetDetector::add_customer`])
+//!   assigns ids in registration order; [`FleetDetector::bytes_per_customer`]
+//!   reports the measured footprint.
+//! * **Kernels.** The per-minute hot path advances whole blocks of
+//!   customers through one LSTM step at a time via
+//!   [`Lstm::step_online_block`], which is pinned 0-ULP identical to the
+//!   per-customer [`Lstm::step_online_into`] reference. Rare scalar work
+//!   (gap imputation, cold restarts) runs the reference step
+//!   ([`Lstm::step_online_slices`]) directly on the same arena rows.
+//! * **Sharding.** [`FleetDetector::step_minute_batch`] partitions the id
+//!   space into contiguous blocks ([`xatu_par::block_ranges`]), gives each
+//!   worker disjoint mutable shard views of every arena, and stitches
+//!   events and telemetry back in block order — so alerts, survivals and
+//!   histogram bucket counts are bit-identical for every thread count.
+//!   (The one float a histogram accumulates — its diagnostic `sum` — is
+//!   reduced per worker and is the only quantity outside that guarantee.)
+//!
+//! Per minute the batch step runs three phases per shard: **A** (scalar)
+//! validates ordering, bridges gaps by zero-order-hold imputation or cold
+//! restart, sanitizes frames and accumulates pooling buckets; **B**
+//! (batched) advances the short dual states of every driven customer and
+//! the medium/long dual states of every customer whose bucket completed,
+//! over contiguous runs of the arena; **C** (scalar) combines hidden
+//! states, pushes the survival ring, applies the staleness blend and walks
+//! the alert lifecycle. Customers are fully independent, so the phase
+//! regrouping cannot change any value — only the (documented) event
+//! ordering within a minute.
+
+use crate::checkpoint::{CustomerCheckpoint, DetectorCheckpoint, DualStateCheckpoint};
+use crate::config::XatuConfig;
+use crate::error::XatuError;
+use crate::model::{DualState, ModelConfig, XatuModel};
+use crate::online::DetectorObs;
+use std::collections::HashMap;
+use xatu_detectors::alert::Alert;
+use xatu_detectors::traits::DetectorEvent;
+use xatu_features::frame::NUM_FEATURES;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+use xatu_nn::activations::softplus;
+use xatu_nn::lstm::Lstm;
+use xatu_nn::{Dense, LstmState, OnlineBlockWorkspace, Params};
+use xatu_par::{block_ranges, par_run_tasks};
+use xatu_survival::hazard::RollingSurvival;
+
+/// What the fill callback reports for one customer at one minute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetInput {
+    /// The callback wrote a real feature frame into the buffer.
+    Frame,
+    /// The minute is known to be missing: impute it now (zero-order hold),
+    /// exactly like [`crate::online::OnlineDetector::observe_gap`].
+    Gap,
+    /// The customer is not driven this minute at all; its clock does not
+    /// advance, and the gap is bridged (imputed or cold-restarted) when it
+    /// is next driven.
+    Skip,
+}
+
+/// The dual-state arena for one timescale: both halves of every customer's
+/// bounded-context LSTM state as `n × hidden` row-major matrices, plus the
+/// two context ages. Semantically one [`DualState`] per row, with identical
+/// stepping and promotion arithmetic.
+struct DualArena {
+    aged_h: Vec<f64>,
+    aged_c: Vec<f64>,
+    fresh_h: Vec<f64>,
+    fresh_c: Vec<f64>,
+    aged_age: Vec<u32>,
+    fresh_age: Vec<u32>,
+    period: u32,
+    hidden: usize,
+}
+
+impl DualArena {
+    fn new(hidden: usize, period: u32) -> Self {
+        DualArena {
+            aged_h: Vec::new(),
+            aged_c: Vec::new(),
+            fresh_h: Vec::new(),
+            fresh_c: Vec::new(),
+            aged_age: Vec::new(),
+            fresh_age: Vec::new(),
+            period: period.max(1),
+            hidden,
+        }
+    }
+
+    /// Appends one customer in the [`DualState::new`] cold state.
+    fn push_default(&mut self) {
+        let h = self.hidden;
+        self.aged_h.resize(self.aged_h.len() + h, 0.0);
+        self.aged_c.resize(self.aged_c.len() + h, 0.0);
+        self.fresh_h.resize(self.fresh_h.len() + h, 0.0);
+        self.fresh_c.resize(self.fresh_c.len() + h, 0.0);
+        self.aged_age.push(self.period);
+        self.fresh_age.push(0);
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.aged_h.capacity()
+            + self.aged_c.capacity()
+            + self.fresh_h.capacity()
+            + self.fresh_c.capacity())
+            * size_of::<f64>()
+            + (self.aged_age.capacity() + self.fresh_age.capacity()) * size_of::<u32>()
+    }
+}
+
+/// A contiguous block of one [`DualArena`], owned mutably by one worker.
+struct DualShard<'a> {
+    aged_h: &'a mut [f64],
+    aged_c: &'a mut [f64],
+    fresh_h: &'a mut [f64],
+    fresh_c: &'a mut [f64],
+    aged_age: &'a mut [u32],
+    fresh_age: &'a mut [u32],
+    period: u32,
+    hidden: usize,
+}
+
+impl DualShard<'_> {
+    /// [`DualState::step`] for shard-local customer `j`: step both halves
+    /// with the reference kernel, then advance/promote.
+    fn step_one(&mut self, lstm: &Lstm, j: usize, x: &[f64], z: &mut Vec<f64>) {
+        let h = self.hidden;
+        let r = j * h..(j + 1) * h;
+        lstm.step_online_slices(x, &mut self.aged_h[r.clone()], &mut self.aged_c[r.clone()], z);
+        lstm.step_online_slices(x, &mut self.fresh_h[r.clone()], &mut self.fresh_c[r], z);
+        self.advance_age(j);
+    }
+
+    /// Batched [`DualState::step`] over the contiguous run `a..b`: block
+    /// steps for the aged and fresh halves, then the scalar promotions.
+    /// Rows are independent and block composition cannot move a bit, so
+    /// this is bit-identical to calling [`DualShard::step_one`] per
+    /// customer — and the run is processed in fixed tiles purely for
+    /// locality: a tile's pre-activations, states and inputs stay
+    /// cache-resident instead of streaming a run-sized workspace through
+    /// memory three times per half. The tile is sized to amortise the
+    /// per-block `Wxᵀ` materialisation in the sparse input kernel while
+    /// keeping the two `batch × 4·hidden` pre-activation buffers well
+    /// under typical L2 capacity.
+    fn step_block(
+        &mut self,
+        lstm: &Lstm,
+        a: usize,
+        b: usize,
+        xs: &[f64],
+        ws: &mut OnlineBlockWorkspace,
+    ) {
+        const TILE: usize = 512;
+        let h = self.hidden;
+        let width = xs.len() / (b - a);
+        let mut t = a;
+        while t < b {
+            let e = (t + TILE).min(b);
+            lstm.step_online_dual_block(
+                &xs[(t - a) * width..(e - a) * width],
+                e - t,
+                &mut self.aged_h[t * h..e * h],
+                &mut self.aged_c[t * h..e * h],
+                &mut self.fresh_h[t * h..e * h],
+                &mut self.fresh_c[t * h..e * h],
+                ws,
+            );
+            t = e;
+        }
+        for j in a..b {
+            self.advance_age(j);
+        }
+    }
+
+    /// The post-step age bookkeeping of [`DualState::step`]: both ages
+    /// advance; at `2·period` the fresh half is promoted (swap-then-zero in
+    /// the original — copy-then-zero here, same values, the swapped-out
+    /// aged half is discarded either way).
+    fn advance_age(&mut self, j: usize) {
+        self.aged_age[j] += 1;
+        self.fresh_age[j] += 1;
+        if self.aged_age[j] >= 2 * self.period {
+            let h = self.hidden;
+            let r = j * h..(j + 1) * h;
+            self.aged_h[r.clone()].copy_from_slice(&self.fresh_h[r.clone()]);
+            self.aged_c[r.clone()].copy_from_slice(&self.fresh_c[r.clone()]);
+            self.fresh_h[r.clone()].fill(0.0);
+            self.fresh_c[r].fill(0.0);
+            self.aged_age[j] = self.fresh_age[j];
+            self.fresh_age[j] = 0;
+        }
+    }
+
+    /// Back to the [`DualState::new`] cold state (cold restart).
+    fn reset_row(&mut self, j: usize) {
+        let h = self.hidden;
+        let r = j * h..(j + 1) * h;
+        self.aged_h[r.clone()].fill(0.0);
+        self.aged_c[r.clone()].fill(0.0);
+        self.fresh_h[r.clone()].fill(0.0);
+        self.fresh_c[r].fill(0.0);
+        self.aged_age[j] = self.period;
+        self.fresh_age[j] = 0;
+    }
+}
+
+/// A contiguous block of the rolling-survival arena: one
+/// [`RollingSurvival`] per row with identical push arithmetic.
+struct RingShard<'a> {
+    buf: &'a mut [f64],
+    head: &'a mut [u32],
+    filled: &'a mut [u32],
+    sum: &'a mut [f64],
+    window: usize,
+}
+
+impl RingShard<'_> {
+    /// [`RollingSurvival::push`], verbatim, on row `j`.
+    fn push(&mut self, j: usize, hazard: f64) -> f64 {
+        let w = self.window;
+        let h = if hazard.is_finite() { hazard.max(0.0) } else { 0.0 };
+        let hd = self.head[j] as usize;
+        let slot = &mut self.buf[j * w + hd];
+        self.sum[j] += h - *slot;
+        *slot = h;
+        self.head[j] = ((hd + 1) % w) as u32;
+        self.filled[j] = (self.filled[j] + 1).min(w as u32);
+        if self.sum[j] < 0.0 {
+            self.sum[j] = 0.0;
+        }
+        (-self.sum[j]).exp()
+    }
+
+    /// [`RollingSurvival::new`] on row `j` (cold restart).
+    fn reset_row(&mut self, j: usize) {
+        let w = self.window;
+        self.buf[j * w..(j + 1) * w].fill(0.0);
+        self.head[j] = 0;
+        self.filled[j] = 0;
+        self.sum[j] = 0.0;
+    }
+}
+
+/// Every per-customer quantity of the fleet, as flat arenas indexed by the
+/// dense customer id. Field-for-field this is `online::CustomerState`
+/// transposed into structure-of-arrays form.
+struct FleetArenas {
+    short: DualArena,
+    medium: DualArena,
+    long: DualArena,
+    ring_buf: Vec<f64>,
+    ring_head: Vec<u32>,
+    ring_filled: Vec<u32>,
+    ring_sum: Vec<f64>,
+    /// Partial pooling buckets, `n × NUM_FEATURES`. Between phases A and B
+    /// of a batch step, a row whose bucket just completed temporarily holds
+    /// the *averaged* bucket (scaled in place); it is re-zeroed in phase B.
+    med_partial: Vec<f64>,
+    med_count: Vec<u32>,
+    long_partial: Vec<f64>,
+    long_count: Vec<u32>,
+    /// Last sanitized frame (zero-order-hold source), `n × NUM_FEATURES`.
+    last_frame: Vec<f64>,
+    active_since: Vec<Option<u32>>,
+    quiet_run: Vec<u32>,
+    last_survival: Vec<f64>,
+    observed: Vec<u32>,
+    stale_run: Vec<u32>,
+    last_minute: Vec<Option<u32>>,
+    /// Per-minute phase flags (scratch, valid only inside a batch step).
+    driven: Vec<bool>,
+    med_done: Vec<bool>,
+    long_done: Vec<bool>,
+}
+
+impl FleetArenas {
+    /// Empty arenas. The survival window is not stored here — the detector
+    /// owns the authoritative copy and passes it into every push/shard.
+    fn new(hidden: usize, ctx: (usize, usize, usize)) -> Self {
+        FleetArenas {
+            short: DualArena::new(hidden, ctx.0 as u32),
+            medium: DualArena::new(hidden, ctx.1 as u32),
+            long: DualArena::new(hidden, ctx.2 as u32),
+            ring_buf: Vec::new(),
+            ring_head: Vec::new(),
+            ring_filled: Vec::new(),
+            ring_sum: Vec::new(),
+            med_partial: Vec::new(),
+            med_count: Vec::new(),
+            long_partial: Vec::new(),
+            long_count: Vec::new(),
+            last_frame: Vec::new(),
+            active_since: Vec::new(),
+            quiet_run: Vec::new(),
+            last_survival: Vec::new(),
+            observed: Vec::new(),
+            stale_run: Vec::new(),
+            last_minute: Vec::new(),
+            driven: Vec::new(),
+            med_done: Vec::new(),
+            long_done: Vec::new(),
+        }
+    }
+
+    /// Appends one customer in the cold (`online::entry`) state.
+    fn push_default(&mut self, window: usize) {
+        self.short.push_default();
+        self.medium.push_default();
+        self.long.push_default();
+        self.ring_buf.resize(self.ring_buf.len() + window, 0.0);
+        self.ring_head.push(0);
+        self.ring_filled.push(0);
+        self.ring_sum.push(0.0);
+        self.med_partial
+            .resize(self.med_partial.len() + NUM_FEATURES, 0.0);
+        self.med_count.push(0);
+        self.long_partial
+            .resize(self.long_partial.len() + NUM_FEATURES, 0.0);
+        self.long_count.push(0);
+        self.last_frame
+            .resize(self.last_frame.len() + NUM_FEATURES, 0.0);
+        self.active_since.push(None);
+        self.quiet_run.push(0);
+        self.last_survival.push(1.0);
+        self.observed.push(0);
+        self.stale_run.push(0);
+        self.last_minute.push(None);
+        self.driven.push(false);
+        self.med_done.push(false);
+        self.long_done.push(false);
+    }
+
+    /// Measured arena footprint in bytes (capacities, not lengths).
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.short.bytes()
+            + self.medium.bytes()
+            + self.long.bytes()
+            + (self.ring_buf.capacity()
+                + self.ring_sum.capacity()
+                + self.med_partial.capacity()
+                + self.long_partial.capacity()
+                + self.last_frame.capacity()
+                + self.last_survival.capacity())
+                * size_of::<f64>()
+            + (self.ring_head.capacity()
+                + self.ring_filled.capacity()
+                + self.med_count.capacity()
+                + self.long_count.capacity()
+                + self.quiet_run.capacity()
+                + self.observed.capacity()
+                + self.stale_run.capacity())
+                * size_of::<u32>()
+            + (self.active_since.capacity() + self.last_minute.capacity())
+                * size_of::<Option<u32>>()
+            + (self.driven.capacity() + self.med_done.capacity() + self.long_done.capacity())
+                * size_of::<bool>()
+    }
+}
+
+/// Disjoint mutable views of every arena for one contiguous customer
+/// block. `start` is the global id of the first row.
+struct Shard<'a> {
+    start: usize,
+    short: DualShard<'a>,
+    medium: DualShard<'a>,
+    long: DualShard<'a>,
+    ring: RingShard<'a>,
+    med_partial: &'a mut [f64],
+    med_count: &'a mut [u32],
+    long_partial: &'a mut [f64],
+    long_count: &'a mut [u32],
+    last_frame: &'a mut [f64],
+    active_since: &'a mut [Option<u32>],
+    quiet_run: &'a mut [u32],
+    last_survival: &'a mut [f64],
+    observed: &'a mut [u32],
+    stale_run: &'a mut [u32],
+    last_minute: &'a mut [Option<u32>],
+    driven: &'a mut [bool],
+    med_done: &'a mut [bool],
+    long_done: &'a mut [bool],
+}
+
+impl Shard<'_> {
+    fn len(&self) -> usize {
+        self.driven.len()
+    }
+}
+
+/// Splits a flat arena with `per` elements per customer into per-range
+/// blocks. `ranges` must be contiguous from 0 (see
+/// [`xatu_par::block_ranges`]).
+fn split_rows<'a, T>(v: &'a mut [T], ranges: &[(usize, usize)], per: usize) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest = v;
+    for &(start, end) in ranges {
+        let (block, tail) = rest.split_at_mut((end - start) * per);
+        rest = tail;
+        out.push(block);
+    }
+    out
+}
+
+fn dual_shards<'a>(a: &'a mut DualArena, ranges: &[(usize, usize)]) -> Vec<DualShard<'a>> {
+    let (h, period) = (a.hidden, a.period);
+    let mut aged_h = split_rows(&mut a.aged_h, ranges, h).into_iter();
+    let mut aged_c = split_rows(&mut a.aged_c, ranges, h).into_iter();
+    let mut fresh_h = split_rows(&mut a.fresh_h, ranges, h).into_iter();
+    let mut fresh_c = split_rows(&mut a.fresh_c, ranges, h).into_iter();
+    let mut aged_age = split_rows(&mut a.aged_age, ranges, 1).into_iter();
+    let mut fresh_age = split_rows(&mut a.fresh_age, ranges, 1).into_iter();
+    ranges
+        .iter()
+        .map(|_| DualShard {
+            aged_h: aged_h.next().expect("one block per range"),
+            aged_c: aged_c.next().expect("one block per range"),
+            fresh_h: fresh_h.next().expect("one block per range"),
+            fresh_c: fresh_c.next().expect("one block per range"),
+            aged_age: aged_age.next().expect("one block per range"),
+            fresh_age: fresh_age.next().expect("one block per range"),
+            period,
+            hidden: h,
+        })
+        .collect()
+}
+
+fn build_shards<'a>(
+    arenas: &'a mut FleetArenas,
+    ranges: &[(usize, usize)],
+    window: usize,
+) -> Vec<Shard<'a>> {
+    let mut short = dual_shards(&mut arenas.short, ranges).into_iter();
+    let mut medium = dual_shards(&mut arenas.medium, ranges).into_iter();
+    let mut long = dual_shards(&mut arenas.long, ranges).into_iter();
+    let mut ring_buf = split_rows(&mut arenas.ring_buf, ranges, window).into_iter();
+    let mut ring_head = split_rows(&mut arenas.ring_head, ranges, 1).into_iter();
+    let mut ring_filled = split_rows(&mut arenas.ring_filled, ranges, 1).into_iter();
+    let mut ring_sum = split_rows(&mut arenas.ring_sum, ranges, 1).into_iter();
+    let mut med_partial = split_rows(&mut arenas.med_partial, ranges, NUM_FEATURES).into_iter();
+    let mut med_count = split_rows(&mut arenas.med_count, ranges, 1).into_iter();
+    let mut long_partial = split_rows(&mut arenas.long_partial, ranges, NUM_FEATURES).into_iter();
+    let mut long_count = split_rows(&mut arenas.long_count, ranges, 1).into_iter();
+    let mut last_frame = split_rows(&mut arenas.last_frame, ranges, NUM_FEATURES).into_iter();
+    let mut active_since = split_rows(&mut arenas.active_since, ranges, 1).into_iter();
+    let mut quiet_run = split_rows(&mut arenas.quiet_run, ranges, 1).into_iter();
+    let mut last_survival = split_rows(&mut arenas.last_survival, ranges, 1).into_iter();
+    let mut observed = split_rows(&mut arenas.observed, ranges, 1).into_iter();
+    let mut stale_run = split_rows(&mut arenas.stale_run, ranges, 1).into_iter();
+    let mut last_minute = split_rows(&mut arenas.last_minute, ranges, 1).into_iter();
+    let mut driven = split_rows(&mut arenas.driven, ranges, 1).into_iter();
+    let mut med_done = split_rows(&mut arenas.med_done, ranges, 1).into_iter();
+    let mut long_done = split_rows(&mut arenas.long_done, ranges, 1).into_iter();
+    ranges
+        .iter()
+        .map(|&(start, _)| Shard {
+            start,
+            short: short.next().expect("one block per range"),
+            medium: medium.next().expect("one block per range"),
+            long: long.next().expect("one block per range"),
+            ring: RingShard {
+                buf: ring_buf.next().expect("one block per range"),
+                head: ring_head.next().expect("one block per range"),
+                filled: ring_filled.next().expect("one block per range"),
+                sum: ring_sum.next().expect("one block per range"),
+                window,
+            },
+            med_partial: med_partial.next().expect("one block per range"),
+            med_count: med_count.next().expect("one block per range"),
+            long_partial: long_partial.next().expect("one block per range"),
+            long_count: long_count.next().expect("one block per range"),
+            last_frame: last_frame.next().expect("one block per range"),
+            active_since: active_since.next().expect("one block per range"),
+            quiet_run: quiet_run.next().expect("one block per range"),
+            last_survival: last_survival.next().expect("one block per range"),
+            observed: observed.next().expect("one block per range"),
+            stale_run: stale_run.next().expect("one block per range"),
+            last_minute: last_minute.next().expect("one block per range"),
+            driven: driven.next().expect("one block per range"),
+            med_done: med_done.next().expect("one block per range"),
+            long_done: long_done.next().expect("one block per range"),
+        })
+        .collect()
+}
+
+fn dual_shard_all(a: &mut DualArena) -> DualShard<'_> {
+    DualShard {
+        aged_h: &mut a.aged_h,
+        aged_c: &mut a.aged_c,
+        fresh_h: &mut a.fresh_h,
+        fresh_c: &mut a.fresh_c,
+        aged_age: &mut a.aged_age,
+        fresh_age: &mut a.fresh_age,
+        period: a.period,
+        hidden: a.hidden,
+    }
+}
+
+/// The whole fleet as a single shard — the `threads == 1` path, built
+/// without the per-range `Vec`s of [`build_shards`] so a steady-state
+/// single-threaded minute performs no heap allocation at all (pinned by
+/// `bench_alloc`'s inference section).
+fn shard_all(arenas: &mut FleetArenas, window: usize) -> Shard<'_> {
+    Shard {
+        start: 0,
+        short: dual_shard_all(&mut arenas.short),
+        medium: dual_shard_all(&mut arenas.medium),
+        long: dual_shard_all(&mut arenas.long),
+        ring: RingShard {
+            buf: &mut arenas.ring_buf,
+            head: &mut arenas.ring_head,
+            filled: &mut arenas.ring_filled,
+            sum: &mut arenas.ring_sum,
+            window,
+        },
+        med_partial: &mut arenas.med_partial,
+        med_count: &mut arenas.med_count,
+        long_partial: &mut arenas.long_partial,
+        long_count: &mut arenas.long_count,
+        last_frame: &mut arenas.last_frame,
+        active_since: &mut arenas.active_since,
+        quiet_run: &mut arenas.quiet_run,
+        last_survival: &mut arenas.last_survival,
+        observed: &mut arenas.observed,
+        stale_run: &mut arenas.stale_run,
+        last_minute: &mut arenas.last_minute,
+        driven: &mut arenas.driven,
+        med_done: &mut arenas.med_done,
+        long_done: &mut arenas.long_done,
+    }
+}
+
+/// Immutable model parts shared by every worker.
+#[derive(Clone, Copy)]
+struct Net<'a> {
+    short: &'a Lstm,
+    medium: &'a Lstm,
+    long: &'a Lstm,
+    head: &'a Dense,
+}
+
+/// Scalar knobs, mirroring `online::Tunables` plus the mode gates.
+#[derive(Clone, Copy)]
+struct Knobs {
+    attack_type: AttackType,
+    threshold: f64,
+    quiet: u32,
+    warmup: u32,
+    max_alert_minutes: u32,
+    med_gran: u32,
+    long_gran: u32,
+    stale_limit: u32,
+    max_imputed_gap: u32,
+    hidden: usize,
+    use_s: bool,
+    use_m: bool,
+    use_l: bool,
+}
+
+/// Per-worker reusable scratch: pre-activation and combiner buffers, the
+/// block workspace, event and telemetry accumulators. Steady-state batch
+/// steps through warm workers allocate nothing.
+struct WorkerScratch {
+    frame: Vec<f64>,
+    z: Vec<f64>,
+    input: Vec<f64>,
+    ws: OnlineBlockWorkspace,
+    runs: Vec<(u32, u32)>,
+    impute_events: Vec<DetectorEvent>,
+    life_events: Vec<DetectorEvent>,
+    obs: DetectorObs,
+    err: Option<XatuError>,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            frame: vec![0.0; NUM_FEATURES],
+            z: Vec::new(),
+            input: Vec::new(),
+            ws: OnlineBlockWorkspace::new(),
+            runs: Vec::new(),
+            impute_events: Vec::new(),
+            life_events: Vec::new(),
+            obs: DetectorObs::default(),
+            err: None,
+        }
+    }
+}
+
+/// Clears and re-zeroes `v` to length `n`, keeping its allocation.
+fn fit(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
+/// Maximal contiguous `true` runs of `flags`, as `(start, end)` pairs.
+fn collect_runs(flags: &[bool], out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    let mut a = 0;
+    while a < flags.len() {
+        if !flags[a] {
+            a += 1;
+            continue;
+        }
+        let mut b = a + 1;
+        while b < flags.len() && flags[b] {
+            b += 1;
+        }
+        out.push((a as u32, b as u32));
+        a = b;
+    }
+}
+
+/// `online::accumulate` on an arena row, with the completed bucket scaled
+/// in place (the caller re-zeroes the row once the bucket is consumed).
+fn accumulate_row(partial: &mut [f64], count: &mut u32, frame: &[f64], gran: u32) -> bool {
+    for (a, v) in partial.iter_mut().zip(frame) {
+        *a += v;
+    }
+    *count += 1;
+    if *count == gran {
+        let inv = 1.0 / gran as f64;
+        for a in partial.iter_mut() {
+            *a *= inv;
+        }
+        *count = 0;
+        true
+    } else {
+        false
+    }
+}
+
+/// `online::cold_restart` on arena rows: ends any open alert, resets every
+/// accumulator, re-enters warm-up. Leaves `last_minute` alone.
+fn cold_restart(
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    events: &mut Vec<DetectorEvent>,
+) {
+    if let Some(detected_at) = sh.active_since[j].take() {
+        obs.ended.inc();
+        events.push(DetectorEvent::Ended(Alert {
+            customer: addr,
+            attack_type: k.attack_type,
+            detected_at,
+            mitigation_end: Some(minute),
+        }));
+    }
+    sh.short.reset_row(j);
+    sh.medium.reset_row(j);
+    sh.long.reset_row(j);
+    sh.ring.reset_row(j);
+    let f = j * NUM_FEATURES;
+    sh.med_partial[f..f + NUM_FEATURES].fill(0.0);
+    sh.med_count[j] = 0;
+    sh.long_partial[f..f + NUM_FEATURES].fill(0.0);
+    sh.long_count[j] = 0;
+    sh.quiet_run[j] = 0;
+    sh.last_survival[j] = 1.0;
+    sh.observed[j] = 0;
+    sh.last_frame[f..f + NUM_FEATURES].fill(0.0);
+    sh.stale_run[j] = 0;
+    obs.cold_restarts.inc();
+}
+
+/// The tail of `online::step_minute` after the LSTM states have advanced:
+/// combiner input from the aged hidden states, head → softplus hazard,
+/// survival ring push, staleness blend, warm-up gate, alert lifecycle.
+#[allow(clippy::too_many_arguments)]
+fn combine_and_alert(
+    net: Net<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    let h = k.hidden;
+    fit(input, 3 * h);
+    let r = j * h..(j + 1) * h;
+    if k.use_s {
+        input[0..h].copy_from_slice(&sh.short.aged_h[r.clone()]);
+    }
+    if k.use_m {
+        input[h..2 * h].copy_from_slice(&sh.medium.aged_h[r.clone()]);
+    }
+    if k.use_l {
+        input[2 * h..3 * h].copy_from_slice(&sh.long.aged_h[r]);
+    }
+    let mut logit = [0.0f64; 1];
+    net.head.forward_into(input, &mut logit);
+    let hazard = softplus(logit[0]);
+    let raw = sh.ring.push(j, hazard);
+
+    let reported = if sh.stale_run[j] == 0 {
+        raw
+    } else {
+        let w = sh.stale_run[j].min(k.stale_limit) as f64 / k.stale_limit as f64;
+        raw + (1.0 - raw) * w
+    };
+    sh.last_survival[j] = reported;
+    sh.observed[j] += 1;
+    obs.survival.observe(reported);
+
+    if sh.observed[j] <= k.warmup {
+        obs.warmup_suppressed.inc();
+        return;
+    }
+    match sh.active_since[j] {
+        None => {
+            if reported < k.threshold && sh.stale_run[j] == 0 {
+                let alert = Alert {
+                    customer: addr,
+                    attack_type: k.attack_type,
+                    detected_at: minute,
+                    mitigation_end: None,
+                };
+                sh.active_since[j] = Some(minute);
+                sh.quiet_run[j] = 0;
+                obs.raised.inc();
+                events.push(DetectorEvent::Raised(alert));
+            }
+        }
+        Some(detected_at) => {
+            let over_cap = minute.saturating_sub(detected_at) >= k.max_alert_minutes;
+            if reported < k.threshold && !over_cap {
+                sh.quiet_run[j] = 0;
+            } else {
+                sh.quiet_run[j] += 1;
+                if sh.quiet_run[j] >= k.quiet || over_cap {
+                    sh.active_since[j] = None;
+                    sh.quiet_run[j] = 0;
+                    obs.ended.inc();
+                    if over_cap {
+                        obs.force_ended.inc();
+                    }
+                    events.push(DetectorEvent::Ended(Alert {
+                        customer: addr,
+                        attack_type: k.attack_type,
+                        detected_at,
+                        mitigation_end: Some(minute),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// `online::step_minute` for one customer, entirely scalar, through the
+/// reference LSTM kernel — used for imputed catch-up minutes, which are
+/// rare and ragged (each customer is at a different point of its gap).
+#[allow(clippy::too_many_arguments)]
+fn scalar_step_minute(
+    net: Net<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    z: &mut Vec<f64>,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    sh.stale_run[j] += 1;
+    obs.gaps_imputed.inc();
+    let f = j * NUM_FEATURES;
+    let med_done = accumulate_row(
+        &mut sh.med_partial[f..f + NUM_FEATURES],
+        &mut sh.med_count[j],
+        &sh.last_frame[f..f + NUM_FEATURES],
+        k.med_gran,
+    );
+    let long_done = accumulate_row(
+        &mut sh.long_partial[f..f + NUM_FEATURES],
+        &mut sh.long_count[j],
+        &sh.last_frame[f..f + NUM_FEATURES],
+        k.long_gran,
+    );
+    if k.use_s {
+        sh.short
+            .step_one(net.short, j, &sh.last_frame[f..f + NUM_FEATURES], z);
+    }
+    if k.use_m && med_done {
+        sh.medium
+            .step_one(net.medium, j, &sh.med_partial[f..f + NUM_FEATURES], z);
+    }
+    if k.use_l && long_done {
+        sh.long
+            .step_one(net.long, j, &sh.long_partial[f..f + NUM_FEATURES], z);
+    }
+    if med_done {
+        sh.med_partial[f..f + NUM_FEATURES].fill(0.0);
+    }
+    if long_done {
+        sh.long_partial[f..f + NUM_FEATURES].fill(0.0);
+    }
+    combine_and_alert(net, k, obs, sh, j, addr, minute, input, events);
+}
+
+/// `online::catch_up` on arena rows: bridges the gap since the customer's
+/// last driven minute — short gaps imputed minute by minute, long gaps
+/// cold-restarted. Minute-ordering is validated by the caller.
+#[allow(clippy::too_many_arguments)]
+fn catch_up(
+    net: Net<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    z: &mut Vec<f64>,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    let Some(last) = sh.last_minute[j] else {
+        return;
+    };
+    let gap = minute - last - 1;
+    if gap == 0 {
+        return;
+    }
+    if gap > k.max_imputed_gap {
+        obs.gap_runs.observe(gap as f64);
+        cold_restart(k, obs, sh, j, addr, minute, events);
+    } else {
+        for m in last + 1..minute {
+            scalar_step_minute(net, k, obs, sh, j, addr, m, z, input, events);
+        }
+    }
+}
+
+/// The fleet-scale streaming detector for one attack type.
+///
+/// Behaviourally identical to [`crate::online::OnlineDetector`] — pinned by
+/// tests that drive both through gap/imputation/cold-restart schedules and
+/// compare every survival bit and every lifecycle event — but holding all
+/// per-customer state in flat arenas and advancing the whole fleet through
+/// [`FleetDetector::step_minute_batch`].
+pub struct FleetDetector {
+    model: XatuModel,
+    attack_type: AttackType,
+    threshold: f64,
+    window: usize,
+    quiet: u32,
+    warmup: u32,
+    ctx_lens: (usize, usize, usize),
+    max_alert_minutes: u32,
+    addrs: Vec<Ipv4>,
+    index: HashMap<Ipv4, u32>,
+    arenas: FleetArenas,
+    obs: DetectorObs,
+    workers: Vec<WorkerScratch>,
+    events: Vec<DetectorEvent>,
+}
+
+impl FleetDetector {
+    /// Wraps a trained model with a calibrated threshold (mirrors
+    /// [`crate::online::OnlineDetector::new`]).
+    pub fn new(model: XatuModel, attack_type: AttackType, threshold: f64, cfg: &XatuConfig) -> Self {
+        let hidden = model.cfg.hidden;
+        let ctx = (cfg.short_len, cfg.medium_len, cfg.long_len);
+        FleetDetector {
+            arenas: FleetArenas::new(hidden, ctx),
+            model,
+            attack_type,
+            threshold,
+            window: cfg.window,
+            quiet: 5,
+            warmup: 2 * cfg.window as u32,
+            ctx_lens: ctx,
+            max_alert_minutes: 45,
+            addrs: Vec::new(),
+            index: HashMap::new(),
+            obs: DetectorObs::default(),
+            workers: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Interns `addr`, returning its dense customer id. Idempotent: an
+    /// already-registered address returns its existing id. New customers
+    /// start in the cold state and go through warm-up, exactly like a
+    /// first [`crate::online::OnlineDetector::observe`].
+    pub fn add_customer(&mut self, addr: Ipv4) -> usize {
+        if let Some(&i) = self.index.get(&addr) {
+            return i as usize;
+        }
+        let i = self.addrs.len();
+        self.index.insert(addr, i as u32);
+        self.addrs.push(addr);
+        self.arenas.push_default(self.window);
+        i
+    }
+
+    /// Registered customer count.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no customer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Registered addresses in dense-id order.
+    pub fn addrs(&self) -> &[Ipv4] {
+        &self.addrs
+    }
+
+    /// The dense id of `addr`, if registered.
+    pub fn customer_index(&self, addr: Ipv4) -> Option<usize> {
+        self.index.get(&addr).map(|&i| i as usize)
+    }
+
+    /// The detector's embedded telemetry. Histogram bucket counts and all
+    /// counters are bit-identical for every thread count; histogram `sum`
+    /// fields are reduced per worker and may differ in rounding.
+    pub fn obs(&self) -> &DetectorObs {
+        &self.obs
+    }
+
+    /// Zeroes the embedded telemetry.
+    pub fn reset_obs(&mut self) {
+        self.obs = DetectorObs::default();
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Updates the threshold (re-calibration between periods).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Overrides the warm-up length.
+    pub fn set_warmup(&mut self, warmup: u32) {
+        self.warmup = warmup;
+    }
+
+    /// The attack type this detector serves.
+    pub fn attack_type(&self) -> AttackType {
+        self.attack_type
+    }
+
+    /// The force-end cap, in minutes from `detected_at`.
+    pub fn max_alert_minutes(&self) -> u32 {
+        self.max_alert_minutes
+    }
+
+    /// The current rolling survival for a customer (1.0 if unseen).
+    pub fn survival_of(&self, addr: Ipv4) -> f64 {
+        self.customer_index(addr)
+            .map_or(1.0, |i| self.arenas.last_survival[i])
+    }
+
+    /// Measured total arena footprint in bytes (excludes the interner,
+    /// which adds roughly 16 bytes per customer, and per-worker scratch,
+    /// which is fleet-size-independent).
+    pub fn arena_bytes(&self) -> usize {
+        self.arenas.bytes()
+            + self.addrs.capacity() * std::mem::size_of::<Ipv4>()
+    }
+
+    /// Measured per-customer state budget in bytes.
+    pub fn bytes_per_customer(&self) -> usize {
+        self.arena_bytes() / self.addrs.len().max(1)
+    }
+
+    fn knobs(&self) -> Knobs {
+        let (_, med_gran, long_gran) = self.model.cfg.timescales;
+        let (use_s, use_m, use_l) = self.model.cfg.mode.enabled();
+        Knobs {
+            attack_type: self.attack_type,
+            threshold: self.threshold,
+            quiet: self.quiet,
+            warmup: self.warmup,
+            max_alert_minutes: self.max_alert_minutes,
+            med_gran,
+            long_gran,
+            stale_limit: (self.window as u32).max(1),
+            max_imputed_gap: 3 * self.window as u32,
+            hidden: self.model.cfg.hidden,
+            use_s,
+            use_m,
+            use_l,
+        }
+    }
+
+    /// Advances every registered customer to `minute` across `threads`
+    /// workers, and returns this minute's lifecycle events.
+    ///
+    /// `fill` is consulted once per customer, in id order within each
+    /// shard: it may write a real frame into the provided
+    /// [`NUM_FEATURES`]-wide buffer and return [`FleetInput::Frame`],
+    /// declare the minute missing with [`FleetInput::Gap`], or leave the
+    /// customer undriven with [`FleetInput::Skip`]. Per customer the
+    /// semantics are exactly [`crate::online::OnlineDetector::observe`] /
+    /// [`observe_gap`](crate::online::OnlineDetector::observe_gap),
+    /// including gap bridging since the customer's last driven minute.
+    ///
+    /// Events are ordered: first all catch-up (imputation / cold-restart)
+    /// events in customer-id order, then all current-minute lifecycle
+    /// events in customer-id order — identical for every thread count,
+    /// since shard boundaries never reorder ids.
+    ///
+    /// A customer whose clock would run backwards (`minute` at or before
+    /// its newest driven minute) is left untouched and counted, the rest
+    /// of the fleet advances, and the first such violation (in id order)
+    /// is returned as `Err` after the batch completes.
+    pub fn step_minute_batch<F>(
+        &mut self,
+        minute: u32,
+        threads: usize,
+        fill: F,
+    ) -> Result<&[DetectorEvent], XatuError>
+    where
+        F: Fn(usize, Ipv4, &mut [f64]) -> FleetInput + Sync,
+    {
+        let n = self.addrs.len();
+        self.events.clear();
+        if n == 0 {
+            return Ok(&self.events);
+        }
+        let threads = threads.clamp(1, n);
+        while self.workers.len() < threads {
+            self.workers.push(WorkerScratch::new());
+        }
+        let k = self.knobs();
+        let net = Net {
+            short: self.model.lstm_short(),
+            medium: self.model.lstm_medium(),
+            long: self.model.lstm_long(),
+            head: self.model.head(),
+        };
+        let addrs: &[Ipv4] = &self.addrs;
+        let window = self.window;
+        let worker = |(mut sh, w): (Shard<'_>, &mut WorkerScratch)| {
+            let WorkerScratch {
+                frame,
+                z,
+                input,
+                ws,
+                runs,
+                impute_events,
+                life_events,
+                obs,
+                err,
+            } = w;
+            impute_events.clear();
+            life_events.clear();
+            *err = None;
+            let len = sh.len();
+
+            // Phase A — scalar: ordering, gap bridging, sanitization,
+            // bucket accumulation. Sets the per-minute flags phase B keys
+            // off. Imputed catch-up minutes run the full scalar reference
+            // step here.
+            for j in 0..len {
+                sh.driven[j] = false;
+                sh.med_done[j] = false;
+                sh.long_done[j] = false;
+                let g = sh.start + j;
+                let addr = addrs[g];
+                let action = fill(g, addr, frame);
+                if matches!(action, FleetInput::Skip) {
+                    continue;
+                }
+                if let Some(last) = sh.last_minute[j] {
+                    if minute <= last {
+                        obs.out_of_order.inc();
+                        if err.is_none() {
+                            *err = Some(XatuError::OutOfOrderMinute {
+                                customer: addr,
+                                minute,
+                                last,
+                            });
+                        }
+                        continue;
+                    }
+                }
+                catch_up(
+                    net, &k, obs, &mut sh, j, addr, minute, z, input, impute_events,
+                );
+                // One fused pass per feature: sanitize (for real frames)
+                // into the ZOH buffer and feed both pooling buckets.
+                // Element-wise identical to sanitize-then-accumulate — the
+                // per-element arithmetic is independent — but one pass over
+                // the customer's rows instead of three.
+                let f = j * NUM_FEATURES;
+                if matches!(action, FleetInput::Gap) {
+                    sh.stale_run[j] += 1;
+                    obs.gaps_imputed.inc();
+                    for e in f..f + NUM_FEATURES {
+                        let v = sh.last_frame[e];
+                        sh.med_partial[e] += v;
+                        sh.long_partial[e] += v;
+                    }
+                } else {
+                    let mut replaced = 0u64;
+                    for (e, &raw) in frame[..NUM_FEATURES].iter().enumerate() {
+                        let v = if raw.is_finite() {
+                            raw
+                        } else {
+                            replaced += 1;
+                            0.0
+                        };
+                        sh.last_frame[f + e] = v;
+                        sh.med_partial[f + e] += v;
+                        sh.long_partial[f + e] += v;
+                    }
+                    if replaced > 0 {
+                        obs.values_sanitized.add(replaced);
+                    }
+                    if sh.stale_run[j] > 0 {
+                        obs.gap_runs.observe(sh.stale_run[j] as f64);
+                        sh.stale_run[j] = 0;
+                    }
+                }
+                sh.med_count[j] += 1;
+                sh.med_done[j] = sh.med_count[j] == k.med_gran;
+                if sh.med_done[j] {
+                    let inv = 1.0 / k.med_gran as f64;
+                    for e in f..f + NUM_FEATURES {
+                        sh.med_partial[e] *= inv;
+                    }
+                    sh.med_count[j] = 0;
+                }
+                sh.long_count[j] += 1;
+                sh.long_done[j] = sh.long_count[j] == k.long_gran;
+                if sh.long_done[j] {
+                    let inv = 1.0 / k.long_gran as f64;
+                    for e in f..f + NUM_FEATURES {
+                        sh.long_partial[e] *= inv;
+                    }
+                    sh.long_count[j] = 0;
+                }
+                sh.driven[j] = true;
+            }
+
+            // Phase B — batched: advance dual states over contiguous runs
+            // of the arenas. Rows are independent and the block kernel is
+            // 0-ULP equal to the scalar one, so run boundaries (and hence
+            // shard boundaries) cannot move a bit.
+            if k.use_s {
+                collect_runs(sh.driven, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.last_frame[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.short.step_block(net.short, a, b, xs, ws);
+                }
+            }
+            if k.use_m {
+                collect_runs(sh.med_done, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.med_partial[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.medium.step_block(net.medium, a, b, xs, ws);
+                }
+            }
+            if k.use_l {
+                collect_runs(sh.long_done, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.long_partial[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.long.step_block(net.long, a, b, xs, ws);
+                }
+            }
+            // Retire consumed buckets (completed rows were scaled in place
+            // in phase A; their counts are already zero).
+            collect_runs(sh.med_done, runs);
+            for &(a, b) in runs.iter() {
+                sh.med_partial[a as usize * NUM_FEATURES..b as usize * NUM_FEATURES].fill(0.0);
+            }
+            collect_runs(sh.long_done, runs);
+            for &(a, b) in runs.iter() {
+                sh.long_partial[a as usize * NUM_FEATURES..b as usize * NUM_FEATURES].fill(0.0);
+            }
+
+            // Phase C — scalar: combiner, survival, staleness blend, alert
+            // lifecycle, clock advance.
+            for j in 0..len {
+                if !sh.driven[j] {
+                    continue;
+                }
+                let addr = addrs[sh.start + j];
+                combine_and_alert(net, &k, obs, &mut sh, j, addr, minute, input, life_events);
+                sh.last_minute[j] = Some(minute);
+            }
+        };
+
+        // Single-threaded, the whole fleet runs as one allocation-free
+        // shard; sharded, the per-range views and the task list are the
+        // only per-minute allocations (O(threads) small `Vec`s).
+        let active = if threads == 1 {
+            worker((shard_all(&mut self.arenas, window), &mut self.workers[0]));
+            1
+        } else {
+            let ranges = block_ranges(n, threads);
+            let shards = build_shards(&mut self.arenas, &ranges, window);
+            let tasks: Vec<(Shard<'_>, &mut WorkerScratch)> = shards
+                .into_iter()
+                .zip(self.workers.iter_mut())
+                .collect();
+            par_run_tasks(tasks, worker);
+            ranges.len()
+        };
+
+        // Stitch in block order: catch-up events, then lifecycle events,
+        // then telemetry and the first ordering violation.
+        let mut first_err = None;
+        for w in &self.workers[..active] {
+            self.events.extend_from_slice(&w.impute_events);
+        }
+        for w in &self.workers[..active] {
+            self.events.extend_from_slice(&w.life_events);
+        }
+        for w in &mut self.workers[..active] {
+            self.obs.merge_from(&w.obs);
+            w.obs.reset();
+            if first_err.is_none() {
+                first_err = w.err.take();
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(&self.events),
+        }
+    }
+
+    /// Forces any open alerts to end at `minute` (end of evaluation), in
+    /// customer-id order.
+    pub fn close_all(&mut self, minute: u32) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        for j in 0..self.addrs.len() {
+            if let Some(detected_at) = self.arenas.active_since[j].take() {
+                self.obs.ended.inc();
+                events.push(DetectorEvent::Ended(Alert {
+                    customer: self.addrs[j],
+                    attack_type: self.attack_type,
+                    detected_at,
+                    mitigation_end: Some(minute),
+                }));
+            }
+        }
+        events
+    }
+
+    /// Snapshots the fleet into the *same* checkpoint format as
+    /// [`crate::online::OnlineDetector::to_checkpoint`] (customers sorted
+    /// by address), so the XCK1 container, the resume driver, and either
+    /// detector implementation can load it interchangeably.
+    pub fn to_checkpoint(&mut self) -> DetectorCheckpoint {
+        let mut params = vec![0.0; self.model.param_count()];
+        self.model.export_params_into(&mut params);
+        let h = self.model.cfg.hidden;
+        let w = self.window;
+        let mut order: Vec<usize> = (0..self.addrs.len()).collect();
+        order.sort_unstable_by_key(|&i| self.addrs[i].0);
+        let customers = order
+            .into_iter()
+            .map(|i| {
+                let a = &self.arenas;
+                let dual = [&a.short, &a.medium, &a.long].map(|d| DualStateCheckpoint {
+                    aged_h: d.aged_h[i * h..(i + 1) * h].to_vec(),
+                    aged_c: d.aged_c[i * h..(i + 1) * h].to_vec(),
+                    fresh_h: d.fresh_h[i * h..(i + 1) * h].to_vec(),
+                    fresh_c: d.fresh_c[i * h..(i + 1) * h].to_vec(),
+                    aged_age: d.aged_age[i],
+                    fresh_age: d.fresh_age[i],
+                    period: d.period,
+                });
+                let f = i * NUM_FEATURES;
+                CustomerCheckpoint {
+                    addr: self.addrs[i].0,
+                    dual,
+                    survival: (
+                        w as u64,
+                        a.ring_buf[i * w..(i + 1) * w].to_vec(),
+                        a.ring_head[i] as u64,
+                        a.ring_filled[i] as u64,
+                        a.ring_sum[i],
+                    ),
+                    med_partial: (a.med_partial[f..f + NUM_FEATURES].to_vec(), a.med_count[i]),
+                    long_partial: (
+                        a.long_partial[f..f + NUM_FEATURES].to_vec(),
+                        a.long_count[i],
+                    ),
+                    active_since: a.active_since[i],
+                    quiet_run: a.quiet_run[i],
+                    last_survival: a.last_survival[i],
+                    observed: a.observed[i],
+                    last_frame: a.last_frame[f..f + NUM_FEATURES].to_vec(),
+                    stale_run: a.stale_run[i],
+                    last_minute: a.last_minute[i],
+                }
+            })
+            .collect();
+        DetectorCheckpoint {
+            attack_type: self.attack_type,
+            threshold: self.threshold,
+            window: self.window as u64,
+            quiet: self.quiet,
+            warmup: self.warmup,
+            ctx_lens: (
+                self.ctx_lens.0 as u64,
+                self.ctx_lens.1 as u64,
+                self.ctx_lens.2 as u64,
+            ),
+            max_alert_minutes: self.max_alert_minutes,
+            timescales: self.model.cfg.timescales,
+            hidden: self.model.cfg.hidden as u64,
+            mode: self.model.cfg.mode,
+            params,
+            customers,
+        }
+    }
+
+    /// Rebuilds a fleet from a checkpoint — including one written by
+    /// [`crate::online::OnlineDetector::to_checkpoint`] — with the same
+    /// validation, plus the fleet's uniformity requirement: every
+    /// customer's dual-state periods must match the context lengths the
+    /// arena is built for (which every checkpoint either detector writes
+    /// satisfies). Dense ids are assigned in checkpoint (address) order.
+    pub fn from_checkpoint(ck: &DetectorCheckpoint) -> Result<Self, XatuError> {
+        if ck.timescales.0 == 0 || ck.timescales.1 == 0 || ck.timescales.2 == 0 {
+            return Err(XatuError::invalid_checkpoint(
+                "timescale granularities must be >= 1",
+            ));
+        }
+        let cfg = ModelConfig {
+            timescales: ck.timescales,
+            hidden: ck.hidden as usize,
+            mode: ck.mode,
+        };
+        let mut model = XatuModel::with_config(cfg);
+        if ck.params.len() != model.param_count() {
+            return Err(XatuError::invalid_checkpoint(format!(
+                "checkpoint has {} parameters, model shape needs {}",
+                ck.params.len(),
+                model.param_count()
+            )));
+        }
+        if ck.params.iter().any(|v| !v.is_finite()) {
+            return Err(XatuError::invalid_checkpoint("non-finite model parameter"));
+        }
+        model.import_params_from(&ck.params);
+
+        let window = ck.window as usize;
+        if window == 0 {
+            return Err(XatuError::invalid_checkpoint("survival window must be >= 1"));
+        }
+        let ctx = (
+            ck.ctx_lens.0 as usize,
+            ck.ctx_lens.1 as usize,
+            ck.ctx_lens.2 as usize,
+        );
+        let hidden = ck.hidden as usize;
+        let mut fleet = FleetDetector {
+            arenas: FleetArenas::new(hidden, ctx),
+            model,
+            attack_type: ck.attack_type,
+            threshold: ck.threshold,
+            window,
+            quiet: ck.quiet,
+            warmup: ck.warmup,
+            ctx_lens: ctx,
+            max_alert_minutes: ck.max_alert_minutes,
+            addrs: Vec::new(),
+            index: HashMap::with_capacity(ck.customers.len()),
+            obs: DetectorObs::default(),
+            workers: Vec::new(),
+            events: Vec::new(),
+        };
+        for c in &ck.customers {
+            let addr = Ipv4(c.addr);
+            if fleet.index.contains_key(&addr) {
+                return Err(XatuError::invalid_checkpoint(format!(
+                    "customer {} appears twice",
+                    c.addr
+                )));
+            }
+            let i = fleet.add_customer(addr);
+            fleet
+                .restore_customer(i, c, ck)
+                .map_err(|e| XatuError::invalid_checkpoint(format!("customer {}: {e}", c.addr)))?;
+        }
+        Ok(fleet)
+    }
+
+    /// Validates and loads one customer's checkpoint record into arena row
+    /// `i`. Validation is delegated to [`DualState::restore`] and
+    /// [`RollingSurvival::restore`] — the same code the per-customer
+    /// detector uses — before the values are copied into the arenas.
+    fn restore_customer(
+        &mut self,
+        i: usize,
+        c: &CustomerCheckpoint,
+        ck: &DetectorCheckpoint,
+    ) -> Result<(), String> {
+        let hidden = self.model.cfg.hidden;
+        let arenas = &mut self.arenas;
+        for (d, arena) in c
+            .dual
+            .iter()
+            .zip([&mut arenas.short, &mut arenas.medium, &mut arenas.long])
+        {
+            let ds = DualState::restore(
+                LstmState {
+                    h: d.aged_h.clone(),
+                    c: d.aged_c.clone(),
+                },
+                LstmState {
+                    h: d.fresh_h.clone(),
+                    c: d.fresh_c.clone(),
+                },
+                d.aged_age,
+                d.fresh_age,
+                d.period,
+            )
+            .map_err(String::from)?;
+            if ds.states().0.h.len() != hidden {
+                return Err(format!(
+                    "dual-state hidden size {} does not match model hidden {hidden}",
+                    ds.states().0.h.len()
+                ));
+            }
+            if ds.period() != arena.period {
+                return Err(format!(
+                    "dual-state period {} does not match the fleet period {}",
+                    ds.period(),
+                    arena.period
+                ));
+            }
+            let (aged, fresh) = ds.states();
+            let (aged_age, fresh_age) = ds.ages();
+            let r = i * hidden..(i + 1) * hidden;
+            arena.aged_h[r.clone()].copy_from_slice(&aged.h);
+            arena.aged_c[r.clone()].copy_from_slice(&aged.c);
+            arena.fresh_h[r.clone()].copy_from_slice(&fresh.h);
+            arena.fresh_c[r].copy_from_slice(&fresh.c);
+            arena.aged_age[i] = aged_age;
+            arena.fresh_age[i] = fresh_age;
+        }
+
+        let (w, buf, head, filled, sum) = &c.survival;
+        if *w as usize != self.window {
+            return Err(format!(
+                "survival window {w} does not match detector window {}",
+                self.window
+            ));
+        }
+        let ring = RollingSurvival::restore(
+            *w as usize,
+            buf.clone(),
+            *head as usize,
+            *filled as usize,
+            *sum,
+        )
+        .map_err(String::from)?;
+        let (_, rbuf, rhead, rfilled, rsum) = ring.state();
+        arenas.ring_buf[i * self.window..(i + 1) * self.window].copy_from_slice(rbuf);
+        arenas.ring_head[i] = rhead as u32;
+        arenas.ring_filled[i] = rfilled as u32;
+        arenas.ring_sum[i] = rsum;
+
+        for (name, partial) in [("medium", &c.med_partial), ("long", &c.long_partial)] {
+            if partial.0.len() != NUM_FEATURES {
+                return Err(format!("{name} partial bucket has width {}", partial.0.len()));
+            }
+            if partial.0.iter().any(|v| !v.is_finite()) {
+                return Err(format!("non-finite value in {name} partial bucket"));
+            }
+        }
+        let (_, med_gran, long_gran) = ck.timescales;
+        if c.med_partial.1 >= med_gran || c.long_partial.1 >= long_gran {
+            return Err("partial bucket count at or past its granularity".into());
+        }
+        if c.last_frame.len() != NUM_FEATURES {
+            return Err(format!("last frame has width {}", c.last_frame.len()));
+        }
+        if c.last_frame.iter().any(|v| !v.is_finite()) || !c.last_survival.is_finite() {
+            return Err("non-finite value in customer scalars".into());
+        }
+        let f = i * NUM_FEATURES;
+        arenas.med_partial[f..f + NUM_FEATURES].copy_from_slice(&c.med_partial.0);
+        arenas.med_count[i] = c.med_partial.1;
+        arenas.long_partial[f..f + NUM_FEATURES].copy_from_slice(&c.long_partial.0);
+        arenas.long_count[i] = c.long_partial.1;
+        arenas.last_frame[f..f + NUM_FEATURES].copy_from_slice(&c.last_frame);
+        arenas.active_since[i] = c.active_since;
+        arenas.quiet_run[i] = c.quiet_run;
+        arenas.last_survival[i] = c.last_survival;
+        arenas.observed[i] = c.observed;
+        arenas.stale_run[i] = c.stale_run;
+        arenas.last_minute[i] = c.last_minute;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineDetector;
+
+    fn cfg() -> XatuConfig {
+        XatuConfig {
+            timescales: (1, 3, 6),
+            short_len: 8,
+            medium_len: 6,
+            long_len: 4,
+            window: 6,
+            hidden: 5,
+            ..XatuConfig::smoke_test()
+        }
+    }
+
+    const N_CUST: usize = 7;
+
+    /// Deterministic sparse-ish frames: a handful of scattered features, an
+    /// occasional NaN (exercising sanitization), and a surge for customer 0
+    /// so alerts actually raise/end under a mid-range threshold.
+    fn fleet_frame(c: usize, m: u32, out: &mut [f64]) {
+        out.fill(0.0);
+        for k in 0..8usize {
+            let idx = (c * 37 + m as usize * 13 + k * 29) % NUM_FEATURES;
+            out[idx] = ((c + 1) as f64 * 0.17 + m as f64 * 0.031 + k as f64 * 0.71).sin();
+        }
+        if m % 23 == 3 && c % 3 == 0 {
+            out[5] = f64::NAN;
+        }
+        if c == 0 && (60..90).contains(&m) {
+            out[0] = 3.0;
+        }
+    }
+
+    /// The degraded-input schedule: a short per-customer outage (imputed on
+    /// return), explicit gap minutes, a long outage (cold restart: 50 > 3·6)
+    /// and a late joiner.
+    fn schedule(c: usize, m: u32) -> FleetInput {
+        if c == 2 && (40..=45).contains(&m) {
+            FleetInput::Skip
+        } else if c == 3 && m % 17 == 0 && m > 0 {
+            FleetInput::Gap
+        } else if c == 4 && (50..100).contains(&m) {
+            FleetInput::Skip
+        } else if c == 5 && m < 20 {
+            FleetInput::Skip
+        } else {
+            FleetInput::Frame
+        }
+    }
+
+    fn fleet_fill(m: u32) -> impl Fn(usize, Ipv4, &mut [f64]) -> FleetInput {
+        move |i, _addr, out| {
+            let action = schedule(i, m);
+            if matches!(action, FleetInput::Frame) {
+                fleet_frame(i, m, out);
+            }
+            action
+        }
+    }
+
+    fn new_pair(threshold: f64) -> (OnlineDetector, FleetDetector) {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        let det = OnlineDetector::new(model.clone(), AttackType::UdpFlood, threshold, &c);
+        let mut fleet = FleetDetector::new(model, AttackType::UdpFlood, threshold, &c);
+        for i in 0..N_CUST {
+            fleet.add_customer(Ipv4(i as u32));
+        }
+        (det, fleet)
+    }
+
+    /// Events keyed per customer: both implementations preserve each
+    /// customer's event order; only the cross-customer interleaving within
+    /// a minute differs (documented on `step_minute_batch`).
+    fn by_customer(events: &[DetectorEvent]) -> Vec<Vec<DetectorEvent>> {
+        let mut out = vec![Vec::new(); N_CUST];
+        for &e in events {
+            let a = match e {
+                DetectorEvent::Raised(a) | DetectorEvent::Ended(a) => a,
+            };
+            out[a.customer.0 as usize].push(e);
+        }
+        out
+    }
+
+    /// Drives an [`OnlineDetector`] through the same schedule one customer
+    /// at a time, returning its event stream.
+    fn drive_online(det: &mut OnlineDetector, minutes: std::ops::Range<u32>) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        let mut frame = vec![0.0; NUM_FEATURES];
+        for m in minutes {
+            for cst in 0..N_CUST {
+                let addr = Ipv4(cst as u32);
+                match schedule(cst, m) {
+                    FleetInput::Skip => {}
+                    FleetInput::Gap => {
+                        let (_, _, ev) = det.observe_gap(addr, m).expect("in-order gap");
+                        events.extend(ev);
+                    }
+                    FleetInput::Frame => {
+                        fleet_frame(cst, m, &mut frame);
+                        let (_, _, ev) = det.observe(addr, m, &frame).expect("in-order");
+                        events.extend(ev);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn drive_fleet(
+        fleet: &mut FleetDetector,
+        minutes: std::ops::Range<u32>,
+        threads: usize,
+    ) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        for m in minutes {
+            let ev = fleet
+                .step_minute_batch(m, threads, fleet_fill(m))
+                .expect("in-order batch");
+            events.extend_from_slice(ev);
+        }
+        events
+    }
+
+    #[test]
+    fn fleet_matches_online_detector_bitwise_through_degradation() {
+        // Threshold near the untrained model's resting survival so the
+        // alert lifecycle flaps: raises, quiet-ends, force-ends all fire.
+        let (mut det, mut fleet) = new_pair(0.9);
+        let mut online_events = Vec::new();
+        let mut fleet_events = Vec::new();
+        let mut frame = vec![0.0; NUM_FEATURES];
+        for m in 0..160u32 {
+            for cst in 0..N_CUST {
+                let addr = Ipv4(cst as u32);
+                match schedule(cst, m) {
+                    FleetInput::Skip => {}
+                    FleetInput::Gap => {
+                        let (_, _, ev) = det.observe_gap(addr, m).expect("in-order gap");
+                        online_events.extend(ev);
+                    }
+                    FleetInput::Frame => {
+                        fleet_frame(cst, m, &mut frame);
+                        let (_, _, ev) = det.observe(addr, m, &frame).expect("in-order");
+                        online_events.extend(ev);
+                    }
+                }
+            }
+            let ev = fleet
+                .step_minute_batch(m, 1, fleet_fill(m))
+                .expect("in-order batch");
+            fleet_events.extend_from_slice(ev);
+            for cst in 0..N_CUST {
+                let addr = Ipv4(cst as u32);
+                assert_eq!(
+                    det.survival_of(addr).to_bits(),
+                    fleet.survival_of(addr).to_bits(),
+                    "minute {m}, customer {cst}: survival diverged"
+                );
+            }
+        }
+        assert_eq!(by_customer(&online_events), by_customer(&fleet_events));
+        assert!(!online_events.is_empty(), "schedule never exercised alerts");
+        if xatu_obs::enabled() {
+            let (a, b) = (det.obs(), fleet.obs());
+            assert_eq!(a.raised.get(), b.raised.get());
+            assert_eq!(a.ended.get(), b.ended.get());
+            assert_eq!(a.force_ended.get(), b.force_ended.get());
+            assert_eq!(a.warmup_suppressed.get(), b.warmup_suppressed.get());
+            assert_eq!(a.gaps_imputed.get(), b.gaps_imputed.get());
+            assert_eq!(a.values_sanitized.get(), b.values_sanitized.get());
+            assert_eq!(a.cold_restarts.get(), b.cold_restarts.get());
+            assert_eq!(a.survival.count(), b.survival.count());
+            assert_eq!(a.survival.counts(), b.survival.counts());
+            assert_eq!(a.gap_runs.counts(), b.gap_runs.counts());
+        }
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_across_thread_counts() {
+        let (_, mut f1) = new_pair(0.9);
+        let (_, mut f4) = new_pair(0.9);
+        let (_, mut f3) = new_pair(0.9);
+        let e1 = drive_fleet(&mut f1, 0..140, 1);
+        let e4 = drive_fleet(&mut f4, 0..140, 4);
+        let e3 = drive_fleet(&mut f3, 0..140, 3);
+        assert_eq!(e1, e4, "1-thread vs 4-thread event streams diverged");
+        assert_eq!(e1, e3, "1-thread vs 3-thread event streams diverged");
+        for cst in 0..N_CUST {
+            let addr = Ipv4(cst as u32);
+            assert_eq!(f1.survival_of(addr).to_bits(), f4.survival_of(addr).to_bits());
+            assert_eq!(f1.survival_of(addr).to_bits(), f3.survival_of(addr).to_bits());
+        }
+        if xatu_obs::enabled() {
+            assert_eq!(f1.obs().survival.counts(), f4.obs().survival.counts());
+            assert_eq!(f1.obs().raised.get(), f4.obs().raised.get());
+        }
+    }
+
+    #[test]
+    fn fleet_checkpoint_interops_with_online_detector_both_ways() {
+        let (mut det, mut fleet) = new_pair(0.9);
+        drive_online(&mut det, 0..80);
+        drive_fleet(&mut fleet, 0..80, 2);
+
+        // Fleet checkpoint → both implementations resume bit-identically.
+        let ck = fleet.to_checkpoint();
+        let mut fleet_resumed = FleetDetector::from_checkpoint(&ck).expect("fleet restore");
+        let mut online_resumed = OnlineDetector::from_checkpoint(&ck).expect("online restore");
+        let ev_orig = drive_fleet(&mut fleet, 80..150, 2);
+        let ev_fleet = drive_fleet(&mut fleet_resumed, 80..150, 4);
+        let ev_online = drive_online(&mut online_resumed, 80..150);
+        assert_eq!(ev_orig, ev_fleet, "fleet→fleet resume diverged");
+        assert_eq!(
+            by_customer(&ev_orig),
+            by_customer(&ev_online),
+            "fleet→online resume diverged"
+        );
+        for cst in 0..N_CUST {
+            let addr = Ipv4(cst as u32);
+            assert_eq!(
+                fleet.survival_of(addr).to_bits(),
+                fleet_resumed.survival_of(addr).to_bits()
+            );
+            assert_eq!(
+                fleet.survival_of(addr).to_bits(),
+                online_resumed.survival_of(addr).to_bits()
+            );
+        }
+
+        // Online checkpoint → fleet resumes bit-identically.
+        let ck2 = det.to_checkpoint();
+        let mut fleet_from_online = FleetDetector::from_checkpoint(&ck2).expect("restore");
+        let ev_det = drive_online(&mut det, 80..150);
+        let ev_f = drive_fleet(&mut fleet_from_online, 80..150, 2);
+        assert_eq!(by_customer(&ev_det), by_customer(&ev_f));
+        for cst in 0..N_CUST {
+            let addr = Ipv4(cst as u32);
+            assert_eq!(
+                det.survival_of(addr).to_bits(),
+                fleet_from_online.survival_of(addr).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_corrupt_checkpoints() {
+        let (_, mut fleet) = new_pair(0.9);
+        drive_fleet(&mut fleet, 0..50, 2);
+        let good = fleet.to_checkpoint();
+        assert!(FleetDetector::from_checkpoint(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad.customers[0].last_frame.truncate(10);
+        assert!(FleetDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.customers[0].dual[0].aged_h[0] = f64::NAN;
+        assert!(FleetDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.customers[0].dual[1].period += 1;
+        assert!(
+            FleetDetector::from_checkpoint(&bad).is_err(),
+            "non-uniform period must be rejected"
+        );
+
+        let mut bad = good.clone();
+        bad.params.pop();
+        assert!(FleetDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good.clone();
+        let dup = bad.customers[0].clone();
+        bad.customers.push(dup);
+        assert!(FleetDetector::from_checkpoint(&bad).is_err());
+
+        let mut bad = good;
+        bad.customers[0].survival.0 = 99;
+        assert!(FleetDetector::from_checkpoint(&bad).is_err());
+    }
+
+    #[test]
+    fn out_of_order_batch_is_reported_and_customer_untouched() {
+        let (_, mut fleet) = new_pair(0.9);
+        drive_fleet(&mut fleet, 0..10, 1);
+        let before = fleet.survival_of(Ipv4(1));
+        let err = fleet
+            .step_minute_batch(5, 1, |i, _a, out| {
+                if i == 1 {
+                    fleet_frame(1, 5, out);
+                    FleetInput::Frame
+                } else {
+                    FleetInput::Skip
+                }
+            })
+            .expect_err("regressed minute must be rejected");
+        assert!(matches!(
+            err,
+            XatuError::OutOfOrderMinute {
+                customer: Ipv4(1),
+                minute: 5,
+                last: 9
+            }
+        ));
+        assert_eq!(before.to_bits(), fleet.survival_of(Ipv4(1)).to_bits());
+        // The stream continues normally afterwards.
+        fleet
+            .step_minute_batch(10, 1, fleet_fill(10))
+            .expect("in-order batch");
+    }
+
+    #[test]
+    fn close_all_ends_open_alerts() {
+        let (_, mut fleet) = new_pair(0.9);
+        drive_fleet(&mut fleet, 0..60, 2);
+        let open: usize = (0..N_CUST)
+            .filter(|&c| fleet.arenas.active_since[c].is_some())
+            .count();
+        assert!(open > 0, "no alert open at close time");
+        let events = fleet.close_all(60);
+        assert_eq!(events.len(), open);
+        assert!(events.iter().all(|e| matches!(e, DetectorEvent::Ended(a) if a.mitigation_end == Some(60))));
+        assert!(fleet.close_all(61).is_empty());
+    }
+
+    #[test]
+    fn interner_and_budget_are_reported() {
+        let (_, mut fleet) = new_pair(0.9);
+        assert_eq!(fleet.len(), N_CUST);
+        assert_eq!(fleet.add_customer(Ipv4(3)), 3, "re-adding is idempotent");
+        assert_eq!(fleet.customer_index(Ipv4(6)), Some(6));
+        assert_eq!(fleet.customer_index(Ipv4(99)), None);
+        assert_eq!(fleet.survival_of(Ipv4(99)), 1.0);
+        let per = fleet.bytes_per_customer();
+        // hidden 5, window 6: duals 3·4·5·8 = 480B, frames 3·273·8 ≈ 6.5KB.
+        assert!(per > 6_000 && per < 64_000, "bytes/customer = {per}");
+    }
+}

@@ -30,6 +30,10 @@
 //! * [`faulted`] — the fault-injected streaming driver: runs the online
 //!   detector against a [`xatu_simnet::FaultedWorld`] with graceful
 //!   degradation and optional mid-run checkpoint/kill/resume.
+//! * [`fleet`] — the fleet-scale variant of the online detector: the same
+//!   ladder and checkpoint format, with per-customer state transposed into
+//!   flat SoA arenas, cross-customer batched LSTM kernels, and
+//!   thread-invariant sharding for 100k+ customers per box.
 
 pub mod checkpoint;
 pub mod config;
@@ -37,6 +41,7 @@ pub mod dataset;
 pub mod error;
 pub mod eval;
 pub mod faulted;
+pub mod fleet;
 pub mod gradients;
 pub mod model;
 pub mod online;
@@ -46,5 +51,6 @@ pub mod trainer;
 
 pub use config::XatuConfig;
 pub use error::XatuError;
+pub use fleet::{FleetDetector, FleetInput};
 pub use model::XatuModel;
 pub use pipeline::{Pipeline, PipelineConfig};

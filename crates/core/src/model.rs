@@ -167,6 +167,26 @@ impl XatuModel {
         self.cfg.hidden
     }
 
+    /// The short-timescale LSTM (crate-internal: fleet batched stepping).
+    pub(crate) fn lstm_short(&self) -> &Lstm {
+        &self.lstm_short
+    }
+
+    /// The medium-timescale LSTM (crate-internal: fleet batched stepping).
+    pub(crate) fn lstm_medium(&self) -> &Lstm {
+        &self.lstm_medium
+    }
+
+    /// The long-timescale LSTM (crate-internal: fleet batched stepping).
+    pub(crate) fn lstm_long(&self) -> &Lstm {
+        &self.lstm_long
+    }
+
+    /// The combiner head (crate-internal: fleet batched stepping).
+    pub(crate) fn head(&self) -> &Dense {
+        &self.head
+    }
+
     /// Runs the model on a sample, producing hazards for each window step.
     ///
     /// Allocating convenience wrapper: widens the sample and builds a fresh

@@ -99,6 +99,41 @@ impl Default for DetectorObs {
     }
 }
 
+impl DetectorObs {
+    /// Adds another recorder's counts into this one. The fleet detector's
+    /// workers each record into their own `DetectorObs` and fold into the
+    /// detector's aggregate in shard order after every batch; counter adds
+    /// and bucket-wise histogram merges are order-independent, so the
+    /// aggregate is identical for every thread count.
+    pub fn merge_from(&mut self, other: &DetectorObs) {
+        self.raised.add(other.raised.get());
+        self.ended.add(other.ended.get());
+        self.force_ended.add(other.force_ended.get());
+        self.warmup_suppressed.add(other.warmup_suppressed.get());
+        self.survival.merge(&other.survival);
+        self.gaps_imputed.add(other.gaps_imputed.get());
+        self.values_sanitized.add(other.values_sanitized.get());
+        self.out_of_order.add(other.out_of_order.get());
+        self.cold_restarts.add(other.cold_restarts.get());
+        self.gap_runs.merge(&other.gap_runs);
+    }
+
+    /// Zeroes every counter and histogram in place, keeping allocations,
+    /// so a per-worker recorder can be reused without allocating.
+    pub fn reset(&mut self) {
+        self.raised.reset();
+        self.ended.reset();
+        self.force_ended.reset();
+        self.warmup_suppressed.reset();
+        self.survival.reset();
+        self.gaps_imputed.reset();
+        self.values_sanitized.reset();
+        self.out_of_order.reset();
+        self.cold_restarts.reset();
+        self.gap_runs.reset();
+    }
+}
+
 /// Per-customer streaming state.
 #[derive(Clone)]
 struct CustomerState {
@@ -390,39 +425,45 @@ impl OnlineDetector {
     /// Rebuilds a detector from a checkpoint, validating every invariant
     /// the streaming logic depends on (shape agreement, finite floats,
     /// consistent dual-state ages). The result resumes bit-identically to
-    /// the detector that was snapshotted.
-    pub fn from_checkpoint(ck: &DetectorCheckpoint) -> Result<Self, String> {
+    /// the detector that was snapshotted. Validation failures surface as
+    /// [`XatuError::InvalidCheckpoint`].
+    pub fn from_checkpoint(ck: &DetectorCheckpoint) -> Result<Self, XatuError> {
         let cfg = ModelConfig {
             timescales: ck.timescales,
             hidden: ck.hidden as usize,
             mode: ck.mode,
         };
         if ck.timescales.0 == 0 || ck.timescales.1 == 0 || ck.timescales.2 == 0 {
-            return Err("timescale granularities must be >= 1".into());
+            return Err(XatuError::invalid_checkpoint(
+                "timescale granularities must be >= 1",
+            ));
         }
         let mut model = XatuModel::with_config(cfg);
         if ck.params.len() != model.param_count() {
-            return Err(format!(
+            return Err(XatuError::invalid_checkpoint(format!(
                 "checkpoint has {} parameters, model shape needs {}",
                 ck.params.len(),
                 model.param_count()
-            ));
+            )));
         }
         if ck.params.iter().any(|v| !v.is_finite()) {
-            return Err("non-finite model parameter".into());
+            return Err(XatuError::invalid_checkpoint("non-finite model parameter"));
         }
         model.import_params_from(&ck.params);
 
         let window = ck.window as usize;
         if window == 0 {
-            return Err("survival window must be >= 1".into());
+            return Err(XatuError::invalid_checkpoint("survival window must be >= 1"));
         }
         let mut customers = HashMap::with_capacity(ck.customers.len());
         for c in &ck.customers {
             let state = restore_customer(&model, c, window, ck)
-                .map_err(|e| format!("customer {}: {e}", c.addr))?;
+                .map_err(|e| XatuError::invalid_checkpoint(format!("customer {}: {e}", c.addr)))?;
             if customers.insert(Ipv4(c.addr), state).is_some() {
-                return Err(format!("customer {} appears twice", c.addr));
+                return Err(XatuError::invalid_checkpoint(format!(
+                    "customer {} appears twice",
+                    c.addr
+                )));
             }
         }
         Ok(OnlineDetector {

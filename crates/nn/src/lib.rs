@@ -41,7 +41,7 @@ pub use adam::Adam;
 pub use arena::FrameArena;
 pub use dense::Dense;
 pub use gradpool::GradBufferPool;
-pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace};
+pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace, OnlineBlockWorkspace};
 pub use matrix::Matrix;
 
 /// A parameter container that exposes its (parameter, gradient) pairs.

@@ -231,6 +231,36 @@ fn fit(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
+/// Reusable scratch for [`Lstm::step_online_block`]: the block's
+/// pre-activation arena (`batch × 4·hidden`) and the shared sparsity-scan
+/// index buffer. One workspace per fleet shard; buffers are resized with
+/// capacity-keeping operations, so steady-state block steps allocate
+/// nothing.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineBlockWorkspace {
+    /// Pre-activations, `batch × 4·hidden`, customer-major.
+    zs: Vec<f64>,
+    /// Ascending nonzero input indices of the row being processed.
+    nz: Vec<u32>,
+    /// Shared input contribution `b + Wx·x` per row, for
+    /// [`Lstm::step_online_dual_block`]'s two states-per-input halves.
+    zx: Vec<f64>,
+    /// `Wxᵀ`, materialised lazily per block call on the first sparse row
+    /// so the sparse kernel streams contiguous transpose rows (see
+    /// [`Matrix::matvec_acc_nz_t`]). Rebuilt every call — the workspace
+    /// never assumes the layer's weights are the ones it last saw.
+    wxt: Matrix,
+    /// Lane scratch for [`Matrix::matvec_acc_nz_t`], `4 × 4·hidden`.
+    lanes: Vec<f64>,
+}
+
+impl OnlineBlockWorkspace {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// An LSTM layer: weights, biases and their gradient buffers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Lstm {
@@ -431,21 +461,199 @@ impl Lstm {
     /// # Panics
     /// Panics if `x` or `state` have the wrong dimensions.
     pub fn step_online_into(&self, x: &[f64], state: &mut LstmState, z: &mut Vec<f64>) {
+        self.step_online_slices(x, &mut state.h, &mut state.c, z);
+    }
+
+    /// [`Lstm::step_online_into`] on raw state slices, for callers whose
+    /// per-customer `(h, c)` rows live in flat structure-of-arrays arenas
+    /// rather than in [`LstmState`] objects. This *is* the reference online
+    /// step — `step_online_into` delegates here — so arena-resident state
+    /// advances through literally the same code path.
+    ///
+    /// # Panics
+    /// Panics if `x`, `h_state` or `c_state` have the wrong dimensions.
+    pub fn step_online_slices(
+        &self,
+        x: &[f64],
+        h_state: &mut [f64],
+        c_state: &mut [f64],
+        z: &mut Vec<f64>,
+    ) {
         assert_eq!(x.len(), self.input, "lstm: input dim");
-        assert_eq!(state.h.len(), self.hidden, "lstm: state h dim");
+        assert_eq!(h_state.len(), self.hidden, "lstm: state h dim");
+        assert_eq!(c_state.len(), self.hidden, "lstm: state c dim");
         let h = self.hidden;
         z.clear();
         z.extend_from_slice(&self.b);
         self.wx.matvec_acc(x, z);
-        self.wh.matvec_acc(&state.h, z);
+        self.wh.matvec_acc(h_state, z);
         for k in 0..h {
             let i = sigmoid(z[k]);
             let f = sigmoid(z[h + k]);
             let g = tanh(z[2 * h + k]);
             let o = sigmoid(z[3 * h + k]);
-            let c = f * state.c[k] + i * g;
-            state.c[k] = c;
-            state.h[k] = o * tanh(c);
+            let c = f * c_state[k] + i * g;
+            c_state[k] = c;
+            h_state[k] = o * tanh(c);
+        }
+    }
+
+    /// Advances a block of `batch` independent online states through one
+    /// LSTM step: `xs` is `batch × input`, `hs`/`cs` are `batch × hidden`,
+    /// all customer-major flat rows.
+    ///
+    /// Bit-identical (0 ULP) to calling [`Lstm::step_online_into`] once per
+    /// row, pinned by a property test. Per row, the pre-activation is built
+    /// from the same three contributions in the same order — bias copy,
+    /// `+= Wx·x` (each output element one `dot4`-ordered value; the sparse
+    /// index-list kernel used for mostly-zero frames is itself bit-identical
+    /// to the dense one), `+= Wh·h` — and the fused gate/cell/output loop is
+    /// the same scalar code. The throughput win is the recurrent half: `Wh`
+    /// is applied to all rows at once through [`Matrix::matvec_acc_batch`],
+    /// which streams each weight row once per 4 customers instead of once
+    /// per customer, and the whole block shares one sparsity scan buffer.
+    ///
+    /// Rows are fully independent, so ragged fleets (customers mid-gap,
+    /// mid-imputation, or freshly cold-started) batch together freely and
+    /// batch composition can never influence any row's result.
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with `batch` and the layer shape.
+    pub fn step_online_block(
+        &self,
+        xs: &[f64],
+        batch: usize,
+        hs: &mut [f64],
+        cs: &mut [f64],
+        ws: &mut OnlineBlockWorkspace,
+    ) {
+        assert_eq!(xs.len(), batch * self.input, "lstm: block xs length");
+        assert_eq!(hs.len(), batch * self.hidden, "lstm: block hs length");
+        assert_eq!(cs.len(), batch * self.hidden, "lstm: block cs length");
+        let h = self.hidden;
+        let OnlineBlockWorkspace { zs, nz, wxt, lanes, .. } = ws;
+        // Length-only resize: every element is overwritten by the bias
+        // copy in `input_preactivations`, so no re-zeroing pass.
+        zs.resize(batch * 4 * h, 0.0);
+        self.input_preactivations(xs, batch, nz, wxt, lanes, zs);
+        // z_c += Wh·h_c for the whole block at once.
+        self.wh.matvec_acc_batch(hs, batch, zs);
+        self.gate_block(zs, batch, hs, cs);
+    }
+
+    /// Advances *both* halves of a block of dual online states through one
+    /// step sharing a single input contribution: for every row,
+    /// `z = b + Wx·x` is computed once and reused for the aged and fresh
+    /// halves (the recurrent `+ Wh·h` differs per half). Bit-identical to
+    /// two [`Lstm::step_online_block`] calls over the same `xs` — the
+    /// shared contribution is the same value either way, merely not
+    /// recomputed — and pinned by a property test.
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with `batch` and the layer shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_online_dual_block(
+        &self,
+        xs: &[f64],
+        batch: usize,
+        aged_hs: &mut [f64],
+        aged_cs: &mut [f64],
+        fresh_hs: &mut [f64],
+        fresh_cs: &mut [f64],
+        ws: &mut OnlineBlockWorkspace,
+    ) {
+        assert_eq!(xs.len(), batch * self.input, "lstm: block xs length");
+        assert_eq!(aged_hs.len(), batch * self.hidden, "lstm: block hs length");
+        assert_eq!(aged_cs.len(), batch * self.hidden, "lstm: block cs length");
+        assert_eq!(fresh_hs.len(), batch * self.hidden, "lstm: block hs length");
+        assert_eq!(fresh_cs.len(), batch * self.hidden, "lstm: block cs length");
+        let h = self.hidden;
+        let OnlineBlockWorkspace { zs, nz, zx, wxt, lanes } = ws;
+        // Length-only resizes: both buffers are fully overwritten (bias
+        // copy / copy_from_slice) before being read.
+        zx.resize(batch * 4 * h, 0.0);
+        self.input_preactivations(xs, batch, nz, wxt, lanes, zx);
+        zs.resize(batch * 4 * h, 0.0);
+        zs.copy_from_slice(zx);
+        self.wh.matvec_acc_batch(aged_hs, batch, zs);
+        self.gate_block(zs, batch, aged_hs, aged_cs);
+        self.wh.matvec_acc_batch(fresh_hs, batch, zx);
+        self.gate_block(zx, batch, fresh_hs, fresh_cs);
+    }
+
+    /// `z_c = b + Wx·x_c` for every row of a block. Mostly-zero rows go
+    /// through the transposed sparse kernel (contiguous weight streaming;
+    /// `Wxᵀ` is materialised once per block on the first sparse row);
+    /// maximal runs of dense rows (pooled buckets are usually dense — a
+    /// bucket's support is the union of its frames') go through
+    /// [`Matrix::matvec_acc_batch`], which streams each `Wx` row once per
+    /// 4 customers instead of once per customer. All kernels are pinned
+    /// bit-identical, so routing cannot move a bit.
+    #[allow(clippy::too_many_arguments)]
+    fn input_preactivations(
+        &self,
+        xs: &[f64],
+        batch: usize,
+        nz: &mut Vec<u32>,
+        wxt: &mut Matrix,
+        lanes: &mut Vec<f64>,
+        zs: &mut [f64],
+    ) {
+        let h4 = 4 * self.hidden;
+        for c in 0..batch {
+            zs[c * h4..(c + 1) * h4].copy_from_slice(&self.b);
+        }
+        let mut wxt_ready = false;
+        let mut dense_start = None;
+        for c in 0..=batch {
+            let is_dense = c < batch && {
+                let x = &xs[c * self.input..(c + 1) * self.input];
+                nz.clear();
+                let nnz = nonzero_indices_into(x, nz);
+                if use_sparse(nnz, self.input) {
+                    if !wxt_ready {
+                        self.wx.transpose_into(wxt);
+                        wxt_ready = true;
+                    }
+                    wxt.matvec_acc_nz_t(x, nz, &mut zs[c * h4..(c + 1) * h4], lanes);
+                    false
+                } else {
+                    true
+                }
+            };
+            match (dense_start, is_dense) {
+                (None, true) => dense_start = Some(c),
+                (Some(s), false) => {
+                    self.wx.matvec_acc_batch(
+                        &xs[s * self.input..c * self.input],
+                        c - s,
+                        &mut zs[s * h4..c * h4],
+                    );
+                    dense_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The fused gate/cell/output loop over a block's pre-activations, one
+    /// contiguous row per customer — the same scalar arithmetic as
+    /// [`Lstm::step_online_slices`].
+    fn gate_block(&self, zs: &[f64], batch: usize, hs: &mut [f64], cs: &mut [f64]) {
+        let h = self.hidden;
+        for c in 0..batch {
+            let z = &zs[c * 4 * h..(c + 1) * 4 * h];
+            let hc = &mut hs[c * h..(c + 1) * h];
+            let cc = &mut cs[c * h..(c + 1) * h];
+            for k in 0..h {
+                let i = sigmoid(z[k]);
+                let f = sigmoid(z[h + k]);
+                let g = tanh(z[2 * h + k]);
+                let o = sigmoid(z[3 * h + k]);
+                let cv = f * cc[k] + i * g;
+                cc[k] = cv;
+                hc[k] = o * tanh(cv);
+            }
         }
     }
 
@@ -1107,6 +1315,163 @@ mod tests {
                 prop_assert_eq!(ws.dxs().len(), ref_dxs.len());
                 for (t, row) in ref_dxs.iter().enumerate() {
                     for (a, b) in ws.dxs().frame(t).iter().zip(row) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+
+        /// The batched block step must match the per-customer online step
+        /// bitwise, at batch sizes around and across the 4-customer tile
+        /// boundary (1, 3, 64), with a ragged fleet: customers carrying
+        /// different-length histories, customers mid-gap re-fed their held
+        /// last frame (zero-order-hold imputation), and customers on all-
+        /// zero frames.
+        #[test]
+        fn online_block_matches_per_customer_bitwise(
+            seed in 0u64..5_000,
+            input in 1usize..6,
+            hidden in 1usize..6,
+            batch_sel in 0usize..3,
+        ) {
+            let batch = [1usize, 3, 64][batch_sel];
+            let mut init = Initializer::new(seed);
+            let lstm = Lstm::new(input, hidden, &mut init);
+            let mut z = Vec::new();
+
+            // Ragged per-customer histories: customer c has seen c % 5
+            // prior frames, so block rows start from genuinely different
+            // states.
+            let mut states: Vec<LstmState> = Vec::with_capacity(batch);
+            let mut frames: Vec<Vec<f64>> = Vec::with_capacity(batch);
+            for c in 0..batch {
+                let mut s = LstmState::zeros(hidden);
+                let pre = gen_seq(seed + c as u64, input, c % 5, 0.9);
+                for x in &pre {
+                    lstm.step_online_into(x, &mut s, &mut z);
+                }
+                let frame = match c % 7 {
+                    // Mid-gap: an all-zero frame.
+                    3 => vec![0.0; input],
+                    // Mid-imputation: the customer's held last frame.
+                    5 if !pre.is_empty() => pre.last().unwrap().clone(),
+                    _ => gen_seq(seed.wrapping_mul(31) + c as u64, input, 1, 1.2)
+                        .pop()
+                        .unwrap(),
+                };
+                states.push(s);
+                frames.push(frame);
+            }
+
+            // Frozen reference: one step_online_into per customer.
+            let mut want = states.clone();
+            for (s, x) in want.iter_mut().zip(&frames) {
+                lstm.step_online_into(x, s, &mut z);
+            }
+
+            // Batched path on flat customer-major arenas.
+            let mut xs = Vec::with_capacity(batch * input);
+            let mut hs = Vec::with_capacity(batch * hidden);
+            let mut cs = Vec::with_capacity(batch * hidden);
+            for (s, x) in states.iter().zip(&frames) {
+                xs.extend_from_slice(x);
+                hs.extend_from_slice(&s.h);
+                cs.extend_from_slice(&s.c);
+            }
+            let mut ws = OnlineBlockWorkspace::new();
+            lstm.step_online_block(&xs, batch, &mut hs, &mut cs, &mut ws);
+            // Warm second step through the same workspace must also agree.
+            for (s, x) in want.iter_mut().zip(&frames) {
+                lstm.step_online_into(x, s, &mut z);
+            }
+            lstm.step_online_block(&xs, batch, &mut hs, &mut cs, &mut ws);
+
+            for (c, w) in want.iter().enumerate() {
+                for (a, b) in hs[c * hidden..(c + 1) * hidden].iter().zip(&w.h) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in cs[c * hidden..(c + 1) * hidden].iter().zip(&w.c) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        /// The shared-input dual-block step (aged + fresh halves per input)
+        /// must match two independent per-half reference steps bitwise:
+        /// sharing `b + Wx·x` across halves reuses the identical value.
+        #[test]
+        fn online_dual_block_matches_per_half_bitwise(
+            seed in 0u64..5_000,
+            input in 1usize..6,
+            hidden in 1usize..6,
+            batch_sel in 0usize..3,
+        ) {
+            let batch = [1usize, 3, 64][batch_sel];
+            let mut init = Initializer::new(seed.wrapping_add(77));
+            let lstm = Lstm::new(input, hidden, &mut init);
+            let mut z = Vec::new();
+
+            // Aged and fresh halves at genuinely different points: the
+            // aged half has a longer history.
+            let mut aged: Vec<LstmState> = Vec::with_capacity(batch);
+            let mut fresh: Vec<LstmState> = Vec::with_capacity(batch);
+            let mut frames: Vec<Vec<f64>> = Vec::with_capacity(batch);
+            for c in 0..batch {
+                let pre = gen_seq(seed + c as u64, input, 2 + c % 5, 0.9);
+                let mut a = LstmState::zeros(hidden);
+                for x in &pre {
+                    lstm.step_online_into(x, &mut a, &mut z);
+                }
+                let mut f = LstmState::zeros(hidden);
+                for x in &pre[..c % 3.min(pre.len())] {
+                    lstm.step_online_into(x, &mut f, &mut z);
+                }
+                let frame = if c % 7 == 3 {
+                    vec![0.0; input]
+                } else {
+                    gen_seq(seed.wrapping_mul(29) + c as u64, input, 1, 1.1)
+                        .pop()
+                        .unwrap()
+                };
+                aged.push(a);
+                fresh.push(f);
+                frames.push(frame);
+            }
+
+            let mut want_aged = aged.clone();
+            let mut want_fresh = fresh.clone();
+            for ((a, f), x) in want_aged.iter_mut().zip(want_fresh.iter_mut()).zip(&frames) {
+                lstm.step_online_into(x, a, &mut z);
+                lstm.step_online_into(x, f, &mut z);
+            }
+
+            let mut xs = Vec::with_capacity(batch * input);
+            let (mut ah, mut ac) = (Vec::new(), Vec::new());
+            let (mut fh, mut fc) = (Vec::new(), Vec::new());
+            for ((a, f), x) in aged.iter().zip(&fresh).zip(&frames) {
+                xs.extend_from_slice(x);
+                ah.extend_from_slice(&a.h);
+                ac.extend_from_slice(&a.c);
+                fh.extend_from_slice(&f.h);
+                fc.extend_from_slice(&f.c);
+            }
+            let mut ws = OnlineBlockWorkspace::new();
+            lstm.step_online_dual_block(&xs, batch, &mut ah, &mut ac, &mut fh, &mut fc, &mut ws);
+            // Warm second step through the same workspace must also agree.
+            for ((a, f), x) in want_aged.iter_mut().zip(want_fresh.iter_mut()).zip(&frames) {
+                lstm.step_online_into(x, a, &mut z);
+                lstm.step_online_into(x, f, &mut z);
+            }
+            lstm.step_online_dual_block(&xs, batch, &mut ah, &mut ac, &mut fh, &mut fc, &mut ws);
+
+            for c in 0..batch {
+                for (got, want) in [
+                    (&ah[c * hidden..(c + 1) * hidden], &want_aged[c].h),
+                    (&ac[c * hidden..(c + 1) * hidden], &want_aged[c].c),
+                    (&fh[c * hidden..(c + 1) * hidden], &want_fresh[c].h),
+                    (&fc[c * hidden..(c + 1) * hidden], &want_fresh[c].c),
+                ] {
+                    for (a, b) in got.iter().zip(want) {
                         prop_assert_eq!(a.to_bits(), b.to_bits());
                     }
                 }

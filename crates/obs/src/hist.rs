@@ -72,6 +72,16 @@ impl FixedHistogram {
         self.nan += other.nan;
     }
 
+    /// Zeroes every bucket in place, keeping the allocation — used when a
+    /// per-worker histogram is folded into an aggregate between batches
+    /// and reused.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.nan = 0;
+    }
+
     /// The bucket upper bounds.
     pub fn bounds(&self) -> &'static [f64] {
         self.bounds
@@ -130,6 +140,18 @@ mod tests {
             assert_eq!(h.count(), 1);
             assert_eq!(h.sum(), 1.0);
         }
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_zeroes_counts() {
+        let mut h = FixedHistogram::new(BOUNDS);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.nan_count(), 0);
+        assert!(h.counts().iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -75,6 +75,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0
     }
+
+    /// Zeroes the counter in place — used when per-worker telemetry is
+    /// folded into an aggregate between batches and reused.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
 }
 
 /// A last-value-wins gauge for deterministic `f64` readings.

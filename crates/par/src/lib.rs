@@ -153,6 +153,30 @@ where
     });
 }
 
+/// Runs `body` once per task, concurrently when there is more than one
+/// task (inline on the calling thread otherwise).
+///
+/// This is the raw fork-join primitive behind [`par_map`] and
+/// [`par_zip_with_workers`], exposed for callers whose per-block state
+/// does not fit the `(items, out)` shape — e.g. the fleet detector, whose
+/// tasks each own a disjoint mutable shard of a structure-of-arrays
+/// arena. Determinism is the caller's responsibility here: build tasks
+/// from contiguous index blocks (see [`block_ranges`]) and stitch any
+/// per-task results back together in block order, never completion order.
+pub fn par_run_tasks<Task, F>(tasks: Vec<Task>, body: F)
+where
+    Task: Send,
+    F: Fn(Task) + Sync,
+{
+    if tasks.len() <= 1 {
+        for task in tasks {
+            body(task);
+        }
+        return;
+    }
+    run_scoped(tasks, body);
+}
+
 /// Internal fork-join: runs `body` once per (range, output-block) pair,
 /// concurrently.
 fn fork_join<R, O, F>(ranges: &[R], outputs: &mut [O], body: F)
@@ -287,6 +311,35 @@ mod tests {
             // Every item was processed by exactly one worker.
             assert_eq!(workers.iter().sum::<u64>(), items.len() as u64);
         }
+    }
+
+    #[test]
+    fn par_run_tasks_runs_every_task_once() {
+        // Tasks own disjoint mutable slices of one buffer, fleet-style.
+        let mut buf = vec![0u64; 23];
+        let ranges = block_ranges(buf.len(), 4);
+        let mut tasks: Vec<(usize, &mut [u64])> = Vec::new();
+        let mut rest = buf.as_mut_slice();
+        let mut consumed = 0;
+        for &(start, end) in &ranges {
+            let (block, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            tasks.push((start, block));
+        }
+        par_run_tasks(tasks, |(start, block)| {
+            for (offset, slot) in block.iter_mut().enumerate() {
+                *slot = (start + offset) as u64 * 7;
+            }
+        });
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, i as u64 * 7);
+        }
+        // Degenerate cases: one task runs inline, zero tasks is a no-op.
+        let mut one = vec![0u64; 3];
+        par_run_tasks(vec![one.as_mut_slice()], |block| block.fill(9));
+        assert_eq!(one, vec![9, 9, 9]);
+        par_run_tasks(Vec::<()>::new(), |_| panic!("no tasks to run"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod benign;
 pub mod botnet;
 pub mod config;
 pub mod faults;
+pub mod fleet;
 pub mod schedule;
 pub mod scenario;
 pub mod world;
@@ -39,4 +40,5 @@ pub use faults::{
     FaultKind, FaultObs, FaultSchedule, FaultWindow, FaultedWorld, MinuteDelivery,
     BUILTIN_SCHEDULES,
 };
+pub use fleet::{FleetMinute, FleetTraffic};
 pub use world::{World, WorldObs};
