@@ -200,6 +200,87 @@ fn bench_obs_primitives(c: &mut Criterion) {
     });
 }
 
+/// Exact sigmoid/tanh gate kernel next to the rational fast-activation
+/// variant on the same pre-activation block: the per-element price of the
+/// transcendental calls the `fast-math` scoring path removes.
+fn bench_gate_kernel_exact_vs_fast(c: &mut Criterion) {
+    let mut init = Initializer::new(3);
+    let lstm = Lstm::new(273, 24, &mut init);
+    const BATCH: usize = 64;
+    let h = 24;
+    let zs: Vec<f64> = (0..BATCH * 4 * h)
+        .map(|i| ((i * 37 % 101) as f64 / 101.0 - 0.5) * 6.0)
+        .collect();
+    let mut hs = vec![0.0f64; BATCH * h];
+    let mut cs = vec![0.0f64; BATCH * h];
+    c.bench_function("gate_block_exact_b64_h24", |b| {
+        b.iter(|| {
+            lstm.gate_block(black_box(&zs), BATCH, &mut hs, &mut cs);
+            black_box(&hs);
+        })
+    });
+    c.bench_function("gate_block_fast_b64_h24", |b| {
+        b.iter(|| {
+            lstm.gate_block_fast(black_box(&zs), BATCH, &mut hs, &mut cs);
+            black_box(&hs);
+        })
+    });
+}
+
+/// The f64 batched dual-state step next to its widen-once f32 twin — the
+/// arena-level kernel swap behind `FleetDetector::enable_fast`, at the
+/// fleet geometry (273 features, hidden 24).
+fn bench_dual_block_f64_vs_f32(c: &mut Criterion) {
+    use xatu_nn::{Lstm32, OnlineBlockWorkspace, OnlineBlockWorkspace32};
+    let mut init = Initializer::new(5);
+    let lstm = Lstm::new(273, 24, &mut init);
+    let lstm32 = Lstm32::from_f64(&lstm);
+    const BATCH: usize = 64;
+    let h = 24;
+    let xs: Vec<f64> = (0..BATCH * 273)
+        .map(|i| if i % 19 == 0 { (i % 7) as f64 * 0.2 } else { 0.0 })
+        .collect();
+    let xs32: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+    let mut ah = vec![0.0f64; BATCH * h];
+    let mut ac = vec![0.0f64; BATCH * h];
+    let mut fh = vec![0.0f64; BATCH * h];
+    let mut fc = vec![0.0f64; BATCH * h];
+    let mut ws = OnlineBlockWorkspace::default();
+    c.bench_function("dual_block_step_f64_b64_273x24", |b| {
+        b.iter(|| {
+            lstm.step_online_dual_block(
+                black_box(&xs),
+                BATCH,
+                &mut ah,
+                &mut ac,
+                &mut fh,
+                &mut fc,
+                &mut ws,
+            );
+            black_box(&ah);
+        })
+    });
+    let mut ah32 = vec![0.0f32; BATCH * h];
+    let mut ac32 = vec![0.0f32; BATCH * h];
+    let mut fh32 = vec![0.0f32; BATCH * h];
+    let mut fc32 = vec![0.0f32; BATCH * h];
+    let mut ws32 = OnlineBlockWorkspace32::default();
+    c.bench_function("dual_block_step_f32_b64_273x24", |b| {
+        b.iter(|| {
+            lstm32.step_online_dual_block(
+                black_box(&xs32),
+                BATCH,
+                &mut ah32,
+                &mut ac32,
+                &mut fh32,
+                &mut fc32,
+                &mut ws32,
+            );
+            black_box(&ah32);
+        })
+    });
+}
+
 fn bench_safe_loss(c: &mut Criterion) {
     let hazards: Vec<f64> = (0..30).map(|i| 0.01 + 0.001 * i as f64).collect();
     c.bench_function("safe_loss_and_grad_30", |b| {
@@ -288,7 +369,8 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
               bench_cusum, bench_rf_inference, bench_sampler, bench_warm_fwd_bwd,
-              bench_obs_primitives, bench_safe_loss
+              bench_obs_primitives, bench_safe_loss,
+              bench_gate_kernel_exact_vs_fast, bench_dual_block_f64_vs_f32
 }
 criterion_group! {
     name = parallel_benches;

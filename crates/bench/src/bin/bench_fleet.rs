@@ -17,6 +17,17 @@
 //! midpoint, checkpointed through the XCK1 container, resumed, and the
 //! resumed digest must match the uninterrupted one. Exits non-zero on any
 //! mismatch.
+//!
+//! Built with `--features fast-math`, both modes grow fast-path
+//! coverage. The sweep adds a 100k-customer scale on the reduced-
+//! precision backend (gated at ≥1.5× the exact backend's rate measured
+//! in the same run), a 1M-customer idle-heavy scale (70% quiescent
+//! cohort, gated at ≤3.5 s per simulated minute), and a fast-vs-
+//! reference section: exact and fast run the same 10k stream in
+//! lockstep, alert decisions must match minute by minute, and the worst
+//! survival deviation must stay within `FAST_SURVIVAL_EPS`. The smoke
+//! gains the same parity gate at 1k/10k plus fast-backend thread-count
+//! invariance and kill/resume digests.
 
 use std::time::Instant;
 use xatu_core::checkpoint::{load_detector, save_detector};
@@ -48,6 +59,18 @@ fn build_fleet(n: usize) -> FleetDetector {
     // Short warm-up so the alert lifecycle (raise / quiet-end) is busy
     // within bench-length streams instead of fully suppressed.
     fleet.set_warmup(8);
+    for c in 0..n {
+        fleet.add_customer(Ipv4(c as u32));
+    }
+    fleet
+}
+
+/// [`build_fleet`] on the reduced-precision backend (same model seed, so
+/// fast-vs-exact comparisons share weights).
+#[cfg(feature = "fast-math")]
+fn build_fleet_fast(n: usize) -> FleetDetector {
+    let mut fleet = build_fleet(0);
+    fleet.enable_fast();
     for c in 0..n {
         fleet.add_customer(Ipv4(c as u32));
     }
@@ -109,8 +132,18 @@ struct ScaleRow {
 fn run_scale(customers: usize, minutes: u32) -> ScaleRow {
     let traffic = FleetTraffic::new(SEED, customers);
     let mut fleet = build_fleet(customers);
+    run_scale_with(&mut fleet, &traffic, customers, minutes)
+}
+
+/// The timed sweep body on a prebuilt fleet (exact or fast backend).
+fn run_scale_with(
+    fleet: &mut FleetDetector,
+    traffic: &FleetTraffic,
+    customers: usize,
+    minutes: u32,
+) -> ScaleRow {
     // Two untimed minutes to warm allocations (worker scratch, arenas).
-    stream(&mut fleet, &traffic, 0, 2, 1);
+    stream(fleet, traffic, 0, 2, 1);
     // Best of three timed windows: the workload is uniform per simulated
     // minute, so the fastest window is the machine's steady-state rate and
     // the slower ones are scheduler noise.
@@ -119,7 +152,7 @@ fn run_scale(customers: usize, minutes: u32) -> ScaleRow {
     let mut from = 2u32;
     for _ in 0..3 {
         let t0 = Instant::now();
-        let (_, f) = stream(&mut fleet, &traffic, from, from + minutes, 1);
+        let (_, f) = stream(fleet, traffic, from, from + minutes, 1);
         let w = t0.elapsed().as_secs_f64();
         if w < wall_s {
             wall_s = w;
@@ -136,6 +169,95 @@ fn run_scale(customers: usize, minutes: u32) -> ScaleRow {
         raised: fleet.obs().raised.get(),
         gaps_imputed: fleet.obs().gaps_imputed.get(),
     }
+}
+
+/// Formats one sweep row as the JSON object used in the `scales` arrays.
+fn scale_json(r: &ScaleRow) -> String {
+    let per_minute = r.wall_s / r.minutes as f64;
+    format!(
+        "{{\"customers\": {}, \"sim_minutes\": {}, \"wall_s\": {:.3}, \
+         \"wall_s_per_sim_minute\": {:.4}, \"sim_minutes_per_s\": {:.2}, \
+         \"customer_minutes_per_s\": {:.0}, \"flows_per_s\": {:.0}, \
+         \"bytes_per_customer\": {}, \"alerts_raised\": {}, \"gaps_imputed\": {}}}",
+        r.customers,
+        r.minutes,
+        r.wall_s,
+        per_minute,
+        1.0 / per_minute,
+        r.customers as f64 * r.minutes as f64 / r.wall_s,
+        r.flows as f64 / r.wall_s,
+        r.bytes_per_customer,
+        r.raised,
+        r.gaps_imputed,
+    )
+}
+
+fn report_scale(tag: &str, r: &ScaleRow) {
+    let per_minute = r.wall_s / r.minutes as f64;
+    eprintln!(
+        "[bench_fleet] {tag}{:>7} customers: {:.4} s/sim-minute, {:.0} customer-minutes/s, \
+         {:.0} flows/s, {} B/customer, {} alerts",
+        r.customers,
+        per_minute,
+        r.customers as f64 * r.minutes as f64 / r.wall_s,
+        r.flows as f64 / r.wall_s,
+        r.bytes_per_customer,
+        r.raised,
+    );
+}
+
+/// Exact and fast detectors stream the same minutes in lockstep; alert
+/// decisions must agree minute by minute and the worst per-customer
+/// survival deviation must stay within [`xatu_core::fleet::FAST_SURVIVAL_EPS`].
+/// Returns the max deviation, or exits non-zero on divergence.
+#[cfg(feature = "fast-math")]
+fn parity_lockstep(n: usize, minutes: u32, threads: usize, tag: &str) -> f64 {
+    use xatu_core::fleet::FAST_SURVIVAL_EPS;
+    let traffic = FleetTraffic::new(SEED, n);
+    let mut exact = build_fleet(n);
+    let mut fast = build_fleet_fast(n);
+    let mut max_dev = 0.0f64;
+    for m in 0..minutes {
+        let fill = |c: usize, _addr: Ipv4, frame: &mut [f64]| {
+            match traffic.fill_frame(c, m, frame) {
+                FleetMinute::Frame(_) => FleetInput::Frame,
+                FleetMinute::Missing => FleetInput::Gap,
+            }
+        };
+        let ev_e: Vec<DetectorEvent> = exact
+            .step_minute_batch(m, threads, fill)
+            .expect("in-order stream")
+            .to_vec();
+        let ev_f: Vec<DetectorEvent> = fast
+            .step_minute_batch(m, threads, fill)
+            .expect("in-order stream")
+            .to_vec();
+        if ev_e != ev_f {
+            eprintln!(
+                "[bench_fleet] {tag} DECISION DIVERGENCE at minute {m}: \
+                 exact {} events vs fast {}",
+                ev_e.len(),
+                ev_f.len()
+            );
+            std::process::exit(1);
+        }
+        for c in 0..n {
+            let addr = Ipv4(c as u32);
+            let dev = (exact.survival_of(addr) - fast.survival_of(addr)).abs();
+            max_dev = max_dev.max(dev);
+        }
+    }
+    if !(max_dev <= FAST_SURVIVAL_EPS) {
+        eprintln!(
+            "[bench_fleet] {tag} SURVIVAL DEVIATION {max_dev:e} exceeds eps {FAST_SURVIVAL_EPS:e}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench_fleet] {tag}: {n} customers x {minutes} min decision parity, \
+         max survival dev {max_dev:.3e} (eps {FAST_SURVIVAL_EPS:e})"
+    );
+    max_dev
 }
 
 fn smoke() {
@@ -178,6 +300,48 @@ fn smoke() {
         std::process::exit(1);
     }
     eprintln!("[bench_fleet] smoke: kill/resume digest match ({d_full:#x})");
+
+    // Fast-backend gates: decision parity + survival tolerance against
+    // the exact backend at 1k and 10k, thread-count invariance, and
+    // kill/resume on the fast checkpoint path.
+    #[cfg(feature = "fast-math")]
+    {
+        parity_lockstep(N, END, 2, "smoke fast-parity-1k");
+        parity_lockstep(10_000, 12, 2, "smoke fast-parity-10k");
+
+        let mut f1 = build_fleet_fast(N);
+        let mut f4 = build_fleet_fast(N);
+        let (d1, _) = stream(&mut f1, &traffic, 0, END, 1);
+        let (d4, _) = stream(&mut f4, &traffic, 0, END, 4);
+        if d1 != d4 {
+            eprintln!(
+                "[bench_fleet] FAST DIGEST MISMATCH threads=1 ({d1:#x}) vs threads=4 ({d4:#x})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench_fleet] smoke: fast 1-vs-4-thread digest match ({d1:#x})");
+
+        let mut full = build_fleet_fast(N);
+        stream(&mut full, &traffic, 0, MID, 2);
+        let (d_full, _) = stream(&mut full, &traffic, MID, END, 2);
+        let mut killed = build_fleet_fast(N);
+        stream(&mut killed, &traffic, 0, MID, 2);
+        let path = std::env::temp_dir().join("bench_fleet_smoke_fast.xck");
+        save_detector(&path, &killed.to_checkpoint()).expect("fast checkpoint save");
+        drop(killed);
+        let ck = load_detector(&path).expect("fast checkpoint load");
+        let mut resumed = FleetDetector::from_checkpoint_fast(&ck).expect("fast restore");
+        let (d_resumed, _) = stream(&mut resumed, &traffic, MID, END, 4);
+        let _ = std::fs::remove_file(&path);
+        if d_full != d_resumed {
+            eprintln!(
+                "[bench_fleet] FAST RESUME MISMATCH uninterrupted ({d_full:#x}) \
+                 vs resumed ({d_resumed:#x})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench_fleet] smoke: fast kill/resume digest match ({d_full:#x})");
+    }
 }
 
 fn main() {
@@ -193,46 +357,64 @@ fn main() {
     let mut hundred_k_minute_wall = f64::NAN;
     for &(customers, minutes) in scales {
         let r = run_scale(customers, minutes);
-        let per_minute = r.wall_s / r.minutes as f64;
-        let cust_minutes_per_s = r.customers as f64 * r.minutes as f64 / r.wall_s;
-        let flows_per_s = r.flows as f64 / r.wall_s;
         if customers >= 100_000 {
-            hundred_k_minute_wall = per_minute;
+            hundred_k_minute_wall = r.wall_s / r.minutes as f64;
         }
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
-        rows.push_str(&format!(
-            "    {{\"customers\": {}, \"sim_minutes\": {}, \"wall_s\": {:.3}, \
-             \"wall_s_per_sim_minute\": {:.4}, \"sim_minutes_per_s\": {:.2}, \
-             \"customer_minutes_per_s\": {:.0}, \"flows_per_s\": {:.0}, \
-             \"bytes_per_customer\": {}, \"alerts_raised\": {}, \"gaps_imputed\": {}}}",
-            r.customers,
-            r.minutes,
-            r.wall_s,
-            per_minute,
-            1.0 / per_minute,
-            cust_minutes_per_s,
-            flows_per_s,
-            r.bytes_per_customer,
-            r.raised,
-            r.gaps_imputed,
-        ));
-        eprintln!(
-            "[bench_fleet] {:>7} customers: {:.4} s/sim-minute, {:.0} customer-minutes/s, \
-             {:.0} flows/s, {} B/customer, {} alerts",
-            r.customers, per_minute, cust_minutes_per_s, flows_per_s, r.bytes_per_customer,
-            r.raised,
-        );
+        rows.push_str("    ");
+        rows.push_str(&scale_json(&r));
+        report_scale("", &r);
     }
+
+    // The fast-backend sweep: 100k on regular traffic (speedup gate
+    // against the exact rate measured above) and 1M with a 70% idle
+    // cohort (absolute wall gate — the quiescence fast path is what
+    // makes this scale reachable on one core).
+    #[cfg(feature = "fast-math")]
+    let fast_section = {
+        let mut fast_fleet = build_fleet_fast(100_000);
+        let traffic = FleetTraffic::new(SEED, 100_000);
+        let rf = run_scale_with(&mut fast_fleet, &traffic, 100_000, 5);
+        report_scale("fast ", &rf);
+        let fast_100k_wall = rf.wall_s / rf.minutes as f64;
+        let speedup = hundred_k_minute_wall / fast_100k_wall;
+
+        const MILLION: usize = 1_000_000;
+        const IDLE_FRACTION: f64 = 0.7;
+        let mut million = build_fleet_fast(MILLION);
+        let idle_traffic = FleetTraffic::with_idle(SEED, MILLION, IDLE_FRACTION);
+        let rm = run_scale_with(&mut million, &idle_traffic, MILLION, 3);
+        report_scale("fast ", &rm);
+        let million_wall = rm.wall_s / rm.minutes as f64;
+
+        let max_dev = parity_lockstep(10_000, 30, 1, "fast-vs-reference");
+        let section = format!(
+            ",\n  \"fast\": {{\n    \"hundred_k_sim_minute_wall_s\": {fast_100k_wall:.4},\n    \
+             \"speedup_vs_exact_100k\": {speedup:.2},\n    \
+             \"million_idle_fraction\": {IDLE_FRACTION},\n    \
+             \"million_sim_minute_wall_s\": {million_wall:.4},\n    \
+             \"parity_10k_max_survival_dev\": {max_dev:.3e},\n    \
+             \"survival_eps\": {:e},\n    \"scales\": [\n      {},\n      {}\n    ]\n  }}",
+            xatu_core::fleet::FAST_SURVIVAL_EPS,
+            scale_json(&rf),
+            scale_json(&rm),
+        );
+        (section, fast_100k_wall, speedup, million_wall)
+    };
+    #[cfg(not(feature = "fast-math"))]
+    let fast_section = (String::new(), f64::NAN, f64::NAN, f64::NAN);
 
     let cfg = XatuConfig::default();
     let json = format!(
         "{{\n  \"label\": \"{label}\",\n  \"seed\": {SEED},\n  \"hidden\": {},\n  \
          \"window\": {},\n  \"threads\": 1,\n  \
          \"hundred_k_sim_minute_wall_s\": {hundred_k_minute_wall:.4},\n  \
-         \"scales\": [\n{rows}\n  ]\n}}\n",
-        cfg.hidden, cfg.window,
+         \"scales\": [\n{rows}\n  ]{}\n}}\n",
+        cfg.hidden,
+        cfg.window,
+        fast_section.0,
     );
     let path = format!("BENCH_fleet_{label}.json");
     std::fs::write(&path, &json).expect("write bench json");
@@ -246,4 +428,24 @@ fn main() {
         );
         std::process::exit(1);
     }
+    #[cfg(feature = "fast-math")]
+    {
+        let (_, fast_100k, speedup, million_wall) = fast_section;
+        if !speedup.is_finite() || speedup < 1.5 {
+            eprintln!(
+                "[bench_fleet] WARNING: fast 100k speedup {speedup:.2}x below 1.5x \
+                 ({fast_100k:.4} s/sim-minute vs exact {hundred_k_minute_wall:.4})"
+            );
+            std::process::exit(1);
+        }
+        if !million_wall.is_finite() || million_wall > 3.5 {
+            eprintln!(
+                "[bench_fleet] WARNING: 1M-customer idle-heavy simulated minute took \
+                 {million_wall:.3} s (target <= 3.5 s)"
+            );
+            std::process::exit(1);
+        }
+    }
+    #[cfg(not(feature = "fast-math"))]
+    let _ = fast_section;
 }

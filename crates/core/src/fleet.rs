@@ -59,6 +59,17 @@ use xatu_nn::{Dense, LstmState, OnlineBlockWorkspace, Params};
 use xatu_par::{block_ranges, par_run_tasks};
 use xatu_survival::hazard::RollingSurvival;
 
+/// The reduced-precision fleet backend (`f32` arenas, rational fast
+/// activations, quiescence-aware stepping), compiled only under the
+/// `fast-math` feature. A child module so it can reuse this module's
+/// private sharding/lifecycle machinery; see DESIGN.md §14 for the
+/// precision contract.
+#[cfg(feature = "fast-math")]
+#[path = "fleet_fast.rs"]
+mod fast;
+#[cfg(feature = "fast-math")]
+pub use fast::FAST_SURVIVAL_EPS;
+
 /// What the fill callback reports for one customer at one minute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FleetInput {
@@ -320,21 +331,22 @@ impl FleetArenas {
 
     /// Appends one customer in the cold (`online::entry`) state.
     fn push_default(&mut self, window: usize) {
-        self.short.push_default();
-        self.medium.push_default();
-        self.long.push_default();
+        self.push_scalar(window);
+        self.push_numeric();
+    }
+
+    /// The scalar-bookkeeping half of [`FleetArenas::push_default`]:
+    /// everything that stays `f64`/integer under both backends (survival
+    /// ring, counts, lifecycle scalars, phase flags). The fast backend
+    /// pushes only this half and keeps the numeric vectors empty — its
+    /// `f32` twins live in the fast-state arenas.
+    fn push_scalar(&mut self, window: usize) {
         self.ring_buf.resize(self.ring_buf.len() + window, 0.0);
         self.ring_head.push(0);
         self.ring_filled.push(0);
         self.ring_sum.push(0.0);
-        self.med_partial
-            .resize(self.med_partial.len() + NUM_FEATURES, 0.0);
         self.med_count.push(0);
-        self.long_partial
-            .resize(self.long_partial.len() + NUM_FEATURES, 0.0);
         self.long_count.push(0);
-        self.last_frame
-            .resize(self.last_frame.len() + NUM_FEATURES, 0.0);
         self.active_since.push(None);
         self.quiet_run.push(0);
         self.last_survival.push(1.0);
@@ -344,6 +356,20 @@ impl FleetArenas {
         self.driven.push(false);
         self.med_done.push(false);
         self.long_done.push(false);
+    }
+
+    /// The `f64` numeric half of [`FleetArenas::push_default`]: dual LSTM
+    /// states, pooling buckets, ZOH frame.
+    fn push_numeric(&mut self) {
+        self.short.push_default();
+        self.medium.push_default();
+        self.long.push_default();
+        self.med_partial
+            .resize(self.med_partial.len() + NUM_FEATURES, 0.0);
+        self.long_partial
+            .resize(self.long_partial.len() + NUM_FEATURES, 0.0);
+        self.last_frame
+            .resize(self.last_frame.len() + NUM_FEATURES, 0.0);
     }
 
     /// Measured arena footprint in bytes (capacities, not lengths).
@@ -586,6 +612,12 @@ struct WorkerScratch {
     life_events: Vec<DetectorEvent>,
     obs: DetectorObs,
     err: Option<XatuError>,
+    /// `f32` pre-activation scratch for the fast backend's scalar steps.
+    #[cfg(feature = "fast-math")]
+    z32: Vec<f32>,
+    /// `f32` block workspace for the fast backend's batched steps.
+    #[cfg(feature = "fast-math")]
+    ws32: xatu_nn::OnlineBlockWorkspace32,
 }
 
 impl WorkerScratch {
@@ -600,6 +632,10 @@ impl WorkerScratch {
             life_events: Vec::new(),
             obs: DetectorObs::default(),
             err: None,
+            #[cfg(feature = "fast-math")]
+            z32: Vec::new(),
+            #[cfg(feature = "fast-math")]
+            ws32: xatu_nn::OnlineBlockWorkspace32::new(),
         }
     }
 }
@@ -877,6 +913,14 @@ pub struct FleetDetector {
     obs: DetectorObs,
     workers: Vec<WorkerScratch>,
     events: Vec<DetectorEvent>,
+    /// When present, the detector runs the reduced-precision backend:
+    /// LSTM state lives in the fast state's `f32` arenas (the `f64`
+    /// numeric arenas above stay empty) and per-minute stepping goes
+    /// through `step_minute_batch_fast`. `None` — the default, and the
+    /// only state reachable without [`FleetDetector::enable_fast`] — is
+    /// the bit-exact `f64` path.
+    #[cfg(feature = "fast-math")]
+    fast: Option<fast::FastState>,
 }
 
 impl FleetDetector {
@@ -900,6 +944,8 @@ impl FleetDetector {
             obs: DetectorObs::default(),
             workers: Vec::new(),
             events: Vec::new(),
+            #[cfg(feature = "fast-math")]
+            fast: None,
         }
     }
 
@@ -914,6 +960,12 @@ impl FleetDetector {
         let i = self.addrs.len();
         self.index.insert(addr, i as u32);
         self.addrs.push(addr);
+        #[cfg(feature = "fast-math")]
+        if let Some(fs) = &mut self.fast {
+            self.arenas.push_scalar(self.window);
+            fs.push_default();
+            return i;
+        }
         self.arenas.push_default(self.window);
         i
     }
@@ -985,8 +1037,13 @@ impl FleetDetector {
     /// which adds roughly 16 bytes per customer, and per-worker scratch,
     /// which is fleet-size-independent).
     pub fn arena_bytes(&self) -> usize {
+        #[cfg(feature = "fast-math")]
+        let fast_bytes = self.fast.as_ref().map_or(0, |fs| fs.bytes());
+        #[cfg(not(feature = "fast-math"))]
+        let fast_bytes = 0;
         self.arenas.bytes()
             + self.addrs.capacity() * std::mem::size_of::<Ipv4>()
+            + fast_bytes
     }
 
     /// Measured per-customer state budget in bytes.
@@ -1044,6 +1101,10 @@ impl FleetDetector {
     where
         F: Fn(usize, Ipv4, &mut [f64]) -> FleetInput + Sync,
     {
+        #[cfg(feature = "fast-math")]
+        if self.fast.is_some() {
+            return self.step_minute_batch_fast(minute, threads, fill);
+        }
         let n = self.addrs.len();
         self.events.clear();
         if n == 0 {
@@ -1073,6 +1134,7 @@ impl FleetDetector {
                 life_events,
                 obs,
                 err,
+                ..
             } = w;
             impute_events.clear();
             life_events.clear();
@@ -1278,6 +1340,10 @@ impl FleetDetector {
     /// by address), so the XCK1 container, the resume driver, and either
     /// detector implementation can load it interchangeably.
     pub fn to_checkpoint(&mut self) -> DetectorCheckpoint {
+        #[cfg(feature = "fast-math")]
+        if self.fast.is_some() {
+            return self.to_checkpoint_fast();
+        }
         let mut params = vec![0.0; self.model.param_count()];
         self.model.export_params_into(&mut params);
         let h = self.model.cfg.hidden;
@@ -1398,6 +1464,8 @@ impl FleetDetector {
             obs: DetectorObs::default(),
             workers: Vec::new(),
             events: Vec::new(),
+            #[cfg(feature = "fast-math")]
+            fast: None,
         };
         for c in &ck.customers {
             let addr = Ipv4(c.addr);

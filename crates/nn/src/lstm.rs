@@ -307,6 +307,23 @@ impl Lstm {
         self.hidden
     }
 
+    /// Input weights `Wx` (`4·hidden × input`), read-only. Exposed so
+    /// reduced-precision mirrors ([`crate::lstm32::Lstm32`]) can widen
+    /// the trained weights once at load time.
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent weights `Wh` (`4·hidden × hidden`), read-only.
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Gate biases (`4·hidden`), read-only.
+    pub fn bias(&self) -> &[f64] {
+        &self.b
+    }
+
     /// Re-creates gradient buffers (e.g. after deserialization).
     pub fn ensure_grads(&mut self) {
         if self.gwx.is_none() {
@@ -638,8 +655,9 @@ impl Lstm {
 
     /// The fused gate/cell/output loop over a block's pre-activations, one
     /// contiguous row per customer — the same scalar arithmetic as
-    /// [`Lstm::step_online_slices`].
-    fn gate_block(&self, zs: &[f64], batch: usize, hs: &mut [f64], cs: &mut [f64]) {
+    /// [`Lstm::step_online_slices`]. Public so the micro-benches can time
+    /// the exact kernel against [`Lstm::gate_block_fast`] in isolation.
+    pub fn gate_block(&self, zs: &[f64], batch: usize, hs: &mut [f64], cs: &mut [f64]) {
         let h = self.hidden;
         for c in 0..batch {
             let z = &zs[c * 4 * h..(c + 1) * 4 * h];
@@ -653,6 +671,30 @@ impl Lstm {
                 let cv = f * cc[k] + i * g;
                 cc[k] = cv;
                 hc[k] = o * tanh(cv);
+            }
+        }
+    }
+
+    /// [`Lstm::gate_block`] with the rational fast activations from
+    /// [`crate::fastmath`] — same f64 arithmetic otherwise. Not used by
+    /// any digest-bearing path (the fleet fast path runs the `f32`
+    /// kernels in [`crate::lstm32`]); it exists to measure the pure
+    /// transcendental cost delta at equal precision and bandwidth.
+    pub fn gate_block_fast(&self, zs: &[f64], batch: usize, hs: &mut [f64], cs: &mut [f64]) {
+        use crate::fastmath::{fast_sigmoid, fast_tanh};
+        let h = self.hidden;
+        for c in 0..batch {
+            let z = &zs[c * 4 * h..(c + 1) * 4 * h];
+            let hc = &mut hs[c * h..(c + 1) * h];
+            let cc = &mut cs[c * h..(c + 1) * h];
+            for k in 0..h {
+                let i = fast_sigmoid(z[k]);
+                let f = fast_sigmoid(z[h + k]);
+                let g = fast_tanh(z[2 * h + k]);
+                let o = fast_sigmoid(z[3 * h + k]);
+                let cv = f * cc[k] + i * g;
+                cc[k] = cv;
+                hc[k] = o * fast_tanh(cv);
             }
         }
     }

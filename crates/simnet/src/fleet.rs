@@ -57,6 +57,10 @@ pub enum FleetMinute {
 pub struct FleetTraffic {
     seed: u64,
     customers: usize,
+    /// Fraction of customers in the *idle cohort*: exactly-zero frames
+    /// outside a short burst window per epoch. 0.0 under
+    /// [`FleetTraffic::new`].
+    idle_fraction: f64,
 }
 
 /// Active features per customer from the fixed support set.
@@ -67,7 +71,45 @@ const SCATTER: usize = 4;
 impl FleetTraffic {
     /// A fleet of `customers` driven by `seed`.
     pub fn new(seed: u64, customers: usize) -> Self {
-        FleetTraffic { seed, customers }
+        FleetTraffic {
+            seed,
+            customers,
+            idle_fraction: 0.0,
+        }
+    }
+
+    /// Like [`FleetTraffic::new`], but a deterministic `idle_fraction`
+    /// cohort of customers emits *exactly all-zero* frames except for one
+    /// ~15-minute activity burst every 8 simulated hours. This is the
+    /// traffic shape the quiescence-aware fast path of the fleet detector
+    /// is built for (dormant tails of large fleets), and the bench uses it
+    /// to exercise idle-skip at scale. Everything stays a pure function of
+    /// `(seed, customer, minute)`.
+    pub fn with_idle(seed: u64, customers: usize, idle_fraction: f64) -> Self {
+        FleetTraffic {
+            seed,
+            customers,
+            idle_fraction,
+        }
+    }
+
+    /// Whether customer `c` belongs to the idle cohort.
+    pub fn is_idle_customer(&self, c: usize) -> bool {
+        if self.idle_fraction <= 0.0 {
+            return false;
+        }
+        let cust = mix(self.seed ^ (c as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+        unit(mix(cust ^ 0x1d7e)) < self.idle_fraction
+    }
+
+    /// Whether an idle-cohort member is inside its per-epoch activity
+    /// burst (one 12–18 minute window every 480 minutes).
+    fn in_idle_burst(&self, cust: u64, minute: u32) -> bool {
+        let epoch = minute / 480;
+        let e = mix(cust ^ 0x1d7e ^ epoch as u64);
+        let start = epoch * 480 + (e % 465) as u32;
+        let len = 12 + (mix(e ^ 3) % 7) as u32;
+        minute >= start && minute < start + len
     }
 
     /// Fleet size.
@@ -86,6 +128,12 @@ impl FleetTraffic {
         let width = frame.len();
         frame.fill(0.0);
         let cust = mix(self.seed ^ (c as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+        if self.is_idle_customer(c) && !self.in_idle_burst(cust, minute) {
+            // Exactly all-zero frame: the quiescent case the detector's
+            // idle-skip path keys on. Still a valid export (flows can be
+            // zero when a customer is dark).
+            return FleetMinute::Frame(0);
+        }
         // Diurnal base with per-customer phase, plus bursty noise.
         let phase = unit(mix(cust ^ 1)) * std::f64::consts::TAU;
         let t = minute as f64 * (std::f64::consts::TAU / 1440.0);
@@ -221,6 +269,38 @@ mod tests {
         let attack_rate = attacked as f64 / total as f64;
         assert!(miss_rate > 0.001 && miss_rate < 0.08, "miss {miss_rate}");
         assert!(attack_rate > 0.0001 && attack_rate < 0.05, "attack {attack_rate}");
+    }
+
+    #[test]
+    fn idle_cohort_is_exactly_zero_outside_bursts() {
+        let t = FleetTraffic::with_idle(99, 400, 0.7);
+        let mut f = vec![0.0; WIDTH];
+        let (mut idle_members, mut burst_minutes, mut zero_minutes) = (0u32, 0u64, 0u64);
+        for c in 0..400 {
+            if !t.is_idle_customer(c) {
+                continue;
+            }
+            idle_members += 1;
+            for m in 0..960u32 {
+                if let FleetMinute::Frame(_) = t.fill_frame(c, m, &mut f) {
+                    if f.iter().all(|v| v.to_bits() == 0) {
+                        zero_minutes += 1;
+                    } else {
+                        burst_minutes += 1;
+                    }
+                }
+            }
+        }
+        // ~70% of 400 customers, ~2×(12..19) burst minutes per 960.
+        assert!((200..=360).contains(&idle_members), "{idle_members}");
+        assert!(burst_minutes > 0, "idle cohort never bursts");
+        assert!(
+            zero_minutes > 20 * burst_minutes,
+            "idle cohort not quiescent: {zero_minutes} zero vs {burst_minutes} burst"
+        );
+        // `new` must keep everyone non-idle (back-compat).
+        let plain = FleetTraffic::new(99, 400);
+        assert!((0..400).all(|c| !plain.is_idle_customer(c)));
     }
 
     #[test]
