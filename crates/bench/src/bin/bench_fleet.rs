@@ -247,7 +247,8 @@ fn parity_lockstep(n: usize, minutes: u32, threads: usize, tag: &str) -> f64 {
             max_dev = max_dev.max(dev);
         }
     }
-    if !(max_dev <= FAST_SURVIVAL_EPS) {
+    // NaN deviations must trip the gate too, hence not `>`.
+    if !matches!(max_dev.partial_cmp(&FAST_SURVIVAL_EPS), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)) {
         eprintln!(
             "[bench_fleet] {tag} SURVIVAL DEVIATION {max_dev:e} exceeds eps {FAST_SURVIVAL_EPS:e}"
         );

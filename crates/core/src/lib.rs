@@ -34,6 +34,10 @@
 //!   ladder and checkpoint format, with per-customer state transposed into
 //!   flat SoA arenas, cross-customer batched LSTM kernels, and
 //!   thread-invariant sharding for 100k+ customers per box.
+//! * [`scenarios`] — the adversarial scenario matrix: streams composed
+//!   multi-vector / pulse-wave / low-and-slow / carpet-bomb scenarios
+//!   through both volumetric CDets, the booster and the fleet detector,
+//!   and scores detection rate, median delay and overhead per detector.
 
 pub mod checkpoint;
 pub mod config;
@@ -47,6 +51,7 @@ pub mod model;
 pub mod online;
 pub mod pipeline;
 pub mod sample;
+pub mod scenarios;
 pub mod trainer;
 
 pub use config::XatuConfig;
@@ -54,3 +59,4 @@ pub use error::XatuError;
 pub use fleet::{FleetDetector, FleetInput};
 pub use model::XatuModel;
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use scenarios::{run_scenario, DetectorScore, ScenarioReport, ScenarioRunConfig};

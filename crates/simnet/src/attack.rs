@@ -31,6 +31,68 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Smallest ramp rate [`AttackEvent::anomalous_bpm`] will honor.
+///
+/// Scripted events should pass [`AttackEvent::validate`]; this floor is the
+/// defensive backstop for events that reach emission unvalidated. A `dR` at
+/// or below `-1` turns the `powf` base non-positive (`±∞` at exactly `-1`,
+/// sign-alternating garbage below it) and `dR == 0` flattens the whole ramp
+/// at full peak; clamping to a tiny positive rate keeps the ramp finite,
+/// non-negative, and strictly below the peak.
+pub const RAMP_DR_FLOOR: f64 = 1e-3;
+
+/// Why a scripted [`AttackEvent`] was rejected by [`AttackEvent::validate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InvalidEvent {
+    /// `end <= onset`: the anomalous phase would be empty or inverted.
+    EmptyAttack {
+        /// Ground-truth onset minute.
+        onset: u32,
+        /// Exclusive end minute.
+        end: u32,
+    },
+    /// `prep_start > onset`: preparation cannot begin after the onset.
+    PrepAfterOnset {
+        /// First preparation minute.
+        prep_start: u32,
+        /// Ground-truth onset minute.
+        onset: u32,
+    },
+    /// The ramp is longer than the attack itself.
+    RampExceedsDuration {
+        /// Scheduled ramp length, minutes.
+        ramp_minutes: u32,
+        /// Onset-to-end duration, minutes.
+        duration: u32,
+    },
+    /// `ramp_dr` is non-finite or not strictly positive (with a non-empty
+    /// ramp, such a rate cannot grow toward the peak).
+    BadRampRate(f64),
+    /// `peak_bpm` is non-finite or negative.
+    BadPeak(f64),
+}
+
+impl std::fmt::Display for InvalidEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidEvent::EmptyAttack { onset, end } => {
+                write!(f, "empty or inverted attack: onset {onset}, end {end}")
+            }
+            InvalidEvent::PrepAfterOnset { prep_start, onset } => {
+                write!(f, "preparation starts after onset: {prep_start} > {onset}")
+            }
+            InvalidEvent::RampExceedsDuration {
+                ramp_minutes,
+                duration,
+            } => write!(f, "ramp of {ramp_minutes} min exceeds duration {duration}"),
+            InvalidEvent::BadRampRate(dr) => write!(f, "invalid ramp rate dR = {dr}"),
+            InvalidEvent::BadPeak(p) => write!(f, "invalid peak volume {p}"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidEvent {}
+
 /// Which phase an attack event is in at a given minute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AttackPhase {
@@ -80,12 +142,53 @@ pub struct AttackEvent {
 }
 
 impl AttackEvent {
-    /// Attack duration from onset to end, minutes.
+    /// Checks the event for the degenerate shapes scripted pulse trains
+    /// can construct. The scheduler's own events always pass; scripted
+    /// events should be validated before injection ([`crate::World::inject_event`]
+    /// does so).
+    pub fn validate(&self) -> Result<(), InvalidEvent> {
+        if !self.peak_bpm.is_finite() || self.peak_bpm < 0.0 {
+            return Err(InvalidEvent::BadPeak(self.peak_bpm));
+        }
+        if self.end <= self.onset {
+            return Err(InvalidEvent::EmptyAttack {
+                onset: self.onset,
+                end: self.end,
+            });
+        }
+        if self.prep_start > self.onset {
+            return Err(InvalidEvent::PrepAfterOnset {
+                prep_start: self.prep_start,
+                onset: self.onset,
+            });
+        }
+        if self.ramp_minutes > self.duration() {
+            return Err(InvalidEvent::RampExceedsDuration {
+                ramp_minutes: self.ramp_minutes,
+                duration: self.duration(),
+            });
+        }
+        if self.ramp_minutes > 0 && !(self.ramp_dr.is_finite() && self.ramp_dr > 0.0) {
+            return Err(InvalidEvent::BadRampRate(self.ramp_dr));
+        }
+        Ok(())
+    }
+
+    /// Attack duration from onset to end, minutes. Inverted events
+    /// (`end < onset`) saturate to 0 rather than wrapping.
     pub fn duration(&self) -> u32 {
         self.end.saturating_sub(self.onset)
     }
 
     /// The phase at `minute`.
+    ///
+    /// Boundary semantics (pinned by tests):
+    /// * `end <= onset` — the event has no anomalous phase at all; minutes
+    ///   in `[prep_start, end)` are `Preparation`, everything else
+    ///   `Inactive`. It never reaches `RampUp` or `Plateau`.
+    /// * `ramp_minutes == 0` — the onset minute goes straight to `Plateau`.
+    /// * `prep_start == onset` — there is no preparation window; the event
+    ///   is `Inactive` right up to the onset.
     pub fn phase(&self, minute: u32) -> AttackPhase {
         if minute < self.prep_start || minute >= self.end {
             AttackPhase::Inactive
@@ -107,7 +210,12 @@ impl AttackEvent {
                 // the ramp lands exactly on peak_bpm at ramp_minutes.
                 let t = (minute - self.onset) as f64;
                 let n = self.ramp_minutes as f64;
-                let growth = (1.0 + self.ramp_dr).powf(t - n); // <= 1
+                let dr = if self.ramp_dr.is_finite() {
+                    self.ramp_dr.max(RAMP_DR_FLOOR)
+                } else {
+                    RAMP_DR_FLOOR
+                };
+                let growth = (1.0 + dr).powf(t - n); // < 1 while t < n
                 self.peak_bpm * growth * self.ramp_volume_scale
             }
             AttackPhase::Plateau => self.peak_bpm,
@@ -151,7 +259,7 @@ impl AttackEvent {
         )
     }
 
-    fn emit_prep(
+    pub(crate) fn emit_prep(
         &self,
         minute: u32,
         botnet: &Botnet,
@@ -210,9 +318,23 @@ impl AttackEvent {
         resolvers: &[xatu_netflow::addr::Subnet24],
         out: &mut Vec<FlowRecord>,
     ) {
+        self.emit_attack_volume(minute, self.anomalous_bpm(minute), botnet, resolvers, out);
+    }
+
+    /// Emits one minute of attack flows at an explicit anomalous volume —
+    /// the shared kernel behind [`AttackEvent::emit`] and the shape-
+    /// modulated [`crate::vectors::AttackVector`] emission. Deterministic
+    /// in `(self.id, minute)` and independent of co-resident events.
+    pub(crate) fn emit_attack_volume(
+        &self,
+        minute: u32,
+        volume: f64,
+        botnet: &Botnet,
+        resolvers: &[xatu_netflow::addr::Subnet24],
+        out: &mut Vec<FlowRecord>,
+    ) {
         let mut rng = self.rng_for(minute);
-        let volume = self.anomalous_bpm(minute);
-        if volume < 1.0 {
+        if !volume.is_finite() || volume < 1.0 {
             return;
         }
         let n_flows = rng.random_range(40..80usize);
@@ -482,6 +604,124 @@ mod tests {
         assert!(e.anomalous_bpm(14_403) < event(AttackType::UdpFlood).anomalous_bpm(14_403));
         // Plateau unaffected.
         assert_eq!(e.anomalous_bpm(14_415), 1e8);
+    }
+
+    #[test]
+    fn ramp_dr_edge_cases_stay_finite_and_bounded() {
+        // Regression: pre-fix, dR = -1 made the powf base 0 with a negative
+        // exponent (+∞), dR < -1 produced sign-alternating values outside
+        // [0, peak], and dR = 0 flattened the whole ramp at full peak.
+        for dr in [-2.0, -1.5, -1.0, -0.5, 0.0, f64::NAN, f64::INFINITY] {
+            let mut e = event(AttackType::UdpFlood);
+            e.ramp_dr = dr;
+            for m in e.onset..e.onset + e.ramp_minutes {
+                let bpm = e.anomalous_bpm(m);
+                assert!(bpm.is_finite(), "dr={dr} minute={m}: bpm={bpm}");
+                assert!(
+                    (0.0..=e.peak_bpm).contains(&bpm),
+                    "dr={dr} minute={m}: bpm={bpm} outside [0, {}]",
+                    e.peak_bpm
+                );
+                assert!(
+                    bpm < e.peak_bpm,
+                    "dr={dr} minute={m}: ramp flattened at the peak"
+                );
+            }
+            // Emission must survive the degenerate rate too.
+            let b = botnet();
+            let r = resolvers();
+            let mut flows = Vec::new();
+            e.emit(e.onset + 2, &b, &r, &mut flows);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_events() {
+        let ok = event(AttackType::UdpFlood);
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut e = event(AttackType::UdpFlood);
+        e.end = e.onset; // zero-length
+        assert!(matches!(e.validate(), Err(InvalidEvent::EmptyAttack { .. })));
+        e.end = e.onset - 1; // inverted
+        assert!(matches!(e.validate(), Err(InvalidEvent::EmptyAttack { .. })));
+
+        let mut e = event(AttackType::UdpFlood);
+        e.prep_start = e.onset + 1;
+        assert!(matches!(
+            e.validate(),
+            Err(InvalidEvent::PrepAfterOnset { .. })
+        ));
+
+        let mut e = event(AttackType::UdpFlood);
+        e.ramp_minutes = e.duration() + 1;
+        assert!(matches!(
+            e.validate(),
+            Err(InvalidEvent::RampExceedsDuration { .. })
+        ));
+
+        for dr in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            let mut e = event(AttackType::UdpFlood);
+            e.ramp_dr = dr;
+            assert!(
+                matches!(e.validate(), Err(InvalidEvent::BadRampRate(_))),
+                "dr={dr} must be rejected"
+            );
+        }
+
+        let mut e = event(AttackType::UdpFlood);
+        e.peak_bpm = f64::NAN;
+        assert!(matches!(e.validate(), Err(InvalidEvent::BadPeak(_))));
+
+        // Errors render for operators.
+        let msg = InvalidEvent::BadRampRate(-1.0).to_string();
+        assert!(msg.contains("-1"), "{msg}");
+    }
+
+    #[test]
+    fn boundary_semantics_are_pinned() {
+        // end == onset: no anomalous phase, ever.
+        let mut e = event(AttackType::UdpFlood);
+        e.end = e.onset;
+        assert_eq!(e.duration(), 0);
+        assert_eq!(e.phase(e.onset), AttackPhase::Inactive);
+        assert_eq!(e.phase(e.onset - 1), AttackPhase::Preparation);
+        assert_eq!(e.anomalous_bpm(e.onset), 0.0);
+
+        // Inverted (end < onset): duration saturates, phases never pass
+        // Preparation, volume stays zero.
+        let mut e = event(AttackType::UdpFlood);
+        e.end = e.onset - 100;
+        assert_eq!(e.duration(), 0);
+        for m in [e.prep_start, e.end - 1, e.end, e.onset, e.onset + 10] {
+            let p = e.phase(m);
+            assert!(
+                p == AttackPhase::Inactive || p == AttackPhase::Preparation,
+                "minute {m}: {p:?}"
+            );
+            assert_eq!(e.anomalous_bpm(m), 0.0, "minute {m}");
+        }
+
+        // ramp_minutes == 0: straight to plateau at the onset.
+        let mut e = event(AttackType::UdpFlood);
+        e.ramp_minutes = 0;
+        assert_eq!(e.validate(), Ok(()));
+        assert_eq!(e.phase(e.onset), AttackPhase::Plateau);
+        assert_eq!(e.anomalous_bpm(e.onset), e.peak_bpm);
+
+        // prep_start == onset: no preparation window at all.
+        let mut e = event(AttackType::UdpFlood);
+        e.prep_start = e.onset;
+        assert_eq!(e.validate(), Ok(()));
+        assert_eq!(e.phase(e.onset - 1), AttackPhase::Inactive);
+        assert_eq!(e.phase(e.onset), AttackPhase::RampUp);
+        let b = botnet();
+        let r = resolvers();
+        let mut flows = Vec::new();
+        for m in 0..e.onset {
+            e.emit(m, &b, &r, &mut flows);
+        }
+        assert!(flows.is_empty(), "no prep probes without a prep window");
     }
 
     #[test]

@@ -26,19 +26,25 @@
 pub mod attack;
 pub mod benign;
 pub mod botnet;
+pub mod composer;
 pub mod config;
 pub mod faults;
 pub mod fleet;
 pub mod schedule;
 pub mod scenario;
+pub mod vectors;
 pub mod world;
 
-pub use attack::{AttackEvent, AttackPhase};
+pub use attack::{AttackEvent, AttackPhase, InvalidEvent, RAMP_DR_FLOOR};
 pub use botnet::{Botnet, Ecosystem};
+pub use composer::{
+    compose, ComposedScenario, DetectorTimeConstants, ScenarioFamily, ScenarioSpan,
+};
 pub use config::WorldConfig;
 pub use faults::{
     FaultKind, FaultObs, FaultSchedule, FaultWindow, FaultedWorld, MinuteDelivery,
     BUILTIN_SCHEDULES,
 };
 pub use fleet::{FleetMinute, FleetTraffic};
-pub use world::{World, WorldObs};
+pub use vectors::{AttackVector, VectorShape};
+pub use world::{victim_bin, victim_signature_bytes, World, WorldObs};

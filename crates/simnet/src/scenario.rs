@@ -91,15 +91,21 @@ pub fn single_udp_attack(seed: u64) -> (World, AttackEvent) {
         ramp_volume_scale: 1.0,
         prep_intensity: 1.0,
     };
-    world.inject_event(event.clone());
+    world
+        .inject_event(event.clone())
+        .expect("the scripted Fig 2 event is valid");
     (world, event)
 }
 
 impl World {
     /// Injects a scripted event into the schedule (test/scenario support).
-    pub fn inject_event(&mut self, event: AttackEvent) {
+    /// Invalid events — zero-length, inverted, prep after onset, degenerate
+    /// ramp rates — are rejected instead of silently scheduled.
+    pub fn inject_event(&mut self, event: AttackEvent) -> Result<(), crate::attack::InvalidEvent> {
+        event.validate()?;
         let idx = self.events().len();
         self.push_event_internal(event, idx);
+        Ok(())
     }
 }
 
@@ -116,13 +122,9 @@ mod tests {
         let sig = event.attack_type.signature();
         for _ in 0..(event.end).min(world.total_minutes()) {
             let bins = world.step();
-            let bin = bins.iter().find(|b| b.customer == event.victim).unwrap();
-            let vol: f64 = bin
-                .flows
-                .iter()
-                .filter(|f| sig.matches(f))
-                .map(|f| f.est_bytes() as f64)
-                .sum();
+            // Graceful lookup: a victim with no flows this minute (or
+            // outside the customer set) contributes 0.0, not a panic.
+            let vol = crate::world::victim_signature_bytes(&bins, event.victim, &sig);
             peak_seen = peak_seen.max(vol);
         }
         assert!(
@@ -130,6 +132,30 @@ mod tests {
             "peak {peak_seen} vs {}",
             event.peak_bpm
         );
+    }
+
+    #[test]
+    fn inject_event_rejects_invalid_events() {
+        // Regression: scripted pulse trains could schedule zero-length or
+        // inverted events that later panicked mid-stream.
+        let (mut world, event) = single_udp_attack(4);
+        let mut bad = event.clone();
+        bad.end = bad.onset;
+        assert!(world.inject_event(bad).is_err());
+        let mut bad = event.clone();
+        bad.ramp_dr = -1.0;
+        assert!(world.inject_event(bad).is_err());
+        assert_eq!(world.events().len(), 1, "rejected events are not kept");
+    }
+
+    #[test]
+    fn scheduler_events_all_pass_validation() {
+        // The generator's own schedule must satisfy the same contract
+        // scripted events are held to.
+        let w = World::new(WorldConfig::smoke_test(6));
+        for e in w.events() {
+            e.validate().expect("scheduled event validates");
+        }
     }
 
     #[test]

@@ -1,17 +1,44 @@
 //! The streaming world: merges benign and attack traffic, applies sampling,
 //! and exposes ground truth.
 
-use crate::attack::AttackEvent;
+use crate::attack::{AttackEvent, InvalidEvent};
 use crate::benign::BenignProfile;
 use crate::botnet::{customer_addr, Ecosystem};
 use crate::config::WorldConfig;
 use crate::schedule::build_schedule;
+use crate::vectors::AttackVector;
 use std::collections::HashMap;
 use xatu_netflow::addr::{Ipv4, Prefix, Subnet24};
+use xatu_netflow::attack::Signature;
 use xatu_netflow::binning::MinuteFlows;
 use xatu_netflow::record::FlowRecord;
 use xatu_netflow::sampler::{PacketSampler, SamplingMode};
 use xatu_obs::Counter;
+
+/// Id namespace for injected vectors, far above any scheduled event id, so
+/// a vector's per-(id, minute) emission RNG never collides with an event's.
+const VECTOR_ID_BASE: usize = 1 << 32;
+
+/// The bin for `victim` in one minute's emission, if the victim is a
+/// customer of this world. Replaces the old panicking `.find(..).unwrap()`
+/// lookups: victims outside the customer set (or suppressed bins) resolve
+/// to `None` instead of a panic.
+pub fn victim_bin(bins: &[MinuteFlows], victim: Ipv4) -> Option<&MinuteFlows> {
+    bins.iter().find(|b| b.customer == victim)
+}
+
+/// Signature-matching sampling-upscaled bytes delivered to `victim` in one
+/// minute's bins; `0.0` when the victim emitted no flows this minute or is
+/// not a customer at all.
+pub fn victim_signature_bytes(bins: &[MinuteFlows], victim: Ipv4, sig: &Signature) -> f64 {
+    victim_bin(bins, victim).map_or(0.0, |bin| {
+        bin.flows
+            .iter()
+            .filter(|f| sig.matches(f))
+            .map(|f| f.est_bytes() as f64)
+            .sum()
+    })
+}
 
 /// Generation-side telemetry, accumulated while the world streams.
 ///
@@ -43,6 +70,10 @@ pub struct World {
     schedule: Vec<AttackEvent>,
     /// Events indexed by victim for fast per-minute lookup.
     by_victim: HashMap<Ipv4, Vec<usize>>,
+    /// Injected composable vectors (scenario matrix), in injection order.
+    vectors: Vec<AttackVector>,
+    /// Vectors indexed by victim for fast per-minute lookup.
+    vec_by_victim: HashMap<Ipv4, Vec<usize>>,
     sampler: PacketSampler,
     minute: u32,
     obs: WorldObs,
@@ -104,6 +135,8 @@ impl World {
             ecosystem,
             schedule,
             by_victim,
+            vectors: Vec::new(),
+            vec_by_victim: HashMap::new(),
             sampler,
             minute: 0,
             obs: WorldObs::default(),
@@ -179,6 +212,36 @@ impl World {
         self.schedule.push(event);
     }
 
+    /// Injected composable vectors, in injection order.
+    pub fn vectors(&self) -> &[AttackVector] {
+        &self.vectors
+    }
+
+    /// The victim's benign baseline volume (bytes/minute), if a customer.
+    /// Scenario composers size attack peaks relative to this.
+    pub fn baseline_bpm(&self, customer: Ipv4) -> Option<f64> {
+        self.customers
+            .iter()
+            .position(|&c| c == customer)
+            .map(|i| self.benign[i].base_bpm())
+    }
+
+    /// Injects a composable attack vector. The carrier id is reassigned
+    /// into the vector id namespace (unique per injection, disjoint from
+    /// scheduled event ids), so each vector's emission RNG is independent
+    /// of every co-resident event and vector. Rejects invalid vectors.
+    pub fn inject_vector(&mut self, mut vector: AttackVector) -> Result<(), InvalidEvent> {
+        vector.carrier.id = VECTOR_ID_BASE + self.vectors.len();
+        vector.validate()?;
+        let idx = self.vectors.len();
+        self.vec_by_victim
+            .entry(vector.victim())
+            .or_default()
+            .push(idx);
+        self.vectors.push(vector);
+        Ok(())
+    }
+
     /// Advances one minute: returns one [`MinuteFlows`] bin per customer,
     /// post-sampling, in customer order.
     pub fn step(&mut self) -> Vec<MinuteFlows> {
@@ -204,6 +267,20 @@ impl World {
                         e.emit(
                             minute,
                             &self.ecosystem.botnets[e.botnet_id],
+                            &self.ecosystem.resolvers,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+            if let Some(vec_ids) = self.vec_by_victim.get(&customer) {
+                for &vi in vec_ids {
+                    let v = &self.vectors[vi];
+                    let (first, last) = v.active_range();
+                    if minute >= first && minute < last {
+                        v.emit(
+                            minute,
+                            &self.ecosystem.botnets[v.carrier.botnet_id],
                             &self.ecosystem.resolvers,
                             &mut scratch,
                         );
@@ -289,13 +366,7 @@ mod tests {
         let total = w.total_minutes();
         for m in 0..total.min(e.end + 1) {
             let bins = w.step();
-            let bin = bins.iter().find(|b| b.customer == e.victim).unwrap();
-            let vol: f64 = bin
-                .flows
-                .iter()
-                .filter(|f| sig.matches(f))
-                .map(|f| f.est_bytes() as f64)
-                .sum();
+            let vol = victim_signature_bytes(&bins, e.victim, &sig);
             if m + 1 == e.onset.saturating_sub(120) {
                 quiet = vol;
             }
@@ -347,6 +418,163 @@ mod tests {
         }
         assert_eq!(w.sampler_double_sample_rejects(), 0);
         assert_eq!(w.attacks_scheduled(), w.events().len());
+    }
+
+    #[test]
+    fn victim_bin_lookups_are_graceful_for_absent_victims() {
+        // Regression: the old `.find(..).unwrap()` pattern panicked when a
+        // victim emitted no flows in a minute — e.g. a scripted event whose
+        // victim is outside the customer set. The helpers resolve to
+        // None / 0.0 instead.
+        let mut w = world(11);
+        let outsider = Ipv4::from_octets(203, 0, 113, 7);
+        assert!(!w.customers().contains(&outsider));
+        let mut e = w.events()[0].clone();
+        e.victim = outsider;
+        w.inject_event(e.clone()).expect("valid scripted event");
+        let sig = e.attack_type.signature();
+        for _ in 0..3 {
+            let bins = w.step();
+            assert!(victim_bin(&bins, outsider).is_none());
+            assert_eq!(victim_signature_bytes(&bins, outsider, &sig), 0.0);
+            // Present victims still resolve.
+            let c = w.customers()[0];
+            assert!(victim_bin(&bins, c).is_some());
+        }
+    }
+
+    #[test]
+    fn injected_vectors_emit_and_validate() {
+        use crate::vectors::{AttackVector, VectorShape};
+        let mut cfg = WorldConfig::smoke_test(12);
+        cfg.n_chains = 0; // no background attacks polluting the volumes
+        let mut w = World::new(cfg);
+        let victim = w.customers()[0];
+        let peak = 20.0 * w.baseline_bpm(victim).expect("victim is a customer");
+        let carrier = AttackEvent {
+            id: 0,
+            victim,
+            attack_type: AttackType::UdpFlood,
+            botnet_id: 0,
+            prep_start: 0,
+            onset: 5,
+            ramp_minutes: 0,
+            end: 30,
+            peak_bpm: peak,
+            ramp_dr: 1.0,
+            wave_id: None,
+            spoofed_frac: 0.2,
+            spoof_detectable_frac: 0.5,
+            ramp_volume_scale: 1.0,
+            prep_intensity: 1.0,
+        };
+        let sig = carrier.attack_type.signature();
+        w.inject_vector(AttackVector {
+            carrier: carrier.clone(),
+            shape: VectorShape::Pulse {
+                on: 3,
+                off: 2,
+                phase: 0,
+            },
+        })
+        .expect("valid vector");
+        assert_eq!(w.vectors().len(), 1);
+
+        // Invalid vectors are rejected, not scheduled.
+        let mut bad = carrier.clone();
+        bad.end = bad.onset;
+        assert!(w
+            .inject_vector(AttackVector {
+                carrier: bad,
+                shape: VectorShape::Constant,
+            })
+            .is_err());
+        assert_eq!(w.vectors().len(), 1);
+
+        // The pulse train shows up in emitted volume: on-minutes loud,
+        // off-minutes back at benign level.
+        let mut on_vol = 0.0f64;
+        let mut off_vol = 0.0f64;
+        for m in 0..30 {
+            let bins = w.step();
+            let vol = victim_signature_bytes(&bins, victim, &sig);
+            if m >= 5 {
+                let t = m - 5;
+                if t % 5 < 3 {
+                    on_vol = on_vol.max(vol);
+                } else {
+                    off_vol = off_vol.max(vol);
+                }
+            }
+        }
+        assert!(
+            on_vol > 4.0 * off_vol.max(1.0),
+            "pulse on {on_vol} vs off {off_vol}"
+        );
+    }
+
+    #[test]
+    fn vector_emission_is_independent_of_co_resident_vectors() {
+        use crate::vectors::{AttackVector, VectorShape};
+        // Exact additivity: with sampling off, a vector's flows are
+        // bit-identical whether it runs alone or with another vector on the
+        // same victim — composed emission is the concatenation of parts.
+        let mut cfg = WorldConfig::smoke_test(13);
+        cfg.sampling_rate = 1;
+        cfg.n_chains = 0;
+        let build = |with_second: bool| -> World {
+            let mut w = World::new(cfg);
+            let victim = w.customers()[0];
+            let mk = |ty: AttackType| AttackEvent {
+                id: 0,
+                victim,
+                attack_type: ty,
+                botnet_id: 0,
+                prep_start: 0,
+                onset: 5,
+                ramp_minutes: 2,
+                end: 40,
+                peak_bpm: 4e7,
+                ramp_dr: 1.0,
+                wave_id: None,
+                spoofed_frac: 0.2,
+                spoof_detectable_frac: 0.5,
+                ramp_volume_scale: 1.0,
+                prep_intensity: 1.0,
+            };
+            w.inject_vector(AttackVector {
+                carrier: mk(AttackType::TcpSyn),
+                shape: VectorShape::Constant,
+            })
+            .unwrap();
+            if with_second {
+                w.inject_vector(AttackVector {
+                    carrier: mk(AttackType::IcmpFlood),
+                    shape: VectorShape::Pulse {
+                        on: 3,
+                        off: 2,
+                        phase: 0,
+                    },
+                })
+                .unwrap();
+            }
+            w
+        };
+        let mut solo = build(false);
+        let mut both = build(true);
+        let victim = solo.customers()[0];
+        let syn = AttackType::TcpSyn.signature();
+        for _ in 0..40 {
+            let a = solo.step();
+            let b = both.step();
+            let fa: Vec<_> = victim_bin(&a, victim)
+                .map(|bin| bin.flows.iter().filter(|f| syn.matches(f)).collect())
+                .unwrap_or_default();
+            let fb: Vec<_> = victim_bin(&b, victim)
+                .map(|bin| bin.flows.iter().filter(|f| syn.matches(f)).collect())
+                .unwrap_or_default();
+            assert_eq!(fa, fb);
+        }
     }
 
     #[test]
