@@ -3,27 +3,45 @@
 //! Trains the smoke-scale pipeline once, then replays the same seeded
 //! world through [`run_faulted`] under every built-in fault schedule —
 //! clean, collector outages, per-customer gaps, duplicated/late flows,
-//! sampling renegotiation, CDet feed dropouts, and everything at once.
-//! For each schedule it reports ground-truth detection coverage and mean
-//! detection delay against the clean baseline, plus the fault and
-//! degradation counters, as `BENCH_faults_<label>.json`.
+//! sampling renegotiation, CDet feed dropouts (sustained and flapping),
+//! and everything at once. Every schedule runs twice: **solo** (the
+//! survival booster alone, falling back to volumetric-only features while
+//! the CDet feed is silent) and **fused** (the same booster with the
+//! unsupervised autoencoder companion attached, shifting score weight onto
+//! reconstruction error while the feed is dark). For each schedule it
+//! reports ground-truth detection coverage and mean detection delay for
+//! both detectors against the clean baseline, plus the fault, degradation
+//! and fusion counters, as `BENCH_faults_<label>.json`.
 //!
 //! ```text
-//! cargo run --release -p xatu-bench --bin bench_faults -- [label] [seed] [customers]
+//! cargo run --release -p xatu-bench --bin bench_faults -- [label] [seed] [customers] [--smoke]
 //! ```
 //!
 //! The optional third argument overrides the smoke world's customer count
 //! (the committed baseline keeps the default), scaling the fault sweep to
-//! larger fleets without touching the preset.
+//! larger fleets without touching the preset. `--smoke` runs the fast CI
+//! subset: clean + cdet_dropout only, a short companion training run, the
+//! fused-vs-solo coverage gate and the fused thread-count bit gate; no
+//! JSON file is written.
 //!
 //! The run doubles as the streaming determinism check: the "everything"
-//! schedule is replayed at 1 and 4 worker threads and the binary exits
-//! non-zero unless every recorded survival matches bit for bit.
+//! schedule (cdet_dropout under `--smoke`) is replayed at 1 and 4 worker
+//! threads — solo and fused — and the binary exits non-zero unless every
+//! recorded survival matches bit for bit. It also enforces the fusion
+//! contract: on `cdet_dropout`, the fused detector must strictly improve
+//! coverage or delay over the volumetric-only fallback.
 
+use xatu_core::ae_trainer::{
+    new_autoencoder, reconstruction_errors, train_autoencoder, volumetric_windows_from_samples,
+    AeTrainConfig,
+};
 use xatu_core::eval::GtEvent;
 use xatu_core::faulted::{run_faulted, FaultReport, FaultedRunConfig, RunControl};
+use xatu_core::fusion::{ErrorNormalizer, FusionMode};
 use xatu_core::model::XatuModel;
+use xatu_core::online::Companion;
 use xatu_core::pipeline::{Pipeline, PipelineConfig};
+use xatu_features::frame::VOLUMETRIC_WIDTH;
 use xatu_netflow::attack::AttackType;
 use xatu_simnet::{FaultSchedule, World, BUILTIN_SCHEDULES};
 
@@ -74,6 +92,7 @@ fn run(
     cfg: &PipelineConfig,
     schedule: FaultSchedule,
     threads: usize,
+    companion: Option<&Companion>,
 ) -> FaultReport {
     let mut xatu = cfg.xatu;
     xatu.threads = threads;
@@ -82,17 +101,50 @@ fn run(
         xatu,
         schedule,
         cdet_silence_limit: 10,
+        companion: companion.cloned(),
     };
     run_faulted(model.clone(), ty, threshold, &fcfg, RunControl::Full).expect("faulted run")
 }
 
+/// Exits non-zero unless the two reports' survivals match bit for bit.
+fn bit_gate(r1: &FaultReport, r4: &FaultReport, what: &str) {
+    let same = r1.survivals.len() == r4.survivals.len()
+        && r1
+            .survivals
+            .iter()
+            .zip(&r4.survivals)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !same {
+        if let Some(i) = r1
+            .survivals
+            .iter()
+            .zip(&r4.survivals)
+            .position(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            let n = r1.customers.len();
+            eprintln!(
+                "[bench_faults] first divergence ({what}): minute {} customer {:?}: {} vs {}",
+                r1.first_minute + (i / n) as u32,
+                r1.customers[i % n],
+                r1.survivals[i],
+                r4.survivals[i],
+            );
+        }
+        eprintln!("[bench_faults] SURVIVAL MISMATCH ({what}) between threads=1 and threads=4");
+        std::process::exit(1);
+    }
+    eprintln!("[bench_faults] {what} stream bit-identical at threads=1 and threads=4");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let label = args.first().map(String::as_str).unwrap_or("current").to_string();
-    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let label = pos.first().map(|s| s.as_str()).unwrap_or("current").to_string();
+    let seed: u64 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(9);
 
     let mut cfg = PipelineConfig::smoke_test(seed);
-    if let Some(n) = args.get(2).and_then(|s| s.parse().ok()) {
+    if let Some(n) = pos.get(2).and_then(|s| s.parse().ok()) {
         cfg.world.n_customers = n;
     }
     let prepared = Pipeline::new(cfg).prepare();
@@ -114,33 +166,77 @@ fn main() {
     let total_minutes = World::new(cfg.world).total_minutes();
     let n_customers = cfg.world.n_customers;
 
+    // Train the unsupervised companion on the prepared dataset's benign
+    // windows and calibrate its normalizer on the same windows' errors.
+    let ae_cfg = AeTrainConfig {
+        seed: seed.wrapping_add(0xAE),
+        threads: 1,
+        epochs: if smoke { 8 } else { 30 },
+        ..AeTrainConfig::default()
+    };
+    let benign = volumetric_windows_from_samples(&prepared.bundle.negatives);
+    assert!(!benign.is_empty(), "smoke dataset has benign windows");
+    let mut ae = new_autoencoder(VOLUMETRIC_WIDTH, &ae_cfg);
+    train_autoencoder(&mut ae, &benign, &ae_cfg).expect("companion training");
+    let norm = ErrorNormalizer::from_benign_errors(&reconstruction_errors(&ae, &benign));
+    let companion = Companion {
+        ae,
+        norm,
+        mode: FusionMode::MaxCombine,
+        window: cfg.xatu.window,
+    };
+    eprintln!(
+        "[bench_faults] companion trained on {} benign windows, error bounds {:?}",
+        benign.len(),
+        companion.norm.bounds(),
+    );
+
+    let schedules: Vec<&str> = if smoke {
+        vec!["clean", "cdet_dropout"]
+    } else {
+        BUILTIN_SCHEDULES.to_vec()
+    };
+
     let mut rows = String::new();
     let mut clean_delay = f64::NAN;
-    for name in BUILTIN_SCHEDULES {
+    let mut dropout_gate: Option<(Coverage, Coverage)> = None;
+    for name in &schedules {
         let schedule =
             FaultSchedule::builtin(name, total_minutes, n_customers).expect("builtin resolves");
-        let report = run(model, *ty, threshold, &cfg, schedule, 1);
-        assert!(report.all_finite(), "schedule {name}: non-finite survival");
-        let cov = coverage(&report, &prepared.ground_truth, *ty);
+        let solo = run(model, *ty, threshold, &cfg, schedule.clone(), 1, None);
+        let fused = run(model, *ty, threshold, &cfg, schedule, 1, Some(&companion));
+        assert!(solo.all_finite(), "schedule {name}: non-finite solo survival");
+        assert!(fused.all_finite(), "schedule {name}: non-finite fused survival");
+        let cov = coverage(&solo, &prepared.ground_truth, *ty);
+        let fcov = coverage(&fused, &prepared.ground_truth, *ty);
         if *name == "clean" {
             clean_delay = cov.mean_delay;
         }
         let delta = cov.mean_delay - clean_delay;
-        let c = &report.counts;
+        let c = &solo.counts;
+        let fc = &fused.counts;
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
             "    {{\"schedule\": \"{name}\", \"detected\": {}, \"gt_events\": {}, \
              \"mean_delay_min\": {:.2}, \"delay_delta_vs_clean\": {:.2}, \
-             \"alerts\": {}, \"bins_suppressed\": {}, \"gaps_imputed\": {}, \
+             \"alerts\": {}, \"detected_fused\": {}, \"mean_delay_fused_min\": {:.2}, \
+             \"alerts_fused\": {}, \"fusion_engaged\": {}, \"fusion_recovered\": {}, \
+             \"fusion_ae_minutes\": {}, \"bins_suppressed\": {}, \"gaps_imputed\": {}, \
              \"cold_restarts\": {}, \"cdet_down_minutes\": {}, \
              \"degraded_feature_minutes\": {}}}",
             cov.detected,
             cov.total,
             cov.mean_delay,
             delta,
-            report.alerts.len(),
+            solo.alerts.len(),
+            fcov.detected,
+            fcov.mean_delay,
+            fused.alerts.len(),
+            fc.fusion_engaged,
+            fc.fusion_recovered,
+            fc.fusion_ae_minutes,
             c.bins_suppressed,
             c.gaps_imputed,
             c.cold_restarts,
@@ -148,52 +244,63 @@ fn main() {
             c.degraded_feature_minutes,
         ));
         eprintln!(
-            "[bench_faults] {name:>14}: {}/{} detected, mean delay {:.2} min (Δ {:+.2}), \
-             {} alerts",
-            cov.detected, cov.total, cov.mean_delay, delta, report.alerts.len(),
+            "[bench_faults] {name:>14}: solo {}/{} @ {:.2} min (Δ {:+.2}), \
+             fused {}/{} @ {:.2} min, {} fusion transitions",
+            cov.detected,
+            cov.total,
+            cov.mean_delay,
+            delta,
+            fcov.detected,
+            fcov.total,
+            fcov.mean_delay,
+            fc.fusion_engaged + fc.fusion_recovered,
         );
+        if *name == "cdet_dropout" {
+            dropout_gate = Some((cov, fcov));
+        }
     }
 
-    let json = format!(
-        "{{\n  \"label\": \"{label}\",\n  \"seed\": {seed},\n  \"attack_type\": \"{ty:?}\",\n  \
-         \"threshold\": {threshold},\n  \"total_minutes\": {total_minutes},\n  \
-         \"customers\": {n_customers},\n  \"schedules\": [\n{rows}\n  ]\n}}\n"
-    );
-    let path = format!("BENCH_faults_{label}.json");
-    std::fs::write(&path, &json).expect("write bench json");
-    println!("{json}");
-    eprintln!("[bench_faults] wrote {path}");
+    if !smoke {
+        let json = format!(
+            "{{\n  \"label\": \"{label}\",\n  \"seed\": {seed},\n  \"attack_type\": \"{ty:?}\",\n  \
+             \"threshold\": {threshold},\n  \"total_minutes\": {total_minutes},\n  \
+             \"customers\": {n_customers},\n  \"fusion_mode\": \"max_combine\",\n  \
+             \"schedules\": [\n{rows}\n  ]\n}}\n"
+        );
+        let path = format!("BENCH_faults_{label}.json");
+        std::fs::write(&path, &json).expect("write bench json");
+        println!("{json}");
+        eprintln!("[bench_faults] wrote {path}");
+    }
 
-    // Thread-count determinism under maximal fault load: every recorded
-    // survival must match bit for bit between 1 and 4 workers.
-    let schedule = FaultSchedule::builtin("everything", total_minutes, n_customers)
-        .expect("builtin resolves");
-    let r1 = run(model, *ty, threshold, &cfg, schedule.clone(), 1);
-    let r4 = run(model, *ty, threshold, &cfg, schedule, 4);
-    let same = r1.survivals.len() == r4.survivals.len()
-        && r1
-            .survivals
-            .iter()
-            .zip(&r4.survivals)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-    if !same {
-        if let Some(i) = r1
-            .survivals
-            .iter()
-            .zip(&r4.survivals)
-            .position(|(a, b)| a.to_bits() != b.to_bits())
-        {
-            let n = r1.customers.len();
-            eprintln!(
-                "[bench_faults] first divergence: minute {} customer {:?}: {} vs {}",
-                r1.first_minute + (i / n) as u32,
-                r1.customers[i % n],
-                r1.survivals[i],
-                r4.survivals[i],
-            );
-        }
-        eprintln!("[bench_faults] SURVIVAL MISMATCH between threads=1 and threads=4");
+    // Fusion contract: while the CDet feed is down, the companion must buy
+    // back coverage or delay relative to the volumetric-only fallback.
+    let (solo, fused) = dropout_gate.expect("cdet_dropout ran");
+    let improved = fused.detected > solo.detected
+        || (fused.detected >= solo.detected && fused.mean_delay < solo.mean_delay);
+    if !improved {
+        eprintln!(
+            "[bench_faults] FUSION REGRESSION on cdet_dropout: solo {}/{} @ {:.2}, \
+             fused {}/{} @ {:.2}",
+            solo.detected, solo.total, solo.mean_delay, fused.detected, fused.total,
+            fused.mean_delay,
+        );
         std::process::exit(1);
     }
-    eprintln!("[bench_faults] faulted stream bit-identical at threads=1 and threads=4");
+    eprintln!(
+        "[bench_faults] fusion gate passed: cdet_dropout solo {}/{} @ {:.2} -> fused {}/{} @ {:.2}",
+        solo.detected, solo.total, solo.mean_delay, fused.detected, fused.total, fused.mean_delay,
+    );
+
+    // Thread-count determinism under fault load, solo and fused: every
+    // recorded survival must match bit for bit between 1 and 4 workers.
+    let gate_schedule = if smoke { "cdet_dropout" } else { "everything" };
+    let schedule = FaultSchedule::builtin(gate_schedule, total_minutes, n_customers)
+        .expect("builtin resolves");
+    let r1 = run(model, *ty, threshold, &cfg, schedule.clone(), 1, None);
+    let r4 = run(model, *ty, threshold, &cfg, schedule.clone(), 4, None);
+    bit_gate(&r1, &r4, &format!("solo {gate_schedule}"));
+    let f1 = run(model, *ty, threshold, &cfg, schedule.clone(), 1, Some(&companion));
+    let f4 = run(model, *ty, threshold, &cfg, schedule, 4, Some(&companion));
+    bit_gate(&f1, &f4, &format!("fused {gate_schedule}"));
 }

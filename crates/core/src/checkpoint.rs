@@ -36,6 +36,8 @@ pub const MAGIC: &[u8; 4] = b"XCK1";
 pub const KIND_TRAINER: u8 = 1;
 /// `kind` byte for online-detector checkpoints.
 pub const KIND_DETECTOR: u8 = 2;
+/// `kind` byte for autoencoder-trainer checkpoints.
+pub const KIND_AUTOENCODER: u8 = 3;
 
 /// FNV-1a over a byte slice (same constants as `xatu-obs`' digest).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -657,6 +659,122 @@ pub fn load_detector(path: &Path) -> Result<DetectorCheckpoint, XatuError> {
     Ok(ck)
 }
 
+// ---------------------------------------------------------------------------
+// Autoencoder-trainer checkpoint.
+// ---------------------------------------------------------------------------
+
+/// Resume state for the benign-window autoencoder trainer
+/// ([`crate::ae_trainer`]): identity fields to reject a checkpoint from a
+/// different run, the flat parameters, and the full Adam state. Like the
+/// survival trainer, the shuffle RNG is replayed on resume rather than
+/// stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoencoderCheckpoint {
+    /// Training seed (identity check).
+    pub seed: u64,
+    /// Learning-rate bits (identity check — exact, not approximate).
+    pub lr_bits: u64,
+    /// Batch size (identity check).
+    pub batch_size: u64,
+    /// Number of benign training windows (identity check).
+    pub window_count: u64,
+    /// Frame width the model reconstructs (identity check).
+    pub input_dim: u64,
+    /// Latent width (identity check).
+    pub hidden: u64,
+    /// Total epochs the run is configured for.
+    pub epochs_total: u64,
+    /// Epochs fully completed before this checkpoint.
+    pub epochs_done: u64,
+    /// Flat model parameters in `Params::visit` order.
+    pub params: Vec<f64>,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Adam first moments, per parameter chunk.
+    pub adam_m: Vec<Vec<f64>>,
+    /// Adam second moments, per parameter chunk.
+    pub adam_v: Vec<Vec<f64>>,
+}
+
+impl AutoencoderCheckpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.seed);
+        e.u64(self.lr_bits);
+        e.u64(self.batch_size);
+        e.u64(self.window_count);
+        e.u64(self.input_dim);
+        e.u64(self.hidden);
+        e.u64(self.epochs_total);
+        e.u64(self.epochs_done);
+        e.f64s(&self.params);
+        e.u64(self.adam_t);
+        for moments in [&self.adam_m, &self.adam_v] {
+            e.u64(moments.len() as u64);
+            for chunk in moments {
+                e.f64s(chunk);
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, String> {
+        let seed = d.u64()?;
+        let lr_bits = d.u64()?;
+        let batch_size = d.u64()?;
+        let window_count = d.u64()?;
+        let input_dim = d.u64()?;
+        let hidden = d.u64()?;
+        let epochs_total = d.u64()?;
+        let epochs_done = d.u64()?;
+        if epochs_done > epochs_total {
+            return Err(format!(
+                "epochs_done {epochs_done} exceeds epochs_total {epochs_total}"
+            ));
+        }
+        let params = d.f64s()?;
+        let adam_t = d.u64()?;
+        let mut moments = [Vec::new(), Vec::new()];
+        for m in &mut moments {
+            let n = d.u64()? as usize;
+            for _ in 0..n {
+                m.push(d.f64s()?);
+            }
+        }
+        let [adam_m, adam_v] = moments;
+        Ok(AutoencoderCheckpoint {
+            seed,
+            lr_bits,
+            batch_size,
+            window_count,
+            input_dim,
+            hidden,
+            epochs_total,
+            epochs_done,
+            params,
+            adam_t,
+            adam_m,
+            adam_v,
+        })
+    }
+}
+
+/// Atomically writes an autoencoder-trainer checkpoint.
+pub fn save_autoencoder(path: &Path, ck: &AutoencoderCheckpoint) -> Result<(), XatuError> {
+    write_container(path, KIND_AUTOENCODER, &ck.encode())
+}
+
+/// Loads and validates an autoencoder-trainer checkpoint.
+pub fn load_autoencoder(path: &Path) -> Result<AutoencoderCheckpoint, XatuError> {
+    let payload = read_container(path, KIND_AUTOENCODER)?;
+    let mut d = Dec::new(&payload);
+    let ck = AutoencoderCheckpoint::decode(&mut d).map_err(|e| XatuError::corrupt(path, e))?;
+    if !d.finished() {
+        return Err(XatuError::corrupt(path, "trailing bytes after payload"));
+    }
+    Ok(ck)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,6 +911,77 @@ mod tests {
             Err(XatuError::CorruptCheckpoint { .. })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn autoencoder_checkpoint_roundtrips_exactly() {
+        let path = tmp_file("ae_rt");
+        let ck = AutoencoderCheckpoint {
+            seed: 3,
+            lr_bits: 5e-3f64.to_bits(),
+            batch_size: 4,
+            window_count: 40,
+            input_dim: 53,
+            hidden: 8,
+            epochs_total: 12,
+            epochs_done: 5,
+            params: vec![0.25, -1.0, f64::MIN_POSITIVE, 0.0],
+            adam_t: 50,
+            adam_m: vec![vec![0.5], vec![-0.25, 0.125]],
+            adam_v: vec![vec![0.01], vec![0.02, 0.03]],
+        };
+        save_autoencoder(&path, &ck).unwrap();
+        let back = load_autoencoder(&path).unwrap();
+        assert_eq!(ck, back);
+        // A trainer reader must reject the autoencoder kind byte.
+        assert!(matches!(
+            load_trainer(&path),
+            Err(XatuError::CorruptCheckpoint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    proptest::proptest! {
+        /// XCK1 encode/decode of the autoencoder checkpoint is lossless
+        /// for arbitrary field values, including non-round floats.
+        #[test]
+        fn autoencoder_checkpoint_proptest_roundtrip(
+            seed in proptest::prelude::any::<u64>(),
+            lr in -1e6f64..1e6,
+            batch_size in 1u64..1024,
+            window_count in 0u64..10_000,
+            input_dim in 1u64..512,
+            hidden in 1u64..256,
+            epochs_done in 0u64..64,
+            extra_epochs in 0u64..64,
+            params in proptest::collection::vec(-1e9f64..1e9, 0..64),
+            adam_t in proptest::prelude::any::<u64>(),
+            m in proptest::collection::vec(
+                proptest::collection::vec(-1e9f64..1e9, 0..8), 0..4),
+        ) {
+            let ck = AutoencoderCheckpoint {
+                seed,
+                lr_bits: lr.to_bits(),
+                batch_size,
+                window_count,
+                input_dim,
+                hidden,
+                epochs_total: epochs_done + extra_epochs,
+                epochs_done,
+                params,
+                adam_t,
+                adam_m: m.clone(),
+                adam_v: m,
+            };
+            let path = tmp_file(&format!("ae_prop_{seed}_{adam_t}"));
+            save_autoencoder(&path, &ck).unwrap();
+            let back = load_autoencoder(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            proptest::prop_assert_eq!(&ck, &back);
+            for (a, b) in ck.params.iter().zip(&back.params) {
+                proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

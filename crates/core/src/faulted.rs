@@ -33,9 +33,9 @@ use crate::config::XatuConfig;
 use crate::error::XatuError;
 use crate::eval::VolumeStore;
 use crate::model::XatuModel;
-use crate::online::OnlineDetector;
+use crate::online::{Companion, OnlineDetector};
 use crate::pipeline::{build_extractor, handle_alert_event, update_trackers, ActiveAlert};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use xatu_detectors::alert::Alert;
 use xatu_detectors::netscout::NetScout;
@@ -58,6 +58,11 @@ pub struct FaultedRunConfig {
     /// Minutes of CDet-feed silence tolerated before extracted frames are
     /// degraded to volumetric-only features.
     pub cdet_silence_limit: u32,
+    /// Optional unsupervised companion attached to the detector. While the
+    /// feed is degraded the fused score shifts onto the companion instead
+    /// of dropping to volumetric-only survival alone; `None` reproduces
+    /// the companion-free run bit for bit.
+    pub companion: Option<Companion>,
 }
 
 impl FaultedRunConfig {
@@ -72,6 +77,7 @@ impl FaultedRunConfig {
             },
             schedule,
             cdet_silence_limit: 10,
+            companion: None,
         }
     }
 }
@@ -127,6 +133,14 @@ pub struct FaultCounts {
     pub cold_restarts: u64,
     /// Minutes served volumetric-only because the CDet feed was silent.
     pub degraded_feature_minutes: u64,
+    /// Ladder transitions into full companion weight (feed went dark with
+    /// a companion attached).
+    pub fusion_engaged: u64,
+    /// Ladder transitions back out of full companion weight (feed
+    /// recovery started a re-warm-up ramp).
+    pub fusion_recovered: u64,
+    /// Minutes whose reported survival included the companion's score.
+    pub fusion_ae_minutes: u64,
 }
 
 /// What one fault-injected run produced.
@@ -187,7 +201,10 @@ pub fn run_faulted(
     let mut extractor = build_extractor(&world, &cfg.xatu, None);
     let mut volumes = VolumeStore::new(total_minutes);
     let mut cdet = NetScout::new();
-    let mut active_cdet: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+    // BTreeMap, not HashMap: `update_trackers` iterates the open CDet
+    // alerts with tracker side effects, so the iteration order must be
+    // deterministic for checkpoint/resume bit-identity.
+    let mut active_cdet: BTreeMap<(Ipv4, AttackType), ActiveAlert> = BTreeMap::new();
     let mut cdet_alerts: Vec<Alert> = Vec::new();
 
     // Resume: restore the detector, then replay the deterministic parts of
@@ -196,8 +213,13 @@ pub fn run_faulted(
     let (mut det, resume_after) = match control {
         RunControl::ResumeFrom { path } => {
             let ck = load_detector(path)?;
-            let det = OnlineDetector::from_checkpoint(&ck)
+            let mut det = OnlineDetector::from_checkpoint(&ck)
                 .map_err(|e| XatuError::corrupt(path, e.to_string()))?;
+            if let Some(comp) = &cfg.companion {
+                // Companion state is not checkpointed: re-attach and let
+                // the rings re-warm over the resumed tail.
+                det.set_companion(comp.clone());
+            }
             let minute = ck
                 .customers
                 .iter()
@@ -211,6 +233,9 @@ pub fn run_faulted(
         _ => {
             let mut det = OnlineDetector::new(model.clone(), attack_type, threshold, &cfg.xatu);
             det.set_warmup(2 * cfg.xatu.window as u32);
+            if let Some(comp) = &cfg.companion {
+                det.set_companion(comp.clone());
+            }
             (det, None)
         }
     };
@@ -287,6 +312,10 @@ pub fn run_faulted(
         if degrade {
             degraded_feature_minutes += 1;
         }
+        // Ladder tick: with a companion attached, a dark feed shifts the
+        // fused score onto the companion; recovery starts the re-warm-up
+        // ramp. Without one, this only records the flag.
+        det.set_feed_degraded(degrade);
         let frames: Vec<FeatureFrame> = par_map(threads, &present_bins, |_, bin| {
             let mut frame = extractor.extract_shared(bin);
             if degrade {
@@ -407,6 +436,9 @@ fn report(
             values_sanitized: d.values_sanitized.get(),
             cold_restarts: d.cold_restarts.get(),
             degraded_feature_minutes,
+            fusion_engaged: d.fusion_engaged.get(),
+            fusion_recovered: d.fusion_recovered.get(),
+            fusion_ae_minutes: d.fusion_ae_minutes.get(),
         },
     }
 }

@@ -38,7 +38,14 @@
 //!   multi-vector / pulse-wave / low-and-slow / carpet-bomb scenarios
 //!   through both volumetric CDets, the booster and the fleet detector,
 //!   and scores detection rate, median delay and overhead per detector.
+//! * [`ae_trainer`] — benign-window training for the unsupervised
+//!   reconstruction companion (LSTM autoencoder over volumetric frames),
+//!   with the same bit-identical checkpoint/resume as the main trainer.
+//! * [`fusion`] — score fusion: benign-quantile error normalization plus
+//!   max-combine / learned-logistic blending of the survival score with
+//!   the companion's reconstruction score.
 
+pub mod ae_trainer;
 pub mod checkpoint;
 pub mod config;
 pub mod dataset;
@@ -46,6 +53,7 @@ pub mod error;
 pub mod eval;
 pub mod faulted;
 pub mod fleet;
+pub mod fusion;
 pub mod gradients;
 pub mod model;
 pub mod online;

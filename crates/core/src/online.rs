@@ -38,14 +38,15 @@
 use crate::checkpoint::{CustomerCheckpoint, DetectorCheckpoint, DualStateCheckpoint};
 use crate::config::XatuConfig;
 use crate::error::XatuError;
+use crate::fusion::{ErrorNormalizer, FusionMode};
 use crate::model::{DualState, ModelConfig, StreamingState, XatuModel};
 use std::collections::HashMap;
 use xatu_detectors::alert::Alert;
 use xatu_detectors::traits::DetectorEvent;
-use xatu_features::frame::NUM_FEATURES;
+use xatu_features::frame::{NUM_FEATURES, VOLUMETRIC_WIDTH};
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::AttackType;
-use xatu_nn::{LstmState, Params};
+use xatu_nn::{AeWorkspace, FrameArena, LstmAutoencoder, LstmState, Params};
 use xatu_obs::{Counter, FixedHistogram, GAP_RUN_BOUNDS, SURVIVAL_BOUNDS};
 use xatu_survival::hazard::RollingSurvival;
 
@@ -80,6 +81,15 @@ pub struct DetectorObs {
     pub cold_restarts: Counter,
     /// Distribution of gap-run lengths (imputed or skipped minutes).
     pub gap_runs: FixedHistogram,
+    /// Degradation-ladder transitions into companion-weighted fusion
+    /// (the CDet feed went dark with a companion attached).
+    pub fusion_engaged: Counter,
+    /// Transitions back out of full companion weight (feed recovery
+    /// started a re-warm-up ramp).
+    pub fusion_recovered: Counter,
+    /// Minutes whose reported survival actually included the companion's
+    /// reconstruction score (ring full, companion attached).
+    pub fusion_ae_minutes: Counter,
 }
 
 impl Default for DetectorObs {
@@ -95,6 +105,9 @@ impl Default for DetectorObs {
             out_of_order: Counter::new(),
             cold_restarts: Counter::new(),
             gap_runs: FixedHistogram::new(GAP_RUN_BOUNDS),
+            fusion_engaged: Counter::new(),
+            fusion_recovered: Counter::new(),
+            fusion_ae_minutes: Counter::new(),
         }
     }
 }
@@ -116,6 +129,9 @@ impl DetectorObs {
         self.out_of_order.add(other.out_of_order.get());
         self.cold_restarts.add(other.cold_restarts.get());
         self.gap_runs.merge(&other.gap_runs);
+        self.fusion_engaged.add(other.fusion_engaged.get());
+        self.fusion_recovered.add(other.fusion_recovered.get());
+        self.fusion_ae_minutes.add(other.fusion_ae_minutes.get());
     }
 
     /// Zeroes every counter and histogram in place, keeping allocations,
@@ -131,7 +147,29 @@ impl DetectorObs {
         self.out_of_order.reset();
         self.cold_restarts.reset();
         self.gap_runs.reset();
+        self.fusion_engaged.reset();
+        self.fusion_recovered.reset();
+        self.fusion_ae_minutes.reset();
     }
+}
+
+/// The unsupervised reconstruction companion attached to a detector.
+///
+/// A trained [`LstmAutoencoder`] over the volumetric feature block (width
+/// [`VOLUMETRIC_WIDTH`]) plus its benign-error calibration and the fusion
+/// rule. The companion never sees auxiliary features, so its score is
+/// unaffected when the CDet feed drops — the degradation ladder shifts
+/// weight onto it instead of falling back to volumetric-only thresholds.
+#[derive(Clone, Debug)]
+pub struct Companion {
+    /// The trained autoencoder (`input_dim` must be [`VOLUMETRIC_WIDTH`]).
+    pub ae: LstmAutoencoder,
+    /// Benign-quantile reconstruction-error normalizer.
+    pub norm: ErrorNormalizer,
+    /// How the survival score and the companion score are combined.
+    pub mode: FusionMode,
+    /// Window length (minutes) the autoencoder scores over.
+    pub window: usize,
 }
 
 /// Per-customer streaming state.
@@ -154,6 +192,13 @@ struct CustomerState {
     stale_run: u32,
     /// Newest minute this customer has been driven to.
     last_minute: Option<u32>,
+    /// Companion ring buffer: the last `window` volumetric slices, flat
+    /// (`window × VOLUMETRIC_WIDTH`). Empty when no companion is attached.
+    ae_ring: Vec<f64>,
+    /// Next write slot in the ring (frame index, not scalar offset).
+    ae_head: usize,
+    /// Frames written so far, saturating at the companion window.
+    ae_filled: usize,
 }
 
 /// Scalar knobs copied out of the detector so the per-minute free
@@ -173,6 +218,20 @@ struct Tunables {
     stale_limit: u32,
     /// Longest gap bridged by imputation; anything longer cold-restarts.
     max_imputed_gap: u32,
+    /// Companion ring length in frames (0 when no companion is attached).
+    ae_window: usize,
+}
+
+/// Per-call companion context: the trained companion plus the detector's
+/// shared scratch buffers, borrowed alongside the customer map by the
+/// per-minute free functions.
+struct CompanionCtx<'a> {
+    comp: &'a Companion,
+    ws: &'a mut AeWorkspace,
+    scratch: &'a mut FrameArena,
+    /// Degradation shift for this minute (1 = score purely from the
+    /// companion, 0 = configured combine).
+    ae_weight: f64,
 }
 
 /// The streaming detector for one attack type.
@@ -196,6 +255,21 @@ pub struct OnlineDetector {
     max_alert_minutes: u32,
     customers: HashMap<Ipv4, CustomerState>,
     obs: DetectorObs,
+    /// Optional unsupervised companion; `None` leaves every observation
+    /// bit-identical to a companion-free detector.
+    companion: Option<Companion>,
+    /// Shared autoencoder workspace (reused across customers — scoring is
+    /// sequential within one detector).
+    ae_ws: AeWorkspace,
+    /// Scratch window assembled from a customer's ring before scoring.
+    ae_scratch: FrameArena,
+    /// Ladder state: is the CDet feed currently considered dark?
+    feed_degraded: bool,
+    /// Re-warm-up minutes left on the companion-weight ramp (counts down
+    /// after feed recovery).
+    rewarm_left: u32,
+    /// Full length of the re-warm-up ramp.
+    rewarm_len: u32,
 }
 
 impl OnlineDetector {
@@ -212,6 +286,80 @@ impl OnlineDetector {
             max_alert_minutes: 45,
             customers: HashMap::new(),
             obs: DetectorObs::default(),
+            companion: None,
+            ae_ws: AeWorkspace::new(),
+            ae_scratch: FrameArena::new(VOLUMETRIC_WIDTH),
+            feed_degraded: false,
+            rewarm_left: 0,
+            rewarm_len: cfg.window.max(1) as u32,
+        }
+    }
+
+    /// Attaches the unsupervised companion. Every customer's companion ring
+    /// is (re)built empty, so scoring re-warms over the next `window`
+    /// minutes; the survival path itself is untouched until a ring fills.
+    ///
+    /// # Panics
+    /// Panics if the autoencoder's input width is not [`VOLUMETRIC_WIDTH`]
+    /// or the companion window is zero.
+    pub fn set_companion(&mut self, companion: Companion) {
+        assert_eq!(
+            companion.ae.input_dim(),
+            VOLUMETRIC_WIDTH,
+            "companion autoencoder must score the volumetric block"
+        );
+        assert!(companion.window >= 1, "companion window must be >= 1");
+        let flat = companion.window * VOLUMETRIC_WIDTH;
+        for s in self.customers.values_mut() {
+            s.ae_ring.clear();
+            s.ae_ring.resize(flat, 0.0);
+            s.ae_head = 0;
+            s.ae_filled = 0;
+        }
+        self.companion = Some(companion);
+    }
+
+    /// The attached companion, if any.
+    pub fn companion(&self) -> Option<&Companion> {
+        self.companion.as_ref()
+    }
+
+    /// Once-per-minute ladder tick from the driving loop: `true` while the
+    /// CDet feed is dark. With a companion attached, going dark shifts the
+    /// fused score fully onto the companion ([`DetectorObs::fusion_engaged`]);
+    /// recovery starts a linear re-warm-up ramp back to the configured
+    /// combine ([`DetectorObs::fusion_recovered`]). Without a companion this
+    /// only records the flag, changing nothing else.
+    pub fn set_feed_degraded(&mut self, degraded: bool) {
+        if self.companion.is_none() {
+            self.feed_degraded = degraded;
+            return;
+        }
+        if degraded && !self.feed_degraded {
+            self.obs.fusion_engaged.inc();
+            self.rewarm_left = 0;
+        } else if !degraded && self.feed_degraded {
+            self.obs.fusion_recovered.inc();
+            self.rewarm_left = self.rewarm_len;
+        } else if !degraded && self.rewarm_left > 0 {
+            self.rewarm_left -= 1;
+        }
+        self.feed_degraded = degraded;
+    }
+
+    /// The current companion weight in `[0, 1]`: 1 while the feed is dark,
+    /// ramping linearly back to 0 over the re-warm-up after recovery.
+    /// Always 0 without a companion.
+    pub fn companion_weight(&self) -> f64 {
+        if self.companion.is_none() {
+            return 0.0;
+        }
+        if self.feed_degraded {
+            1.0
+        } else if self.rewarm_len == 0 {
+            0.0
+        } else {
+            (self.rewarm_left as f64 / self.rewarm_len as f64).clamp(0.0, 1.0)
         }
     }
 
@@ -267,6 +415,7 @@ impl OnlineDetector {
             ctx: self.ctx_lens,
             stale_limit: (self.window as u32).max(1),
             max_imputed_gap: 3 * self.window as u32,
+            ae_window: self.companion.as_ref().map_or(0, |c| c.window),
         }
     }
 
@@ -291,9 +440,25 @@ impl OnlineDetector {
             });
         }
         let p = self.tunables();
+        let ae_weight = self.companion_weight();
+        let mut ctx = self.companion.as_ref().map(|comp| CompanionCtx {
+            comp,
+            ws: &mut self.ae_ws,
+            scratch: &mut self.ae_scratch,
+            ae_weight,
+        });
         let state = entry(&mut self.customers, &self.model, &p, customer);
         let mut events = Vec::new();
-        catch_up(&self.model, &p, &mut self.obs, state, customer, minute, &mut events)?;
+        catch_up(
+            &self.model,
+            &p,
+            &mut self.obs,
+            state,
+            customer,
+            minute,
+            ctx.as_mut(),
+            &mut events,
+        )?;
 
         // Sanitize the incoming frame into the ZOH buffer in place.
         let mut replaced = 0u64;
@@ -313,8 +478,17 @@ impl OnlineDetector {
             self.obs.gap_runs.observe(state.stale_run as f64);
             state.stale_run = 0;
         }
-        let (hazard, survival) =
-            step_minute(&self.model, &p, &mut self.obs, state, customer, minute, false, &mut events);
+        let (hazard, survival) = step_minute(
+            &self.model,
+            &p,
+            &mut self.obs,
+            state,
+            customer,
+            minute,
+            false,
+            ctx.as_mut(),
+            &mut events,
+        );
         state.last_minute = Some(minute);
         Ok((hazard, survival, events))
     }
@@ -330,11 +504,36 @@ impl OnlineDetector {
         minute: u32,
     ) -> Result<(f64, f64, Vec<DetectorEvent>), XatuError> {
         let p = self.tunables();
+        let ae_weight = self.companion_weight();
+        let mut ctx = self.companion.as_ref().map(|comp| CompanionCtx {
+            comp,
+            ws: &mut self.ae_ws,
+            scratch: &mut self.ae_scratch,
+            ae_weight,
+        });
         let state = entry(&mut self.customers, &self.model, &p, customer);
         let mut events = Vec::new();
-        catch_up(&self.model, &p, &mut self.obs, state, customer, minute, &mut events)?;
-        let (hazard, survival) =
-            step_minute(&self.model, &p, &mut self.obs, state, customer, minute, true, &mut events);
+        catch_up(
+            &self.model,
+            &p,
+            &mut self.obs,
+            state,
+            customer,
+            minute,
+            ctx.as_mut(),
+            &mut events,
+        )?;
+        let (hazard, survival) = step_minute(
+            &self.model,
+            &p,
+            &mut self.obs,
+            state,
+            customer,
+            minute,
+            true,
+            ctx.as_mut(),
+            &mut events,
+        );
         state.last_minute = Some(minute);
         Ok((hazard, survival, events))
     }
@@ -481,6 +680,12 @@ impl OnlineDetector {
             max_alert_minutes: ck.max_alert_minutes,
             customers,
             obs: DetectorObs::default(),
+            companion: None,
+            ae_ws: AeWorkspace::new(),
+            ae_scratch: FrameArena::new(VOLUMETRIC_WIDTH),
+            feed_degraded: false,
+            rewarm_left: 0,
+            rewarm_len: (ck.window as u32).max(1),
         })
     }
 }
@@ -507,6 +712,9 @@ fn entry<'a>(
         last_frame: vec![0.0; NUM_FEATURES],
         stale_run: 0,
         last_minute: None,
+        ae_ring: vec![0.0; p.ae_window * VOLUMETRIC_WIDTH],
+        ae_head: 0,
+        ae_filled: 0,
     })
 }
 
@@ -596,12 +804,19 @@ fn restore_customer(
         last_frame: c.last_frame.clone(),
         stale_run: c.stale_run,
         last_minute: c.last_minute,
+        // Companion state is deliberately not checkpointed: a companion is
+        // re-attached after restore via `set_companion`, which re-warms the
+        // rings. The solo resume path stays bit-identical either way.
+        ae_ring: Vec::new(),
+        ae_head: 0,
+        ae_filled: 0,
     })
 }
 
 /// Validates minute ordering and bridges any gap since the customer's last
 /// observation: short gaps are imputed minute by minute, long gaps
 /// cold-restart the customer.
+#[allow(clippy::too_many_arguments)]
 fn catch_up(
     model: &XatuModel,
     p: &Tunables,
@@ -609,6 +824,7 @@ fn catch_up(
     state: &mut CustomerState,
     customer: Ipv4,
     minute: u32,
+    mut comp: Option<&mut CompanionCtx>,
     events: &mut Vec<DetectorEvent>,
 ) -> Result<(), XatuError> {
     let Some(last) = state.last_minute else {
@@ -633,7 +849,7 @@ fn catch_up(
         cold_restart(model, p, obs, state, minute, events);
     } else {
         for m in last + 1..minute {
-            step_minute(model, p, obs, state, customer, m, true, events);
+            step_minute(model, p, obs, state, customer, m, true, comp.as_deref_mut(), events);
         }
     }
     Ok(())
@@ -666,6 +882,9 @@ fn cold_restart(
     state.observed = 0;
     state.last_frame.iter_mut().for_each(|v| *v = 0.0);
     state.stale_run = 0;
+    state.ae_ring.iter_mut().for_each(|v| *v = 0.0);
+    state.ae_head = 0;
+    state.ae_filled = 0;
     obs.cold_restarts.inc();
 }
 
@@ -682,6 +901,7 @@ fn step_minute(
     customer: Ipv4,
     minute: u32,
     imputed: bool,
+    mut comp: Option<&mut CompanionCtx>,
     events: &mut Vec<DetectorEvent>,
 ) -> (f64, f64) {
     // Disjoint field borrows: the ZOH frame is read while the accumulators
@@ -697,6 +917,9 @@ fn step_minute(
         observed,
         last_frame,
         stale_run,
+        ae_ring,
+        ae_head,
+        ae_filled,
         ..
     } = state;
     let frame: &[f64] = last_frame;
@@ -704,6 +927,21 @@ fn step_minute(
     if imputed {
         *stale_run += 1;
         obs.gaps_imputed.inc();
+    }
+
+    // The companion ring tracks the exact stream the LSTM sees — real and
+    // imputed minutes both — so its window stays aligned with wall time.
+    if let Some(ctx) = comp.as_deref_mut() {
+        let w = ctx.comp.window;
+        if ae_ring.len() == w * VOLUMETRIC_WIDTH {
+            let start = *ae_head * VOLUMETRIC_WIDTH;
+            ae_ring[start..start + VOLUMETRIC_WIDTH]
+                .copy_from_slice(&frame[..VOLUMETRIC_WIDTH]);
+            *ae_head = (*ae_head + 1) % w;
+            if *ae_filled < w {
+                *ae_filled += 1;
+            }
+        }
     }
 
     // Accumulate pooling buckets; complete ones step the coarse LSTMs.
@@ -721,6 +959,28 @@ fn step_minute(
     } else {
         let w = (*stale_run).min(p.stale_limit) as f64 / p.stale_limit as f64;
         raw + (1.0 - raw) * w
+    };
+
+    // Companion fusion: once the ring holds a full window, blend the
+    // survival score with the autoencoder's reconstruction score. Until
+    // then (cold start, post-restore re-warm) the solo score passes
+    // through untouched — and with no companion attached, this branch
+    // never runs, so every value below stays bit-identical.
+    let reported = match comp {
+        Some(ctx) if *ae_filled == ctx.comp.window && !ae_ring.is_empty() => {
+            let w = ctx.comp.window;
+            ctx.scratch.reset(VOLUMETRIC_WIDTH);
+            for i in 0..w {
+                let t = (*ae_head + i) % w;
+                ctx.scratch
+                    .push(&ae_ring[t * VOLUMETRIC_WIDTH..(t + 1) * VOLUMETRIC_WIDTH]);
+            }
+            let err = ctx.comp.ae.reconstruction_error(ctx.scratch, ctx.ws);
+            let ae_score = ctx.comp.norm.score(err);
+            obs.fusion_ae_minutes.inc();
+            ctx.comp.mode.fuse(reported, ae_score, ctx.ae_weight)
+        }
+        _ => reported,
     };
     *last_survival = reported;
     *observed += 1;
@@ -1177,6 +1437,136 @@ mod tests {
             let (_, s1b, _) = obs(&mut det, Ipv4(2), m, 0.05);
             let (_, s2b, _) = obs(&mut resumed, Ipv4(2), m, 0.05);
             assert_eq!(s1b.to_bits(), s2b.to_bits(), "customer 2 diverged at {m}");
+        }
+    }
+
+    /// A companion whose normalizer is calibrated on this test's benign
+    /// traffic (feature 0 at `0.05`). The autoencoder is untrained — the
+    /// tests only need benign windows to score near 0 and attack windows
+    /// near 1, which calibration alone guarantees.
+    fn companion_for(c: &XatuConfig) -> Companion {
+        use xatu_nn::init::Initializer;
+        let ae = LstmAutoencoder::new(VOLUMETRIC_WIDTH, 4, &mut Initializer::new(3));
+        let mut ws = AeWorkspace::new();
+        let mut win = FrameArena::new(VOLUMETRIC_WIDTH);
+        for _ in 0..c.window {
+            let mut f = vec![0.0; VOLUMETRIC_WIDTH];
+            f[0] = 0.05;
+            win.push(&f);
+        }
+        let err = ae.reconstruction_error(&win, &mut ws);
+        Companion {
+            norm: ErrorNormalizer::from_benign_errors(&[err]),
+            mode: FusionMode::MaxCombine,
+            window: c.window,
+            ae,
+        }
+    }
+
+    #[test]
+    fn companion_scores_attacks_while_the_feed_is_dark() {
+        let c = cfg();
+        // Untrained survival model: any alert below must come from the
+        // companion, via the full-degradation weight.
+        let mut det = OnlineDetector::new(XatuModel::new(&c), AttackType::UdpFlood, 0.5, &c);
+        det.set_companion(companion_for(&c));
+        let mut raised_at = None;
+        let mut ended_at = None;
+        for m in 0..160u32 {
+            det.set_feed_degraded(true);
+            let v = if (60..80).contains(&m) { 2.0 } else { 0.05 };
+            let (_, s, ev) = obs(&mut det, Ipv4(1), m, v);
+            assert!(s.is_finite());
+            for e in ev {
+                match e {
+                    DetectorEvent::Raised(a) if raised_at.is_none() => {
+                        raised_at = Some(a.detected_at)
+                    }
+                    DetectorEvent::Ended(a) if ended_at.is_none() => {
+                        ended_at = a.mitigation_end
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let raised_at = raised_at.expect("companion never raised during the surge");
+        assert!(
+            (60..80).contains(&raised_at),
+            "companion raised at {raised_at}, surge was 60..80"
+        );
+        let ended_at = ended_at.expect("companion alert never ended");
+        assert!(ended_at >= 80, "ended at {ended_at} before the surge cleared");
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().fusion_engaged.get(), 1);
+            assert_eq!(det.obs().fusion_recovered.get(), 0);
+            // The ring fills after `window` minutes; every later minute is
+            // companion-scored.
+            assert_eq!(
+                det.obs().fusion_ae_minutes.get(),
+                160 - c.window as u64 + 1
+            );
+        }
+    }
+
+    #[test]
+    fn companion_weight_ramps_down_over_the_rewarm_window() {
+        let c = cfg();
+        let mut det = OnlineDetector::new(XatuModel::new(&c), AttackType::UdpFlood, 0.5, &c);
+        // Without a companion the ladder flag changes nothing.
+        det.set_feed_degraded(true);
+        assert_eq!(det.companion_weight(), 0.0);
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().fusion_engaged.get(), 0);
+        }
+        det.set_feed_degraded(false);
+
+        det.set_companion(companion_for(&c));
+        assert_eq!(det.companion_weight(), 0.0);
+        det.set_feed_degraded(true);
+        assert_eq!(det.companion_weight(), 1.0);
+        det.set_feed_degraded(true);
+        assert_eq!(det.companion_weight(), 1.0);
+        // Recovery: full weight at the transition, then a strictly
+        // decreasing ramp that reaches 0 and stays there.
+        det.set_feed_degraded(false);
+        let mut last = det.companion_weight();
+        assert_eq!(last, 1.0);
+        for _ in 0..2 * c.window {
+            det.set_feed_degraded(false);
+            let w = det.companion_weight();
+            assert!(w <= last, "rewarm weight rose {last} -> {w}");
+            last = w;
+        }
+        assert_eq!(last, 0.0);
+        if xatu_obs::enabled() {
+            assert_eq!(det.obs().fusion_engaged.get(), 1);
+            assert_eq!(det.obs().fusion_recovered.get(), 1);
+        }
+    }
+
+    #[test]
+    fn companion_rings_rewarm_after_checkpoint_restore() {
+        let c = cfg();
+        let mut det = OnlineDetector::new(XatuModel::new(&c), AttackType::UdpFlood, 0.5, &c);
+        det.set_companion(companion_for(&c));
+        for m in 0..40u32 {
+            obs(&mut det, Ipv4(1), m, 0.05);
+        }
+        let ck = det.to_checkpoint();
+        let mut resumed = OnlineDetector::from_checkpoint(&ck).expect("restore");
+        assert!(resumed.companion().is_none(), "companion is not checkpointed");
+        resumed.set_companion(companion_for(&c));
+        for m in 40..80u32 {
+            let (_, s, _) = resumed.observe(Ipv4(1), m, &frame(0.05)).expect("in-order");
+            assert!(s.is_finite());
+        }
+        if xatu_obs::enabled() {
+            // The restored ring starts empty: the first `window - 1`
+            // resumed minutes pass through solo, then scoring resumes.
+            assert_eq!(
+                resumed.obs().fusion_ae_minutes.get(),
+                40 - c.window as u64 + 1
+            );
         }
     }
 

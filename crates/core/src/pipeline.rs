@@ -31,7 +31,7 @@ use crate::model::XatuModel;
 use crate::online::OnlineDetector;
 use crate::trainer::train_with_obs;
 use serde::value::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 use xatu_detectors::alert::Alert;
@@ -223,7 +223,7 @@ struct Checkpoint {
     extractor: FeatureExtractor,
     detectors: Vec<OnlineDetector>,
     rf_histories: HashMap<Ipv4, PooledHistory>,
-    active_cdet: HashMap<(Ipv4, AttackType), ActiveAlert>,
+    active_cdet: BTreeMap<(Ipv4, AttackType), ActiveAlert>,
 }
 
 /// Bookkeeping for an alert currently scrubbing.
@@ -273,7 +273,7 @@ impl Pipeline {
         let mut dataset = DatasetBuilder::new(&cfg.xatu, cfg.neg_prob);
         let mut cdet_alerts: Vec<Alert> = Vec::new();
         let mut cdet_events_by_minute: HashMap<u32, Vec<DetectorEvent>> = HashMap::new();
-        let mut active_cdet: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+        let mut active_cdet: BTreeMap<(Ipv4, AttackType), ActiveAlert> = BTreeMap::new();
         let mut alert_minutes: Vec<(Ipv4, u32)> = Vec::new();
 
         let raw_retain = cfg.xatu.raw_history_minutes() + 32;
@@ -430,7 +430,7 @@ impl Pipeline {
             .collect();
         let mut rf_histories: HashMap<Ipv4, PooledHistory> = HashMap::new();
         let mut rf_feats: Vec<f64> = Vec::new();
-        let mut active_b: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+        let mut active_b: BTreeMap<(Ipv4, AttackType), ActiveAlert> = BTreeMap::new();
         let mut val_scores_xatu: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
         let mut val_scores_rf: HashMap<(Ipv4, AttackType), Vec<f32>> = HashMap::new();
 
@@ -843,7 +843,7 @@ impl Prepared {
         }
         let mut rf_histories = self.checkpoint.rf_histories.clone();
         let mut active_cdet = self.checkpoint.active_cdet.clone();
-        let mut active_xatu: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+        let mut active_xatu: BTreeMap<(Ipv4, AttackType), ActiveAlert> = BTreeMap::new();
 
         let ts = Timescales {
             short: cfg.xatu.timescales.0,
@@ -1369,7 +1369,7 @@ pub(crate) fn handle_alert_event(
     minute: u32,
     volumes: &VolumeStore,
     extractor: &mut FeatureExtractor,
-    active: &mut HashMap<(Ipv4, AttackType), ActiveAlert>,
+    active: &mut BTreeMap<(Ipv4, AttackType), ActiveAlert>,
     log: &mut Vec<Alert>,
 ) {
     match ev {
@@ -1424,7 +1424,7 @@ fn close_alert(log: &mut [Alert], ended: &Alert) {
 pub(crate) fn update_trackers(
     extractor: &mut FeatureExtractor,
     bin: &MinuteFlows,
-    active: &mut HashMap<(Ipv4, AttackType), ActiveAlert>,
+    active: &mut BTreeMap<(Ipv4, AttackType), ActiveAlert>,
     volumes: &VolumeStore,
     gated: bool,
 ) {
@@ -1480,7 +1480,7 @@ fn replay_cdet_events(
     minute: u32,
     volumes: &VolumeStore,
     extractor: &mut FeatureExtractor,
-    active: &mut HashMap<(Ipv4, AttackType), ActiveAlert>,
+    active: &mut BTreeMap<(Ipv4, AttackType), ActiveAlert>,
 ) {
     if let Some(evs) = events.get(&minute) {
         let mut sink = Vec::new();

@@ -29,7 +29,7 @@ use crate::fleet::{FleetDetector, FleetInput};
 use crate::model::XatuModel;
 use crate::online::OnlineDetector;
 use crate::pipeline::{build_extractor, handle_alert_event, update_trackers, ActiveAlert};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xatu_detectors::alert::Alert;
 use xatu_detectors::fastnetmon::FastNetMon;
 use xatu_detectors::netscout::NetScout;
@@ -189,7 +189,7 @@ pub fn run_scenario(
     let mut volumes = VolumeStore::new(total_minutes);
     let mut netscout = NetScout::new();
     let mut fnm = FastNetMon::new();
-    let mut active_cdet: HashMap<(Ipv4, AttackType), ActiveAlert> = HashMap::new();
+    let mut active_cdet: BTreeMap<(Ipv4, AttackType), ActiveAlert> = BTreeMap::new();
     let mut ns_alerts: Vec<Alert> = Vec::new();
     let mut fnm_alerts: Vec<Alert> = Vec::new();
 

@@ -20,9 +20,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xatu_core::config::XatuConfig;
 use xatu_core::model::{ForwardTrace, ModelWorkspace, XatuModel};
 use xatu_core::sample::{Sample, SampleMeta, WideSample};
-use xatu_features::frame::NUM_FEATURES;
+use xatu_features::frame::{NUM_FEATURES, VOLUMETRIC_WIDTH};
 use xatu_netflow::addr::Ipv4;
 use xatu_netflow::attack::AttackType;
+use xatu_nn::init::Initializer;
+use xatu_nn::{AeWorkspace, FrameArena, LstmAutoencoder};
 use xatu_survival::safe_loss::safe_loss_and_grad;
 
 struct CountingAlloc;
@@ -131,4 +133,43 @@ fn hot_path_allocation_budget() {
     model.backward_with(&trace, Some(&g.dl_dhazard), None, true, &mut ws);
     let (c5, _) = snapshot();
     assert_eq!(c5 - c4, 0, "want_dx steady state allocated {}", c5 - c4);
+
+    // --- Autoencoder companion: same contract, same gate. ---
+    let mut ae = LstmAutoencoder::new(VOLUMETRIC_WIDTH, 16, &mut Initializer::new(9));
+    ae.ensure_grads();
+    let mut window = FrameArena::new(VOLUMETRIC_WIDTH);
+    for t in 0..c.window {
+        let mut f = vec![0.0; VOLUMETRIC_WIDTH];
+        f[0] = 0.05 + t as f64 * 0.01;
+        window.push(&f);
+    }
+    let mut ae_ws = AeWorkspace::new();
+
+    // Cold pass: traces and workspaces grow once, within a pinned ceiling.
+    let (a0, ab0) = snapshot();
+    ae.reconstruction_error(&window, &mut ae_ws);
+    ae.loss_and_grad(&window, &mut ae_ws);
+    let (a1, ab1) = snapshot();
+    let ae_cold = ab1 - ab0;
+    assert!(
+        ae_cold < 2_000_000,
+        "cold autoencoder forward+backward grew {ae_cold} bytes (allocs: {})",
+        a1 - a0
+    );
+
+    // Warm-up pass, then the steady state must be allocation-free for both
+    // scoring (forward only) and training (forward+backward).
+    ae.reconstruction_error(&window, &mut ae_ws);
+    ae.loss_and_grad(&window, &mut ae_ws);
+    let (a2, ab2) = snapshot();
+    ae.reconstruction_error(&window, &mut ae_ws);
+    ae.loss_and_grad(&window, &mut ae_ws);
+    let (a3, ab3) = snapshot();
+    assert_eq!(
+        a3 - a2,
+        0,
+        "steady-state autoencoder pass allocated {} times ({} bytes)",
+        a3 - a2,
+        ab3 - ab2
+    );
 }

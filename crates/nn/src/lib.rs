@@ -24,6 +24,9 @@
 //!   max-abs-error bounds, for feature-gated reduced-precision scoring.
 //! * [`lstm32`] — `f32` widen-once mirrors of the online scoring
 //!   kernels ([`lstm32::Lstm32`], [`lstm32::Matrix32`]).
+//! * [`autoencoder`] — an LSTM encoder–decoder over feature windows
+//!   ([`autoencoder::LstmAutoencoder`]) for unsupervised reconstruction
+//!   scoring, with the same allocation-free workspace discipline.
 //!
 //! All *training* math is `f64`: the models in this workspace are small
 //! (≤64 hidden units), so the extra width costs little and makes gradient
@@ -35,6 +38,7 @@
 pub mod activations;
 pub mod adam;
 pub mod arena;
+pub mod autoencoder;
 pub mod dense;
 pub mod fastmath;
 pub mod gradcheck;
@@ -48,6 +52,7 @@ pub mod serialize;
 
 pub use adam::Adam;
 pub use arena::FrameArena;
+pub use autoencoder::{AeWorkspace, LstmAutoencoder};
 pub use dense::Dense;
 pub use gradpool::GradBufferPool;
 pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace, OnlineBlockWorkspace};

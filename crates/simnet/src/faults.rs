@@ -98,6 +98,7 @@ pub const BUILTIN_SCHEDULES: &[&str] = &[
     "dup_late",
     "sampling_drift",
     "cdet_dropout",
+    "cdet_flap",
     "everything",
 ];
 
@@ -195,6 +196,21 @@ impl FaultSchedule {
                 w(FaultKind::CdetDropout, t / 5, span * 2, None, 1.0),
                 w(FaultKind::CdetDropout, (t * 3) / 5, span, None, 1.0),
             ],
+            "cdet_flap" => {
+                // Rapid feed up/down cycles across the middle of the run:
+                // each down stretch is just longer than the driver's
+                // silence tolerance, so the degradation ladder engages and
+                // recovers once per flap. Regression target: the ladder
+                // must not oscillate alerts on every cycle.
+                let (down, up) = (14u32, 4u32);
+                let mut windows = Vec::new();
+                let mut start = t / 5;
+                while start + down <= (t * 4) / 5 {
+                    windows.push(w(FaultKind::CdetDropout, start, down, None, 1.0));
+                    start += down + up;
+                }
+                windows
+            }
             "everything" => vec![
                 w(FaultKind::CollectorOutage, t / 6, 3, None, 1.0),
                 w(FaultKind::CustomerGap, t / 4, span, Some(0), 1.0),

@@ -17,12 +17,15 @@
 
 use xatu::core::config::XatuConfig;
 use xatu::core::faulted::{run_faulted, FaultReport, FaultedRunConfig, RunControl};
+use xatu::core::fusion::{ErrorNormalizer, FusionMode};
 use xatu::core::model::XatuModel;
-use xatu::core::online::OnlineDetector;
+use xatu::core::online::{Companion, OnlineDetector};
 use xatu::core::XatuError;
-use xatu::features::frame::NUM_FEATURES;
+use xatu::features::frame::{NUM_FEATURES, VOLUMETRIC_WIDTH};
 use xatu::netflow::addr::Ipv4;
 use xatu::netflow::attack::AttackType;
+use xatu::nn::init::Initializer;
+use xatu::nn::LstmAutoencoder;
 use xatu::simnet::{FaultSchedule, World, WorldConfig, BUILTIN_SCHEDULES};
 
 use proptest::prelude::*;
@@ -47,12 +50,27 @@ fn run_cfg(seed: u64, threads: usize, schedule: FaultSchedule) -> FaultedRunConf
         },
         schedule,
         cdet_silence_limit: 10,
+        companion: None,
     }
 }
 
 fn run(cfg: &FaultedRunConfig, control: RunControl<'_>) -> FaultReport {
     let model = XatuModel::new(&cfg.xatu);
     run_faulted(model, AttackType::UdpFlood, 0.5, cfg, control).expect("faulted run")
+}
+
+/// A companion whose normalizer scores every reconstruction error 0: the
+/// fused score during full degradation is the autoencoder pseudo-survival
+/// `1.0`, so these tests exercise the complete fusion path — rings,
+/// scoring, ladder transitions, re-warm-up — with a deterministic,
+/// training-free signal.
+fn neutral_companion(window: usize) -> Companion {
+    Companion {
+        ae: LstmAutoencoder::new(VOLUMETRIC_WIDTH, 4, &mut Initializer::new(5)),
+        norm: ErrorNormalizer::from_benign_errors(&[]),
+        mode: FusionMode::MaxCombine,
+        window,
+    }
 }
 
 #[test]
@@ -123,6 +141,66 @@ fn kill_and_resume_is_bit_identical_across_thread_counts() {
         );
     }
     std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cdet_flap_does_not_oscillate_the_ladder_or_alerts() {
+    let total = World::new(world_cfg(31)).total_minutes();
+    let schedule = FaultSchedule::builtin("cdet_flap", total, 4).expect("builtin resolves");
+    let flaps = schedule.windows.len();
+    assert!(flaps >= 4, "flap schedule too small to exercise hysteresis");
+
+    let mut clean_cfg = run_cfg(31, 1, FaultSchedule::clean());
+    clean_cfg.companion = Some(neutral_companion(clean_cfg.xatu.window));
+    let clean = run(&clean_cfg, RunControl::Full);
+
+    let mut flap_cfg = run_cfg(31, 1, schedule);
+    flap_cfg.companion = Some(neutral_companion(flap_cfg.xatu.window));
+    let flap = run(&flap_cfg, RunControl::Full);
+    assert_eq!(flap.minutes_recorded, total);
+    assert!(flap.all_finite());
+
+    if xatu::obs::enabled() {
+        // The ladder engages exactly once per down window and recovers
+        // once per flap — no intra-flap chatter.
+        assert_eq!(flap.counts.fusion_engaged, flaps as u64, "{:?}", flap.counts);
+        assert_eq!(flap.counts.fusion_recovered, flaps as u64, "{:?}", flap.counts);
+        assert!(flap.counts.fusion_ae_minutes > 0);
+        assert!(flap.counts.degraded_feature_minutes > 0);
+    }
+    // Hysteresis: the quiet-period and re-warm-up ramp must absorb the
+    // flapping. An oscillating ladder would raise (and end) an alert on
+    // every cycle; the flap run may differ from the clean run, but not by
+    // anything close to one alert per flap.
+    let raised_clean = clean.alerts.len();
+    let raised_flap = flap.alerts.len();
+    assert!(
+        raised_flap.saturating_sub(raised_clean) < flaps / 2,
+        "alerts oscillated with the feed: clean {raised_clean}, flap {raised_flap}, flaps {flaps}"
+    );
+}
+
+#[test]
+fn fused_runs_are_bit_identical_across_thread_counts() {
+    let total = World::new(world_cfg(53)).total_minutes();
+    let schedule = FaultSchedule::builtin("cdet_dropout", total, 4).expect("builtin resolves");
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let mut cfg = run_cfg(53, threads, schedule.clone());
+        cfg.companion = Some(neutral_companion(cfg.xatu.window));
+        reports.push(run(&cfg, RunControl::Full));
+    }
+    let [one, four] = &reports[..] else { unreachable!() };
+    assert!(one.all_finite());
+    if xatu::obs::enabled() {
+        assert!(one.counts.fusion_engaged > 0, "{:?}", one.counts);
+        assert_eq!(one.counts, four.counts);
+    }
+    assert_eq!(
+        bits(&one.survivals),
+        bits(&four.survivals),
+        "fused survivals diverged across thread counts"
+    );
 }
 
 fn bits(xs: &[f64]) -> Vec<u64> {
