@@ -281,6 +281,63 @@ fn bench_dual_block_f64_vs_f32(c: &mut Criterion) {
     });
 }
 
+/// The runtime-dispatched SIMD kernels next to the forced-scalar
+/// reference on the identical f32 workload — the per-step price the
+/// 8-lane batch vectorization removes. Results are bit-identical either
+/// way (lane-over-batch vectorization preserves every customer's
+/// reduction order), so this is a pure throughput comparison: the
+/// dual-block step at the fleet geometry and the bare gate kernel.
+fn bench_simd_vs_scalar_f32(c: &mut Criterion) {
+    use xatu_nn::simd::{self, SimdLevel};
+    use xatu_nn::{Lstm32, OnlineBlockWorkspace32};
+    let level = simd::supported();
+    let mut init = Initializer::new(5);
+    let lstm = Lstm::new(273, 24, &mut init);
+    let mut auto = Lstm32::from_f64(&lstm);
+    auto.set_simd(level);
+    let mut forced = Lstm32::from_f64(&lstm);
+    forced.set_simd(SimdLevel::Scalar);
+    const BATCH: usize = 64;
+    let h = 24;
+    let xs32: Vec<f32> = (0..BATCH * 273)
+        .map(|i| if i % 19 == 0 { (i % 7) as f32 * 0.2 } else { 0.0 })
+        .collect();
+    let mut ah = vec![0.0f32; BATCH * h];
+    let mut ac = vec![0.0f32; BATCH * h];
+    let mut fh = vec![0.0f32; BATCH * h];
+    let mut fc = vec![0.0f32; BATCH * h];
+    let mut ws = OnlineBlockWorkspace32::default();
+    for (tag, l) in [(level.name(), &auto), ("scalar", &forced)] {
+        c.bench_function(&format!("dual_block_step_f32_{tag}_b64_273x24"), |b| {
+            b.iter(|| {
+                l.step_online_dual_block(
+                    black_box(&xs32),
+                    BATCH,
+                    &mut ah,
+                    &mut ac,
+                    &mut fh,
+                    &mut fc,
+                    &mut ws,
+                );
+                black_box(&ah);
+            })
+        });
+    }
+    let zs: Vec<f32> = (0..BATCH * 4 * h)
+        .map(|i| ((i * 37 % 101) as f32 / 101.0 - 0.5) * 6.0)
+        .collect();
+    let mut hs = vec![0.0f32; BATCH * h];
+    let mut cs = vec![0.0f32; BATCH * h];
+    for (tag, l) in [(level.name(), level), ("scalar", SimdLevel::Scalar)] {
+        c.bench_function(&format!("gate_block_f32_{tag}_b64_h24"), |b| {
+            b.iter(|| {
+                auto.gate_block_level(black_box(&zs), BATCH, &mut hs, &mut cs, l);
+                black_box(&hs);
+            })
+        });
+    }
+}
+
 fn bench_safe_loss(c: &mut Criterion) {
     let hazards: Vec<f64> = (0..30).map(|i| 0.01 + 0.001 * i as f64).collect();
     c.bench_function("safe_loss_and_grad_30", |b| {
@@ -370,7 +427,8 @@ criterion_group! {
     targets = bench_feature_extraction, bench_detection_step, bench_lstm_step,
               bench_cusum, bench_rf_inference, bench_sampler, bench_warm_fwd_bwd,
               bench_obs_primitives, bench_safe_loss,
-              bench_gate_kernel_exact_vs_fast, bench_dual_block_f64_vs_f32
+              bench_gate_kernel_exact_vs_fast, bench_dual_block_f64_vs_f32,
+              bench_simd_vs_scalar_f32
 }
 criterion_group! {
     name = parallel_benches;

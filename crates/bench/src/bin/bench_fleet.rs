@@ -9,6 +9,8 @@
 //! ```text
 //! cargo run --release -p xatu-bench --bin bench_fleet -- [label]
 //! cargo run --release -p xatu-bench --bin bench_fleet -- --smoke
+//! cargo run --release -p xatu-bench --bin bench_fleet -- --smoke-mt
+//! cargo run --release -p xatu-bench --bin bench_fleet -- --digest
 //! ```
 //!
 //! `--smoke` is the CI gate: a 1k-customer fleet is streamed at 1 and 4
@@ -17,6 +19,21 @@
 //! midpoint, checkpointed through the XCK1 container, resumed, and the
 //! resumed digest must match the uninterrupted one. Exits non-zero on any
 //! mismatch.
+//!
+//! `--smoke-mt` is the shard-edge CI gate: tiny fleets whose sizes
+//! straddle the SIMD lane and tile widths (and `n < threads`) are
+//! streamed at 1/2/4/16 worker threads and every digest must match the
+//! single-threaded one, on both backends.
+//!
+//! `--digest` prints one `backend digest` line per backend and exits —
+//! CI runs it twice (with and without `XATU_NO_SIMD=1`) and compares
+//! the outputs, pinning SIMD/scalar bit-identity across processes.
+//!
+//! The sweep records the host's `available_parallelism` and detected
+//! SIMD level, and adds a 100k threads sweep (1/2/4) on both backends
+//! plus a multi-core 1M row. Speedup gates only fire on hosts with
+//! ≥ 4 cores (single-core CI boxes still check bit-identity); the
+//! absolute 1M wall gates always fire.
 //!
 //! Built with `--features fast-math`, both modes grow fast-path
 //! coverage. The sweep adds a 100k-customer scale on the reduced-
@@ -122,17 +139,28 @@ fn stream(
 struct ScaleRow {
     customers: usize,
     minutes: u32,
+    threads: usize,
     wall_s: f64,
     flows: u64,
     bytes_per_customer: usize,
     raised: u64,
     gaps_imputed: u64,
+    /// FNV digest of the final timed window (events + every survival
+    /// bit). Runs over the same traffic and minute range are comparable
+    /// across thread counts — the bit-identity gate of the sweep.
+    digest: u64,
 }
 
-fn run_scale(customers: usize, minutes: u32) -> ScaleRow {
+impl ScaleRow {
+    fn per_minute(&self) -> f64 {
+        self.wall_s / self.minutes as f64
+    }
+}
+
+fn run_scale(customers: usize, minutes: u32, threads: usize) -> ScaleRow {
     let traffic = FleetTraffic::new(SEED, customers);
     let mut fleet = build_fleet(customers);
-    run_scale_with(&mut fleet, &traffic, customers, minutes)
+    run_scale_with(&mut fleet, &traffic, customers, minutes, threads)
 }
 
 /// The timed sweep body on a prebuilt fleet (exact or fast backend).
@@ -141,46 +169,53 @@ fn run_scale_with(
     traffic: &FleetTraffic,
     customers: usize,
     minutes: u32,
+    threads: usize,
 ) -> ScaleRow {
-    // Two untimed minutes to warm allocations (worker scratch, arenas).
-    stream(fleet, traffic, 0, 2, 1);
+    // Two untimed minutes to warm allocations (worker scratch, arenas,
+    // and — sharded — the worker pool).
+    stream(fleet, traffic, 0, 2, threads);
     // Best of three timed windows: the workload is uniform per simulated
     // minute, so the fastest window is the machine's steady-state rate and
     // the slower ones are scheduler noise.
     let mut wall_s = f64::INFINITY;
     let mut flows = 0u64;
+    let mut digest = 0u64;
     let mut from = 2u32;
     for _ in 0..3 {
         let t0 = Instant::now();
-        let (_, f) = stream(fleet, traffic, from, from + minutes, 1);
+        let (d, f) = stream(fleet, traffic, from, from + minutes, threads);
         let w = t0.elapsed().as_secs_f64();
         if w < wall_s {
             wall_s = w;
             flows = f;
         }
+        digest = d;
         from += minutes;
     }
     ScaleRow {
         customers,
         minutes,
+        threads,
         wall_s,
         flows,
         bytes_per_customer: fleet.bytes_per_customer(),
         raised: fleet.obs().raised.get(),
         gaps_imputed: fleet.obs().gaps_imputed.get(),
+        digest,
     }
 }
 
 /// Formats one sweep row as the JSON object used in the `scales` arrays.
 fn scale_json(r: &ScaleRow) -> String {
-    let per_minute = r.wall_s / r.minutes as f64;
+    let per_minute = r.per_minute();
     format!(
-        "{{\"customers\": {}, \"sim_minutes\": {}, \"wall_s\": {:.3}, \
+        "{{\"customers\": {}, \"sim_minutes\": {}, \"threads\": {}, \"wall_s\": {:.3}, \
          \"wall_s_per_sim_minute\": {:.4}, \"sim_minutes_per_s\": {:.2}, \
          \"customer_minutes_per_s\": {:.0}, \"flows_per_s\": {:.0}, \
          \"bytes_per_customer\": {}, \"alerts_raised\": {}, \"gaps_imputed\": {}}}",
         r.customers,
         r.minutes,
+        r.threads,
         r.wall_s,
         per_minute,
         1.0 / per_minute,
@@ -193,17 +228,65 @@ fn scale_json(r: &ScaleRow) -> String {
 }
 
 fn report_scale(tag: &str, r: &ScaleRow) {
-    let per_minute = r.wall_s / r.minutes as f64;
     eprintln!(
-        "[bench_fleet] {tag}{:>7} customers: {:.4} s/sim-minute, {:.0} customer-minutes/s, \
-         {:.0} flows/s, {} B/customer, {} alerts",
+        "[bench_fleet] {tag}{:>7} customers x{} threads: {:.4} s/sim-minute, \
+         {:.0} customer-minutes/s, {:.0} flows/s, {} B/customer, {} alerts",
         r.customers,
-        per_minute,
+        r.threads,
+        r.per_minute(),
         r.customers as f64 * r.minutes as f64 / r.wall_s,
         r.flows as f64 / r.wall_s,
         r.bytes_per_customer,
         r.raised,
     );
+}
+
+/// Runs the same scale at each thread count, enforcing digest equality
+/// against the first (single-threaded) row, and — when the host actually
+/// has `>= 4` cores — the 4-thread speedup floor. Returns the rows.
+fn threads_sweep<B: Fn(usize) -> FleetDetector>(
+    tag: &str,
+    build: B,
+    customers: usize,
+    minutes: u32,
+    host_par: usize,
+    speedup_floor: f64,
+) -> Vec<ScaleRow> {
+    let traffic = FleetTraffic::new(SEED, customers);
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut fleet = build(customers);
+        let r = run_scale_with(&mut fleet, &traffic, customers, minutes, threads);
+        report_scale(tag, &r);
+        if let Some(base) = rows.first() {
+            if r.digest != base.digest {
+                eprintln!(
+                    "[bench_fleet] {tag}SWEEP DIGEST MISMATCH at {customers} customers: \
+                     threads=1 ({:#x}) vs threads={threads} ({:#x})",
+                    base.digest, r.digest
+                );
+                std::process::exit(1);
+            }
+        }
+        rows.push(r);
+    }
+    let speedup = rows[0].per_minute() / rows[2].per_minute();
+    eprintln!(
+        "[bench_fleet] {tag}{customers} customers: 4-thread speedup {speedup:.2}x \
+         (host parallelism {host_par})"
+    );
+    if host_par >= 4 && speedup < speedup_floor {
+        eprintln!(
+            "[bench_fleet] WARNING: {tag}4-thread speedup {speedup:.2}x below \
+             {speedup_floor}x on a {host_par}-core host"
+        );
+        std::process::exit(1);
+    }
+    rows
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Exact and fast detectors stream the same minutes in lockstep; alert
@@ -345,21 +428,97 @@ fn smoke() {
     }
 }
 
+/// Shard-edge multi-thread smoke: fleet sizes straddling the 8-lane SIMD
+/// width and the 4-customer tile (including `n < threads`), each streamed
+/// at 1/2/4/16 threads; every digest must match the 1-thread reference.
+fn smoke_mt() {
+    const END: u32 = 40;
+    for &n in &[3usize, 8, 17, 1_000] {
+        let traffic = FleetTraffic::new(SEED, n);
+        let mut base = build_fleet(n);
+        let (d1, _) = stream(&mut base, &traffic, 0, END, 1);
+        for threads in [2usize, 4, 16] {
+            let mut f = build_fleet(n);
+            let (dt, _) = stream(&mut f, &traffic, 0, END, threads);
+            if dt != d1 {
+                eprintln!(
+                    "[bench_fleet] SMOKE-MT DIGEST MISMATCH n={n}: threads=1 ({d1:#x}) \
+                     vs threads={threads} ({dt:#x})"
+                );
+                std::process::exit(1);
+            }
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            let mut base = build_fleet_fast(n);
+            let (d1, _) = stream(&mut base, &traffic, 0, END, 1);
+            for threads in [2usize, 4, 16] {
+                let mut f = build_fleet_fast(n);
+                let (dt, _) = stream(&mut f, &traffic, 0, END, threads);
+                if dt != d1 {
+                    eprintln!(
+                        "[bench_fleet] SMOKE-MT FAST DIGEST MISMATCH n={n}: threads=1 \
+                         ({d1:#x}) vs threads={threads} ({dt:#x})"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("[bench_fleet] smoke-mt: n={n} digests match across 1/2/4/16 threads");
+    }
+}
+
+/// Prints one `backend digest` line per backend and exits. CI runs this
+/// twice — plain and under `XATU_NO_SIMD=1` — and diffs the output,
+/// pinning SIMD/scalar bit-identity across whole processes.
+fn digest_mode() {
+    const N: usize = 1_000;
+    const END: u32 = 40;
+    let traffic = FleetTraffic::new(SEED, N);
+    let mut exact = build_fleet(N);
+    let (d, _) = stream(&mut exact, &traffic, 0, END, 2);
+    println!("exact {d:#018x}");
+    #[cfg(feature = "fast-math")]
+    {
+        let mut fast = build_fleet_fast(N);
+        let (df, _) = stream(&mut fast, &traffic, 0, END, 2);
+        println!("fast {df:#018x}");
+    }
+    eprintln!(
+        "[bench_fleet] digest mode: simd_level={}",
+        xatu_nn::simd::detect().name()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         smoke();
         return;
     }
+    if args.iter().any(|a| a == "--smoke-mt") {
+        smoke_mt();
+        return;
+    }
+    if args.iter().any(|a| a == "--digest") {
+        digest_mode();
+        return;
+    }
     let label = args.first().map(String::as_str).unwrap_or("current");
+    let host_par = host_parallelism();
+    let simd_level = xatu_nn::simd::detect();
+    eprintln!(
+        "[bench_fleet] host parallelism {host_par}, simd level {}",
+        simd_level.name()
+    );
 
     let scales: &[(usize, u32)] = &[(1_000, 60), (10_000, 20), (100_000, 5)];
     let mut rows = String::new();
     let mut hundred_k_minute_wall = f64::NAN;
     for &(customers, minutes) in scales {
-        let r = run_scale(customers, minutes);
+        let r = run_scale(customers, minutes, 1);
         if customers >= 100_000 {
-            hundred_k_minute_wall = r.wall_s / r.minutes as f64;
+            hundred_k_minute_wall = r.per_minute();
         }
         if !rows.is_empty() {
             rows.push_str(",\n");
@@ -369,52 +528,85 @@ fn main() {
         report_scale("", &r);
     }
 
+    // The multi-core sweep: 100k exact at 1/2/4 threads with bit-identity
+    // enforced and — on hosts that actually have the cores — a 2.5x
+    // 4-thread speedup floor.
+    let exact_sweep = threads_sweep("", build_fleet, 100_000, 5, host_par, 2.5);
+    let exact_sweep_json = exact_sweep
+        .iter()
+        .map(|r| format!("      {}", scale_json(r)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // The fast-backend sweep: 100k on regular traffic (speedup gate
-    // against the exact rate measured above) and 1M with a 70% idle
-    // cohort (absolute wall gate — the quiescence fast path is what
-    // makes this scale reachable on one core).
+    // against the exact rate measured above) plus its own 1/2/4-thread
+    // sweep, and 1M with a 70% idle cohort single-core *and* multi-core
+    // (absolute wall gates — the quiescence fast path plus SIMD is what
+    // makes this scale reachable on one box).
     #[cfg(feature = "fast-math")]
     let fast_section = {
-        let mut fast_fleet = build_fleet_fast(100_000);
-        let traffic = FleetTraffic::new(SEED, 100_000);
-        let rf = run_scale_with(&mut fast_fleet, &traffic, 100_000, 5);
-        report_scale("fast ", &rf);
-        let fast_100k_wall = rf.wall_s / rf.minutes as f64;
+        let fast_sweep = threads_sweep("fast ", build_fleet_fast, 100_000, 5, host_par, 2.5);
+        let rf = &fast_sweep[0];
+        let fast_100k_wall = rf.per_minute();
         let speedup = hundred_k_minute_wall / fast_100k_wall;
 
         const MILLION: usize = 1_000_000;
         const IDLE_FRACTION: f64 = 0.7;
-        let mut million = build_fleet_fast(MILLION);
         let idle_traffic = FleetTraffic::with_idle(SEED, MILLION, IDLE_FRACTION);
-        let rm = run_scale_with(&mut million, &idle_traffic, MILLION, 3);
+        let mut million = build_fleet_fast(MILLION);
+        let rm = run_scale_with(&mut million, &idle_traffic, MILLION, 3, 1);
         report_scale("fast ", &rm);
-        let million_wall = rm.wall_s / rm.minutes as f64;
+        let million_wall = rm.per_minute();
+        let mc_threads = host_par.clamp(2, 4);
+        let mut million_mc = build_fleet_fast(MILLION);
+        let rmc = run_scale_with(&mut million_mc, &idle_traffic, MILLION, 3, mc_threads);
+        report_scale("fast ", &rmc);
+        let million_mc_wall = rmc.per_minute();
+        if rm.digest != rmc.digest {
+            eprintln!(
+                "[bench_fleet] 1M DIGEST MISMATCH threads=1 ({:#x}) vs threads={mc_threads} \
+                 ({:#x})",
+                rm.digest, rmc.digest
+            );
+            std::process::exit(1);
+        }
 
         let max_dev = parity_lockstep(10_000, 30, 1, "fast-vs-reference");
+        let fast_sweep_json = fast_sweep
+            .iter()
+            .map(|r| format!("      {}", scale_json(r)))
+            .collect::<Vec<_>>()
+            .join(",\n");
         let section = format!(
             ",\n  \"fast\": {{\n    \"hundred_k_sim_minute_wall_s\": {fast_100k_wall:.4},\n    \
              \"speedup_vs_exact_100k\": {speedup:.2},\n    \
              \"million_idle_fraction\": {IDLE_FRACTION},\n    \
              \"million_sim_minute_wall_s\": {million_wall:.4},\n    \
+             \"million_multicore_threads\": {mc_threads},\n    \
+             \"million_multicore_sim_minute_wall_s\": {million_mc_wall:.4},\n    \
              \"parity_10k_max_survival_dev\": {max_dev:.3e},\n    \
-             \"survival_eps\": {:e},\n    \"scales\": [\n      {},\n      {}\n    ]\n  }}",
+             \"survival_eps\": {:e},\n    \"threads_sweep_100k\": [\n{fast_sweep_json}\n    ],\n    \
+             \"scales\": [\n      {},\n      {},\n      {}\n    ]\n  }}",
             xatu_core::fleet::FAST_SURVIVAL_EPS,
-            scale_json(&rf),
+            scale_json(rf),
             scale_json(&rm),
+            scale_json(&rmc),
         );
-        (section, fast_100k_wall, speedup, million_wall)
+        (section, fast_100k_wall, speedup, million_wall, million_mc_wall)
     };
     #[cfg(not(feature = "fast-math"))]
-    let fast_section = (String::new(), f64::NAN, f64::NAN, f64::NAN);
+    let fast_section = (String::new(), f64::NAN, f64::NAN, f64::NAN, f64::NAN);
 
     let cfg = XatuConfig::default();
     let json = format!(
         "{{\n  \"label\": \"{label}\",\n  \"seed\": {SEED},\n  \"hidden\": {},\n  \
-         \"window\": {},\n  \"threads\": 1,\n  \
+         \"window\": {},\n  \"host_parallelism\": {host_par},\n  \"simd_level\": \"{}\",\n  \
          \"hundred_k_sim_minute_wall_s\": {hundred_k_minute_wall:.4},\n  \
-         \"scales\": [\n{rows}\n  ]{}\n}}\n",
+         \"scales\": [\n{rows}\n  ],\n  \
+         \"threads_sweep_100k\": [\n{exact_sweep_json}\n  ]{}\n}}\n",
         cfg.hidden,
         cfg.window,
+        simd_level.name(),
         fast_section.0,
     );
     let path = format!("BENCH_fleet_{label}.json");
@@ -431,7 +623,7 @@ fn main() {
     }
     #[cfg(feature = "fast-math")]
     {
-        let (_, fast_100k, speedup, million_wall) = fast_section;
+        let (_, fast_100k, speedup, million_wall, million_mc_wall) = fast_section;
         if !speedup.is_finite() || speedup < 1.5 {
             eprintln!(
                 "[bench_fleet] WARNING: fast 100k speedup {speedup:.2}x below 1.5x \
@@ -443,6 +635,23 @@ fn main() {
             eprintln!(
                 "[bench_fleet] WARNING: 1M-customer idle-heavy simulated minute took \
                  {million_wall:.3} s (target <= 3.5 s)"
+            );
+            std::process::exit(1);
+        }
+        // The multi-core 1M row must beat the PR-7 single-core baseline
+        // (2.74 s/sim-minute) whenever the SIMD kernels are active — on a
+        // genuinely multi-core host the sharding compounds the win, and
+        // even a single-core box clears the bar on lane width alone. A
+        // forced-scalar run (XATU_NO_SIMD=1) only keeps the 3.5 s gate.
+        const MILLION_BASELINE_S: f64 = 2.74;
+        let best_million = million_mc_wall.min(million_wall);
+        if simd_level != xatu_nn::SimdLevel::Scalar
+            && (!best_million.is_finite() || best_million >= MILLION_BASELINE_S)
+        {
+            eprintln!(
+                "[bench_fleet] WARNING: 1M multi-core simulated minute took \
+                 {million_mc_wall:.3} s (single-core {million_wall:.3} s) — does not \
+                 beat the {MILLION_BASELINE_S} s single-core baseline with SIMD active"
             );
             std::process::exit(1);
         }

@@ -82,6 +82,12 @@ pub struct XatuConfig {
     /// variable if set, else all available cores. Results are bit-identical
     /// for every value — parallelism only changes wall-clock time.
     pub threads: usize,
+    /// Force the scalar reference kernels in the f32 fleet backend,
+    /// mirroring `threads`: `false` = auto (the `XATU_NO_SIMD`
+    /// environment variable if set, else the widest SIMD level the host
+    /// supports), `true` = always scalar. Results are bit-identical
+    /// either way — SIMD only changes wall-clock time.
+    pub no_simd: bool,
 }
 
 impl Default for XatuConfig {
@@ -103,6 +109,7 @@ impl Default for XatuConfig {
             loss: LossKind::Survival,
             min_positives: 8,
             threads: 0,
+            no_simd: false,
         }
     }
 }

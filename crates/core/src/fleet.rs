@@ -56,8 +56,14 @@ use xatu_netflow::attack::AttackType;
 use xatu_nn::activations::softplus;
 use xatu_nn::lstm::Lstm;
 use xatu_nn::{Dense, LstmState, OnlineBlockWorkspace, Params};
-use xatu_par::{block_ranges, par_run_tasks};
+use xatu_par::{block_ranges_into, WorkerPool};
 use xatu_survival::hazard::RollingSurvival;
+
+/// Upper bound on concurrent shards per minute. Task slots live in a
+/// fixed stack array of this size so the sharded dispatch allocates
+/// nothing; `threads` is clamped to it (64 shards is far past the point
+/// where per-shard stitch overhead dominates on any realistic host).
+const MAX_SHARDS: usize = 64;
 
 /// The reduced-precision fleet backend (`f32` arenas, rational fast
 /// activations, quiescence-aware stepping), compiled only under the
@@ -430,99 +436,152 @@ impl Shard<'_> {
     }
 }
 
-/// Splits a flat arena with `per` elements per customer into per-range
-/// blocks. `ranges` must be contiguous from 0 (see
-/// [`xatu_par::block_ranges`]).
-fn split_rows<'a, T>(v: &'a mut [T], ranges: &[(usize, usize)], per: usize) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(ranges.len());
-    let mut rest = v;
-    for &(start, end) in ranges {
-        let (block, tail) = rest.split_at_mut((end - start) * per);
-        rest = tail;
-        out.push(block);
+/// Carves the next `n * per` elements off the front of `*rest` without
+/// allocating — the substrate of the shard splitters. Replaces the
+/// per-minute `Vec`s the old shard builders allocated, so the sharded
+/// path shares the single-thread path's zero-allocation steady state.
+fn take_rows<'a, T>(rest: &mut &'a mut [T], n: usize, per: usize) -> &'a mut [T] {
+    let r = std::mem::take(rest);
+    let (head, tail) = r.split_at_mut(n * per);
+    *rest = tail;
+    head
+}
+
+/// Allocation-free cursor over a [`DualArena`]: consumes the arena's
+/// vectors front-to-back, handing out one [`DualShard`] per contiguous
+/// customer block.
+struct DualSplit<'a> {
+    aged_h: &'a mut [f64],
+    aged_c: &'a mut [f64],
+    fresh_h: &'a mut [f64],
+    fresh_c: &'a mut [f64],
+    aged_age: &'a mut [u32],
+    fresh_age: &'a mut [u32],
+    period: u32,
+    hidden: usize,
+}
+
+impl<'a> DualSplit<'a> {
+    fn new(a: &'a mut DualArena) -> Self {
+        DualSplit {
+            aged_h: &mut a.aged_h,
+            aged_c: &mut a.aged_c,
+            fresh_h: &mut a.fresh_h,
+            fresh_c: &mut a.fresh_c,
+            aged_age: &mut a.aged_age,
+            fresh_age: &mut a.fresh_age,
+            period: a.period,
+            hidden: a.hidden,
+        }
     }
-    out
-}
 
-fn dual_shards<'a>(a: &'a mut DualArena, ranges: &[(usize, usize)]) -> Vec<DualShard<'a>> {
-    let (h, period) = (a.hidden, a.period);
-    let mut aged_h = split_rows(&mut a.aged_h, ranges, h).into_iter();
-    let mut aged_c = split_rows(&mut a.aged_c, ranges, h).into_iter();
-    let mut fresh_h = split_rows(&mut a.fresh_h, ranges, h).into_iter();
-    let mut fresh_c = split_rows(&mut a.fresh_c, ranges, h).into_iter();
-    let mut aged_age = split_rows(&mut a.aged_age, ranges, 1).into_iter();
-    let mut fresh_age = split_rows(&mut a.fresh_age, ranges, 1).into_iter();
-    ranges
-        .iter()
-        .map(|_| DualShard {
-            aged_h: aged_h.next().expect("one block per range"),
-            aged_c: aged_c.next().expect("one block per range"),
-            fresh_h: fresh_h.next().expect("one block per range"),
-            fresh_c: fresh_c.next().expect("one block per range"),
-            aged_age: aged_age.next().expect("one block per range"),
-            fresh_age: fresh_age.next().expect("one block per range"),
-            period,
+    /// The next `n` customers as a shard.
+    fn take(&mut self, n: usize) -> DualShard<'a> {
+        let h = self.hidden;
+        DualShard {
+            aged_h: take_rows(&mut self.aged_h, n, h),
+            aged_c: take_rows(&mut self.aged_c, n, h),
+            fresh_h: take_rows(&mut self.fresh_h, n, h),
+            fresh_c: take_rows(&mut self.fresh_c, n, h),
+            aged_age: take_rows(&mut self.aged_age, n, 1),
+            fresh_age: take_rows(&mut self.fresh_age, n, 1),
+            period: self.period,
             hidden: h,
-        })
-        .collect()
+        }
+    }
 }
 
-fn build_shards<'a>(
-    arenas: &'a mut FleetArenas,
-    ranges: &[(usize, usize)],
+/// Allocation-free cursor over the whole [`FleetArenas`]: each
+/// [`ShardSplit::take`] yields the next contiguous customer block as a
+/// [`Shard`]. Blocks must be taken in range order starting at 0.
+struct ShardSplit<'a> {
     window: usize,
-) -> Vec<Shard<'a>> {
-    let mut short = dual_shards(&mut arenas.short, ranges).into_iter();
-    let mut medium = dual_shards(&mut arenas.medium, ranges).into_iter();
-    let mut long = dual_shards(&mut arenas.long, ranges).into_iter();
-    let mut ring_buf = split_rows(&mut arenas.ring_buf, ranges, window).into_iter();
-    let mut ring_head = split_rows(&mut arenas.ring_head, ranges, 1).into_iter();
-    let mut ring_filled = split_rows(&mut arenas.ring_filled, ranges, 1).into_iter();
-    let mut ring_sum = split_rows(&mut arenas.ring_sum, ranges, 1).into_iter();
-    let mut med_partial = split_rows(&mut arenas.med_partial, ranges, NUM_FEATURES).into_iter();
-    let mut med_count = split_rows(&mut arenas.med_count, ranges, 1).into_iter();
-    let mut long_partial = split_rows(&mut arenas.long_partial, ranges, NUM_FEATURES).into_iter();
-    let mut long_count = split_rows(&mut arenas.long_count, ranges, 1).into_iter();
-    let mut last_frame = split_rows(&mut arenas.last_frame, ranges, NUM_FEATURES).into_iter();
-    let mut active_since = split_rows(&mut arenas.active_since, ranges, 1).into_iter();
-    let mut quiet_run = split_rows(&mut arenas.quiet_run, ranges, 1).into_iter();
-    let mut last_survival = split_rows(&mut arenas.last_survival, ranges, 1).into_iter();
-    let mut observed = split_rows(&mut arenas.observed, ranges, 1).into_iter();
-    let mut stale_run = split_rows(&mut arenas.stale_run, ranges, 1).into_iter();
-    let mut last_minute = split_rows(&mut arenas.last_minute, ranges, 1).into_iter();
-    let mut driven = split_rows(&mut arenas.driven, ranges, 1).into_iter();
-    let mut med_done = split_rows(&mut arenas.med_done, ranges, 1).into_iter();
-    let mut long_done = split_rows(&mut arenas.long_done, ranges, 1).into_iter();
-    ranges
-        .iter()
-        .map(|&(start, _)| Shard {
+    next_start: usize,
+    short: DualSplit<'a>,
+    medium: DualSplit<'a>,
+    long: DualSplit<'a>,
+    ring_buf: &'a mut [f64],
+    ring_head: &'a mut [u32],
+    ring_filled: &'a mut [u32],
+    ring_sum: &'a mut [f64],
+    med_partial: &'a mut [f64],
+    med_count: &'a mut [u32],
+    long_partial: &'a mut [f64],
+    long_count: &'a mut [u32],
+    last_frame: &'a mut [f64],
+    active_since: &'a mut [Option<u32>],
+    quiet_run: &'a mut [u32],
+    last_survival: &'a mut [f64],
+    observed: &'a mut [u32],
+    stale_run: &'a mut [u32],
+    last_minute: &'a mut [Option<u32>],
+    driven: &'a mut [bool],
+    med_done: &'a mut [bool],
+    long_done: &'a mut [bool],
+}
+
+impl<'a> ShardSplit<'a> {
+    fn new(arenas: &'a mut FleetArenas, window: usize) -> Self {
+        ShardSplit {
+            window,
+            next_start: 0,
+            short: DualSplit::new(&mut arenas.short),
+            medium: DualSplit::new(&mut arenas.medium),
+            long: DualSplit::new(&mut arenas.long),
+            ring_buf: &mut arenas.ring_buf,
+            ring_head: &mut arenas.ring_head,
+            ring_filled: &mut arenas.ring_filled,
+            ring_sum: &mut arenas.ring_sum,
+            med_partial: &mut arenas.med_partial,
+            med_count: &mut arenas.med_count,
+            long_partial: &mut arenas.long_partial,
+            long_count: &mut arenas.long_count,
+            last_frame: &mut arenas.last_frame,
+            active_since: &mut arenas.active_since,
+            quiet_run: &mut arenas.quiet_run,
+            last_survival: &mut arenas.last_survival,
+            observed: &mut arenas.observed,
+            stale_run: &mut arenas.stale_run,
+            last_minute: &mut arenas.last_minute,
+            driven: &mut arenas.driven,
+            med_done: &mut arenas.med_done,
+            long_done: &mut arenas.long_done,
+        }
+    }
+
+    /// The next `n` customers as a shard.
+    fn take(&mut self, n: usize) -> Shard<'a> {
+        let window = self.window;
+        let start = self.next_start;
+        self.next_start += n;
+        Shard {
             start,
-            short: short.next().expect("one block per range"),
-            medium: medium.next().expect("one block per range"),
-            long: long.next().expect("one block per range"),
+            short: self.short.take(n),
+            medium: self.medium.take(n),
+            long: self.long.take(n),
             ring: RingShard {
-                buf: ring_buf.next().expect("one block per range"),
-                head: ring_head.next().expect("one block per range"),
-                filled: ring_filled.next().expect("one block per range"),
-                sum: ring_sum.next().expect("one block per range"),
+                buf: take_rows(&mut self.ring_buf, n, window),
+                head: take_rows(&mut self.ring_head, n, 1),
+                filled: take_rows(&mut self.ring_filled, n, 1),
+                sum: take_rows(&mut self.ring_sum, n, 1),
                 window,
             },
-            med_partial: med_partial.next().expect("one block per range"),
-            med_count: med_count.next().expect("one block per range"),
-            long_partial: long_partial.next().expect("one block per range"),
-            long_count: long_count.next().expect("one block per range"),
-            last_frame: last_frame.next().expect("one block per range"),
-            active_since: active_since.next().expect("one block per range"),
-            quiet_run: quiet_run.next().expect("one block per range"),
-            last_survival: last_survival.next().expect("one block per range"),
-            observed: observed.next().expect("one block per range"),
-            stale_run: stale_run.next().expect("one block per range"),
-            last_minute: last_minute.next().expect("one block per range"),
-            driven: driven.next().expect("one block per range"),
-            med_done: med_done.next().expect("one block per range"),
-            long_done: long_done.next().expect("one block per range"),
-        })
-        .collect()
+            med_partial: take_rows(&mut self.med_partial, n, NUM_FEATURES),
+            med_count: take_rows(&mut self.med_count, n, 1),
+            long_partial: take_rows(&mut self.long_partial, n, NUM_FEATURES),
+            long_count: take_rows(&mut self.long_count, n, 1),
+            last_frame: take_rows(&mut self.last_frame, n, NUM_FEATURES),
+            active_since: take_rows(&mut self.active_since, n, 1),
+            quiet_run: take_rows(&mut self.quiet_run, n, 1),
+            last_survival: take_rows(&mut self.last_survival, n, 1),
+            observed: take_rows(&mut self.observed, n, 1),
+            stale_run: take_rows(&mut self.stale_run, n, 1),
+            last_minute: take_rows(&mut self.last_minute, n, 1),
+            driven: take_rows(&mut self.driven, n, 1),
+            med_done: take_rows(&mut self.med_done, n, 1),
+            long_done: take_rows(&mut self.long_done, n, 1),
+        }
+    }
 }
 
 fn dual_shard_all(a: &mut DualArena) -> DualShard<'_> {
@@ -538,8 +597,8 @@ fn dual_shard_all(a: &mut DualArena) -> DualShard<'_> {
     }
 }
 
-/// The whole fleet as a single shard — the `threads == 1` path, built
-/// without the per-range `Vec`s of [`build_shards`] so a steady-state
+/// The whole fleet as a single shard — the `threads == 1` path, which
+/// skips even the cursor bookkeeping of [`ShardSplit`] so a steady-state
 /// single-threaded minute performs no heap allocation at all (pinned by
 /// `bench_alloc`'s inference section).
 fn shard_all(arenas: &mut FleetArenas, window: usize) -> Shard<'_> {
@@ -913,6 +972,19 @@ pub struct FleetDetector {
     obs: DetectorObs,
     workers: Vec<WorkerScratch>,
     events: Vec<DetectorEvent>,
+    /// Persistent fork-join workers for the `threads > 1` path, spawned
+    /// lazily on the first sharded minute. Keeping the pool (instead of
+    /// scoped spawns) extends the zero-allocation steady state to the
+    /// sharded path.
+    pool: Option<WorkerPool>,
+    /// Reusable buffer for the per-minute shard partition.
+    range_scratch: Vec<(usize, usize)>,
+    /// [`XatuConfig::no_simd`]: pin the fast backend's `f32` kernels to
+    /// the scalar reference instead of auto-dispatching (bit-identical
+    /// either way). Captured at construction; checkpoints restored via
+    /// [`FleetDetector::from_checkpoint`] fall back to auto/env dispatch.
+    #[cfg_attr(not(feature = "fast-math"), allow(dead_code))]
+    no_simd: bool,
     /// When present, the detector runs the reduced-precision backend:
     /// LSTM state lives in the fast state's `f32` arenas (the `f64`
     /// numeric arenas above stay empty) and per-minute stepping goes
@@ -944,6 +1016,9 @@ impl FleetDetector {
             obs: DetectorObs::default(),
             workers: Vec::new(),
             events: Vec::new(),
+            pool: None,
+            range_scratch: Vec::new(),
+            no_simd: cfg.no_simd,
             #[cfg(feature = "fast-math")]
             fast: None,
         }
@@ -1110,7 +1185,7 @@ impl FleetDetector {
         if n == 0 {
             return Ok(&self.events);
         }
-        let threads = threads.clamp(1, n);
+        let threads = threads.clamp(1, n).min(MAX_SHARDS);
         while self.workers.len() < threads {
             self.workers.push(WorkerScratch::new());
         }
@@ -1279,20 +1354,36 @@ impl FleetDetector {
         };
 
         // Single-threaded, the whole fleet runs as one allocation-free
-        // shard; sharded, the per-range views and the task list are the
-        // only per-minute allocations (O(threads) small `Vec`s).
+        // shard; sharded, the ranges live in reusable `FleetDetector`
+        // scratch, the shard views are carved by a borrow-splitting
+        // cursor, the task slots sit on the stack, and the worker threads
+        // are a persistent parked pool — zero allocations per minute at
+        // any thread count once the pool has spun up.
         let active = if threads == 1 {
             worker((shard_all(&mut self.arenas, window), &mut self.workers[0]));
             1
         } else {
-            let ranges = block_ranges(n, threads);
-            let shards = build_shards(&mut self.arenas, &ranges, window);
-            let tasks: Vec<(Shard<'_>, &mut WorkerScratch)> = shards
-                .into_iter()
+            block_ranges_into(n, threads, &mut self.range_scratch);
+            let parts = self.range_scratch.len();
+            let pool = self.pool.get_or_insert_with(WorkerPool::default);
+            pool.ensure_workers(parts - 1);
+            let mut split = ShardSplit::new(&mut self.arenas, window);
+            let mut slots: [Option<(Shard<'_>, &mut WorkerScratch)>; MAX_SHARDS] =
+                std::array::from_fn(|_| None);
+            for ((&(s, e), w), slot) in self
+                .range_scratch
+                .iter()
                 .zip(self.workers.iter_mut())
-                .collect();
-            par_run_tasks(tasks, worker);
-            ranges.len()
+                .zip(slots.iter_mut())
+            {
+                *slot = Some((split.take(e - s), w));
+            }
+            pool.run_tasks(&mut slots[..parts], &|slot| {
+                if let Some(task) = slot.take() {
+                    worker(task);
+                }
+            });
+            parts
         };
 
         // Stitch in block order: catch-up events, then lifecycle events,
@@ -1464,6 +1555,9 @@ impl FleetDetector {
             obs: DetectorObs::default(),
             workers: Vec::new(),
             events: Vec::new(),
+            pool: None,
+            range_scratch: Vec::new(),
+            no_simd: false,
             #[cfg(feature = "fast-math")]
             fast: None,
         };

@@ -600,33 +600,57 @@ impl Shard32<'_> {
     }
 }
 
-fn dual_shards32<'a>(a: &'a mut DualArena32, ranges: &[(usize, usize)]) -> Vec<DualShard32<'a>> {
-    let (h, period) = (a.hidden, a.period);
-    let mut aged_h = split_rows(&mut a.aged_h, ranges, h).into_iter();
-    let mut aged_c = split_rows(&mut a.aged_c, ranges, h).into_iter();
-    let mut fresh_h = split_rows(&mut a.fresh_h, ranges, h).into_iter();
-    let mut fresh_c = split_rows(&mut a.fresh_c, ranges, h).into_iter();
-    let mut aged_age = split_rows(&mut a.aged_age, ranges, 1).into_iter();
-    let mut fresh_age = split_rows(&mut a.fresh_age, ranges, 1).into_iter();
-    let mut aged_idx = split_rows(&mut a.aged_idx, ranges, 1).into_iter();
-    let mut fresh_idx = split_rows(&mut a.fresh_idx, ranges, 1).into_iter();
-    let mut stale = split_rows(&mut a.stale, ranges, 1).into_iter();
-    ranges
-        .iter()
-        .map(|_| DualShard32 {
-            aged_h: aged_h.next().expect("one block per range"),
-            aged_c: aged_c.next().expect("one block per range"),
-            fresh_h: fresh_h.next().expect("one block per range"),
-            fresh_c: fresh_c.next().expect("one block per range"),
-            aged_age: aged_age.next().expect("one block per range"),
-            fresh_age: fresh_age.next().expect("one block per range"),
-            aged_idx: aged_idx.next().expect("one block per range"),
-            fresh_idx: fresh_idx.next().expect("one block per range"),
-            stale: stale.next().expect("one block per range"),
-            period,
+/// Allocation-free cursor over a [`DualArena32`] — the fast twin of the
+/// parent's `DualSplit`, extended with the quiescence bookkeeping
+/// columns.
+struct DualSplit32<'a> {
+    aged_h: &'a mut [f32],
+    aged_c: &'a mut [f32],
+    fresh_h: &'a mut [f32],
+    fresh_c: &'a mut [f32],
+    aged_age: &'a mut [u32],
+    fresh_age: &'a mut [u32],
+    aged_idx: &'a mut [u32],
+    fresh_idx: &'a mut [u32],
+    stale: &'a mut [bool],
+    period: u32,
+    hidden: usize,
+}
+
+impl<'a> DualSplit32<'a> {
+    fn new(a: &'a mut DualArena32) -> Self {
+        DualSplit32 {
+            aged_h: &mut a.aged_h,
+            aged_c: &mut a.aged_c,
+            fresh_h: &mut a.fresh_h,
+            fresh_c: &mut a.fresh_c,
+            aged_age: &mut a.aged_age,
+            fresh_age: &mut a.fresh_age,
+            aged_idx: &mut a.aged_idx,
+            fresh_idx: &mut a.fresh_idx,
+            stale: &mut a.stale,
+            period: a.period,
+            hidden: a.hidden,
+        }
+    }
+
+    /// The next `n` customers as a shard.
+    fn take(&mut self, n: usize) -> DualShard32<'a> {
+        let h = self.hidden;
+        DualShard32 {
+            aged_h: take_rows(&mut self.aged_h, n, h),
+            aged_c: take_rows(&mut self.aged_c, n, h),
+            fresh_h: take_rows(&mut self.fresh_h, n, h),
+            fresh_c: take_rows(&mut self.fresh_c, n, h),
+            aged_age: take_rows(&mut self.aged_age, n, 1),
+            fresh_age: take_rows(&mut self.fresh_age, n, 1),
+            aged_idx: take_rows(&mut self.aged_idx, n, 1),
+            fresh_idx: take_rows(&mut self.fresh_idx, n, 1),
+            stale: take_rows(&mut self.stale, n, 1),
+            period: self.period,
             hidden: h,
-        })
-        .collect()
+        }
+    }
 }
 
 fn dual_shard_all32(a: &mut DualArena32) -> DualShard32<'_> {
@@ -645,75 +669,116 @@ fn dual_shard_all32(a: &mut DualArena32) -> DualShard32<'_> {
     }
 }
 
-fn build_fast_shards<'a>(
-    arenas: &'a mut FleetArenas,
-    fa: &'a mut FastArenas,
-    ranges: &[(usize, usize)],
+/// Allocation-free cursor over the scalar [`FleetArenas`] plus the `f32`
+/// [`FastArenas`] — the fast twin of the parent's `ShardSplit`. Each
+/// [`FastShardSplit::take`] yields the next contiguous customer block as
+/// a [`Shard32`]; blocks must be taken in range order starting at 0.
+struct FastShardSplit<'a> {
     window: usize,
-) -> Vec<Shard32<'a>> {
-    let mut short = dual_shards32(&mut fa.short, ranges).into_iter();
-    let mut medium = dual_shards32(&mut fa.medium, ranges).into_iter();
-    let mut long = dual_shards32(&mut fa.long, ranges).into_iter();
-    let mut ring_buf = split_rows(&mut arenas.ring_buf, ranges, window).into_iter();
-    let mut ring_head = split_rows(&mut arenas.ring_head, ranges, 1).into_iter();
-    let mut ring_filled = split_rows(&mut arenas.ring_filled, ranges, 1).into_iter();
-    let mut ring_sum = split_rows(&mut arenas.ring_sum, ranges, 1).into_iter();
-    let mut med_partial = split_rows(&mut fa.med_partial, ranges, NUM_FEATURES).into_iter();
-    let mut med_count = split_rows(&mut arenas.med_count, ranges, 1).into_iter();
-    let mut long_partial = split_rows(&mut fa.long_partial, ranges, NUM_FEATURES).into_iter();
-    let mut long_count = split_rows(&mut arenas.long_count, ranges, 1).into_iter();
-    let mut last_frame = split_rows(&mut fa.last_frame, ranges, NUM_FEATURES).into_iter();
-    let mut last_zero = split_rows(&mut fa.last_zero, ranges, 1).into_iter();
-    let mut med_zero = split_rows(&mut fa.med_zero, ranges, 1).into_iter();
-    let mut long_zero = split_rows(&mut fa.long_zero, ranges, 1).into_iter();
-    let mut short_step = split_rows(&mut fa.short_step, ranges, 1).into_iter();
-    let mut med_step = split_rows(&mut fa.med_step, ranges, 1).into_iter();
-    let mut long_step = split_rows(&mut fa.long_step, ranges, 1).into_iter();
-    let mut active_since = split_rows(&mut arenas.active_since, ranges, 1).into_iter();
-    let mut quiet_run = split_rows(&mut arenas.quiet_run, ranges, 1).into_iter();
-    let mut last_survival = split_rows(&mut arenas.last_survival, ranges, 1).into_iter();
-    let mut observed = split_rows(&mut arenas.observed, ranges, 1).into_iter();
-    let mut stale_run = split_rows(&mut arenas.stale_run, ranges, 1).into_iter();
-    let mut last_minute = split_rows(&mut arenas.last_minute, ranges, 1).into_iter();
-    let mut driven = split_rows(&mut arenas.driven, ranges, 1).into_iter();
-    let mut med_done = split_rows(&mut arenas.med_done, ranges, 1).into_iter();
-    let mut long_done = split_rows(&mut arenas.long_done, ranges, 1).into_iter();
-    ranges
-        .iter()
-        .map(|&(start, _)| Shard32 {
+    next_start: usize,
+    short: DualSplit32<'a>,
+    medium: DualSplit32<'a>,
+    long: DualSplit32<'a>,
+    ring_buf: &'a mut [f64],
+    ring_head: &'a mut [u32],
+    ring_filled: &'a mut [u32],
+    ring_sum: &'a mut [f64],
+    med_partial: &'a mut [f32],
+    med_count: &'a mut [u32],
+    long_partial: &'a mut [f32],
+    long_count: &'a mut [u32],
+    last_frame: &'a mut [f32],
+    last_zero: &'a mut [bool],
+    med_zero: &'a mut [bool],
+    long_zero: &'a mut [bool],
+    short_step: &'a mut [bool],
+    med_step: &'a mut [bool],
+    long_step: &'a mut [bool],
+    active_since: &'a mut [Option<u32>],
+    quiet_run: &'a mut [u32],
+    last_survival: &'a mut [f64],
+    observed: &'a mut [u32],
+    stale_run: &'a mut [u32],
+    last_minute: &'a mut [Option<u32>],
+    driven: &'a mut [bool],
+    med_done: &'a mut [bool],
+    long_done: &'a mut [bool],
+}
+
+impl<'a> FastShardSplit<'a> {
+    fn new(arenas: &'a mut FleetArenas, fa: &'a mut FastArenas, window: usize) -> Self {
+        FastShardSplit {
+            window,
+            next_start: 0,
+            short: DualSplit32::new(&mut fa.short),
+            medium: DualSplit32::new(&mut fa.medium),
+            long: DualSplit32::new(&mut fa.long),
+            ring_buf: &mut arenas.ring_buf,
+            ring_head: &mut arenas.ring_head,
+            ring_filled: &mut arenas.ring_filled,
+            ring_sum: &mut arenas.ring_sum,
+            med_partial: &mut fa.med_partial,
+            med_count: &mut arenas.med_count,
+            long_partial: &mut fa.long_partial,
+            long_count: &mut arenas.long_count,
+            last_frame: &mut fa.last_frame,
+            last_zero: &mut fa.last_zero,
+            med_zero: &mut fa.med_zero,
+            long_zero: &mut fa.long_zero,
+            short_step: &mut fa.short_step,
+            med_step: &mut fa.med_step,
+            long_step: &mut fa.long_step,
+            active_since: &mut arenas.active_since,
+            quiet_run: &mut arenas.quiet_run,
+            last_survival: &mut arenas.last_survival,
+            observed: &mut arenas.observed,
+            stale_run: &mut arenas.stale_run,
+            last_minute: &mut arenas.last_minute,
+            driven: &mut arenas.driven,
+            med_done: &mut arenas.med_done,
+            long_done: &mut arenas.long_done,
+        }
+    }
+
+    /// The next `n` customers as a shard.
+    fn take(&mut self, n: usize) -> Shard32<'a> {
+        let window = self.window;
+        let start = self.next_start;
+        self.next_start += n;
+        Shard32 {
             start,
-            short: short.next().expect("one block per range"),
-            medium: medium.next().expect("one block per range"),
-            long: long.next().expect("one block per range"),
+            short: self.short.take(n),
+            medium: self.medium.take(n),
+            long: self.long.take(n),
             ring: RingShard {
-                buf: ring_buf.next().expect("one block per range"),
-                head: ring_head.next().expect("one block per range"),
-                filled: ring_filled.next().expect("one block per range"),
-                sum: ring_sum.next().expect("one block per range"),
+                buf: take_rows(&mut self.ring_buf, n, window),
+                head: take_rows(&mut self.ring_head, n, 1),
+                filled: take_rows(&mut self.ring_filled, n, 1),
+                sum: take_rows(&mut self.ring_sum, n, 1),
                 window,
             },
-            med_partial: med_partial.next().expect("one block per range"),
-            med_count: med_count.next().expect("one block per range"),
-            long_partial: long_partial.next().expect("one block per range"),
-            long_count: long_count.next().expect("one block per range"),
-            last_frame: last_frame.next().expect("one block per range"),
-            last_zero: last_zero.next().expect("one block per range"),
-            med_zero: med_zero.next().expect("one block per range"),
-            long_zero: long_zero.next().expect("one block per range"),
-            short_step: short_step.next().expect("one block per range"),
-            med_step: med_step.next().expect("one block per range"),
-            long_step: long_step.next().expect("one block per range"),
-            active_since: active_since.next().expect("one block per range"),
-            quiet_run: quiet_run.next().expect("one block per range"),
-            last_survival: last_survival.next().expect("one block per range"),
-            observed: observed.next().expect("one block per range"),
-            stale_run: stale_run.next().expect("one block per range"),
-            last_minute: last_minute.next().expect("one block per range"),
-            driven: driven.next().expect("one block per range"),
-            med_done: med_done.next().expect("one block per range"),
-            long_done: long_done.next().expect("one block per range"),
-        })
-        .collect()
+            med_partial: take_rows(&mut self.med_partial, n, NUM_FEATURES),
+            med_count: take_rows(&mut self.med_count, n, 1),
+            long_partial: take_rows(&mut self.long_partial, n, NUM_FEATURES),
+            long_count: take_rows(&mut self.long_count, n, 1),
+            last_frame: take_rows(&mut self.last_frame, n, NUM_FEATURES),
+            last_zero: take_rows(&mut self.last_zero, n, 1),
+            med_zero: take_rows(&mut self.med_zero, n, 1),
+            long_zero: take_rows(&mut self.long_zero, n, 1),
+            short_step: take_rows(&mut self.short_step, n, 1),
+            med_step: take_rows(&mut self.med_step, n, 1),
+            long_step: take_rows(&mut self.long_step, n, 1),
+            active_since: take_rows(&mut self.active_since, n, 1),
+            quiet_run: take_rows(&mut self.quiet_run, n, 1),
+            last_survival: take_rows(&mut self.last_survival, n, 1),
+            observed: take_rows(&mut self.observed, n, 1),
+            stale_run: take_rows(&mut self.stale_run, n, 1),
+            last_minute: take_rows(&mut self.last_minute, n, 1),
+            driven: take_rows(&mut self.driven, n, 1),
+            med_done: take_rows(&mut self.med_done, n, 1),
+            long_done: take_rows(&mut self.long_done, n, 1),
+        }
+    }
 }
 
 /// The whole fleet as a single fast shard (the allocation-free
@@ -1083,9 +1148,16 @@ impl FleetDetector {
         if self.fast.is_some() {
             return;
         }
-        let short = Lstm32::from_f64(self.model.lstm_short());
-        let medium = Lstm32::from_f64(self.model.lstm_medium());
-        let long = Lstm32::from_f64(self.model.lstm_long());
+        let mut short = Lstm32::from_f64(self.model.lstm_short());
+        let mut medium = Lstm32::from_f64(self.model.lstm_medium());
+        let mut long = Lstm32::from_f64(self.model.lstm_long());
+        if self.no_simd {
+            // Config knob beats env/auto dispatch — pin the scalar
+            // reference kernels (bit-identical either way).
+            short.set_simd(xatu_nn::simd::SimdLevel::Scalar);
+            medium.set_simd(xatu_nn::simd::SimdLevel::Scalar);
+            long.set_simd(xatu_nn::simd::SimdLevel::Scalar);
+        }
         let traj_s = IdleTrajectory::new(&short, self.ctx_lens.0 as u32);
         let traj_m = IdleTrajectory::new(&medium, self.ctx_lens.1 as u32);
         let traj_l = IdleTrajectory::new(&long, self.ctx_lens.2 as u32);
@@ -1201,7 +1273,7 @@ impl FleetDetector {
             self.fast = Some(fs);
             return Ok(&self.events);
         }
-        let threads = threads.clamp(1, n);
+        let threads = threads.clamp(1, n).min(MAX_SHARDS);
         while self.workers.len() < threads {
             self.workers.push(WorkerScratch::new());
         }
@@ -1425,6 +1497,9 @@ impl FleetDetector {
             }
         };
 
+        // Mirrors the parent's dispatch: reusable range scratch, a
+        // borrow-splitting cursor, stack task slots, and the persistent
+        // worker pool — zero per-minute allocations at any thread count.
         let active = if threads == 1 {
             worker((
                 shard_all_fast(&mut self.arenas, fast_arenas, window),
@@ -1432,14 +1507,27 @@ impl FleetDetector {
             ));
             1
         } else {
-            let ranges = block_ranges(n, threads);
-            let shards = build_fast_shards(&mut self.arenas, fast_arenas, &ranges, window);
-            let tasks: Vec<(Shard32<'_>, &mut WorkerScratch)> = shards
-                .into_iter()
+            block_ranges_into(n, threads, &mut self.range_scratch);
+            let parts = self.range_scratch.len();
+            let pool = self.pool.get_or_insert_with(WorkerPool::default);
+            pool.ensure_workers(parts - 1);
+            let mut split = FastShardSplit::new(&mut self.arenas, fast_arenas, window);
+            let mut slots: [Option<(Shard32<'_>, &mut WorkerScratch)>; MAX_SHARDS] =
+                std::array::from_fn(|_| None);
+            for ((&(s, e), w), slot) in self
+                .range_scratch
+                .iter()
                 .zip(self.workers.iter_mut())
-                .collect();
-            par_run_tasks(tasks, worker);
-            ranges.len()
+                .zip(slots.iter_mut())
+            {
+                *slot = Some((split.take(e - s), w));
+            }
+            pool.run_tasks(&mut slots[..parts], &|slot| {
+                if let Some(task) = slot.take() {
+                    worker(task);
+                }
+            });
+            parts
         };
         self.fast = Some(fs);
 

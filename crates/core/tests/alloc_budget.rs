@@ -18,6 +18,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use xatu_core::config::XatuConfig;
+use xatu_core::fleet::{FleetDetector, FleetInput};
 use xatu_core::model::{ForwardTrace, ModelWorkspace, XatuModel};
 use xatu_core::sample::{Sample, SampleMeta, WideSample};
 use xatu_features::frame::{NUM_FEATURES, VOLUMETRIC_WIDTH};
@@ -171,5 +172,64 @@ fn hot_path_allocation_budget() {
         "steady-state autoencoder pass allocated {} times ({} bytes)",
         a3 - a2,
         ab3 - ab2
+    );
+
+    // --- Fleet batch step: zero steady-state allocations at any thread
+    // count. The sharded path's range buffer, shard cursor, task slots
+    // and worker pool are all reused scratch, so a warm minute performs
+    // no heap allocation even at `threads = 4` — the counting allocator
+    // is process-global, so pool-thread allocations would be caught too.
+    let fleet_cfg = XatuConfig::smoke_test();
+    let fleet_model = XatuModel::new(&fleet_cfg);
+    // Threshold 0.0: survival can never go below it, so no alert ever
+    // raises and the lifecycle event buffers stay empty (asserted below —
+    // an event push would be a legitimate allocation, not a regression).
+    let mut fleet = FleetDetector::new(fleet_model, AttackType::UdpFlood, 0.0, &fleet_cfg);
+    for i in 0..32u32 {
+        fleet.add_customer(Ipv4(0x0a00_0000 + i));
+    }
+    let fill = |_i: usize, _a: Ipv4, frame: &mut [f64]| {
+        frame.fill(0.0);
+        frame[0] = 0.02;
+        frame[1] = 0.1;
+        FleetInput::Frame
+    };
+    // Warm-up: single-thread minutes grow worker 0's workspace for the
+    // full-fleet batch, then sharded minutes spawn the pool, size the
+    // range scratch, and cover full medium/long pooling cycles so every
+    // boundary-minute code path has run at least once per shard width.
+    for m in 0..60 {
+        fleet.step_minute_batch(m, 1, fill).unwrap();
+    }
+    for m in 60..180 {
+        fleet.step_minute_batch(m, 4, fill).unwrap();
+    }
+    // Steady state, single-threaded: a full long-granularity cycle.
+    let (f0, fb0) = snapshot();
+    for m in 180..240 {
+        let events = fleet.step_minute_batch(m, 1, fill).unwrap();
+        assert!(events.is_empty(), "unexpected lifecycle event at {m}");
+    }
+    let (f1, fb1) = snapshot();
+    assert_eq!(
+        f1 - f0,
+        0,
+        "steady-state fleet minutes (threads = 1) allocated {} times ({} bytes)",
+        f1 - f0,
+        fb1 - fb0
+    );
+    // Steady state, sharded: same cycle at 4 threads.
+    let (f2, fb2) = snapshot();
+    for m in 240..300 {
+        let events = fleet.step_minute_batch(m, 4, fill).unwrap();
+        assert!(events.is_empty(), "unexpected lifecycle event at {m}");
+    }
+    let (f3, fb3) = snapshot();
+    assert_eq!(
+        f3 - f2,
+        0,
+        "steady-state fleet minutes (threads = 4) allocated {} times ({} bytes)",
+        f3 - f2,
+        fb3 - fb2
     );
 }

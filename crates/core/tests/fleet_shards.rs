@@ -1,0 +1,175 @@
+//! Shard-boundary bit-identity for the fleet batch step.
+//!
+//! The sharded dispatch carves the customer arenas into contiguous
+//! blocks and the batched kernels tile each block — so the interesting
+//! edge cases are small fleets around the tile/lane widths: `n` smaller
+//! than `threads`, `n` not a multiple of the 4-customer tile or the
+//! 8-customer SIMD lane width, and block boundaries landing mid-tile.
+//! Every fleet size 1..=17 is driven through a schedule that mixes real
+//! frames, explicit gaps, skips (catch-up imputation) and attack bursts,
+//! and every minute's survivals and lifecycle events are required to be
+//! **bit-identical** across thread counts — and, under `fast-math`,
+//! between auto SIMD dispatch and the forced-scalar reference.
+
+use xatu_core::config::XatuConfig;
+use xatu_core::fleet::{FleetDetector, FleetInput};
+use xatu_core::model::XatuModel;
+use xatu_netflow::addr::Ipv4;
+use xatu_netflow::attack::AttackType;
+
+const MINUTES: u32 = 75;
+
+fn addr(i: usize) -> Ipv4 {
+    Ipv4(0x0a00_0100 + i as u32)
+}
+
+fn build(n: usize) -> FleetDetector {
+    let cfg = XatuConfig::smoke_test();
+    let model = XatuModel::new(&cfg);
+    let mut det = FleetDetector::new(model, AttackType::UdpFlood, 0.35, &cfg);
+    for i in 0..n {
+        det.add_customer(addr(i));
+    }
+    det
+}
+
+/// Deterministic per-(customer, minute) input: mostly benign frames,
+/// periodic gaps and skips (to exercise imputation and catch-up), and a
+/// per-customer attack burst late enough to clear warm-up.
+fn fill(i: usize, _a: Ipv4, frame: &mut [f64], minute: u32) -> FleetInput {
+    let key = i as u32 * 31 + minute;
+    if key % 11 == 7 {
+        return FleetInput::Skip;
+    }
+    if key % 7 == 3 {
+        return FleetInput::Gap;
+    }
+    frame.fill(0.0);
+    frame[0] = 0.02 + (i as f64) * 1e-3;
+    frame[1] = 0.1;
+    let burst_start = 40 + (i as u32 % 5) * 4;
+    if minute >= burst_start && minute < burst_start + 8 {
+        frame[0] = 2.0 + (minute - burst_start) as f64 * 0.4;
+        frame[2] = 1.5;
+    }
+    FleetInput::Frame
+}
+
+/// Drives `det` for [`MINUTES`] at `threads`, returning every minute's
+/// event log and the full per-customer survival trace (as raw bits).
+fn run(mut det: FleetDetector, n: usize, threads: usize) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let mut events = Vec::new();
+    let mut survivals = Vec::new();
+    for m in 0..MINUTES {
+        let evs = det
+            .step_minute_batch(m, threads, |i, a, f| fill(i, a, f, m))
+            .unwrap();
+        // Events are Copy + PartialEq; hash-free bitwise compare via Debug
+        // would be lossy, so keep a canonical encoding: (kind, customer,
+        // detected_at, end).
+        events.push(
+            evs.iter()
+                .map(|e| {
+                    let (kind, al) = match e {
+                        xatu_detectors::traits::DetectorEvent::Raised(a) => (1u64, a),
+                        xatu_detectors::traits::DetectorEvent::Ended(a) => (2u64, a),
+                    };
+                    (kind << 62)
+                        | ((al.customer.0 as u64) << 30)
+                        | ((al.detected_at as u64) << 8)
+                        | al.mitigation_end.map_or(0xff, |e| e as u64) % 0xff
+                })
+                .collect(),
+        );
+        for i in 0..n {
+            survivals.push(det.survival_of(addr(i)).to_bits());
+        }
+    }
+    (events, survivals)
+}
+
+#[test]
+fn thread_count_is_bit_invariant_for_every_small_fleet() {
+    for n in 1..=17usize {
+        let reference = run(build(n), n, 1);
+        for threads in [2usize, 4] {
+            let got = run(build(n), n, threads);
+            assert_eq!(
+                reference.0, got.0,
+                "events diverged at n = {n}, threads = {threads}"
+            );
+            assert_eq!(
+                reference.1, got.1,
+                "survival bits diverged at n = {n}, threads = {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_customers_clamps_cleanly() {
+    // n < threads must behave exactly like threads = n (the clamp), not
+    // panic or produce empty shards.
+    for n in [1usize, 2, 3] {
+        let reference = run(build(n), n, 1);
+        let got = run(build(n), n, 16);
+        assert_eq!(reference.0, got.0, "events diverged at n = {n}");
+        assert_eq!(reference.1, got.1, "survival bits diverged at n = {n}");
+    }
+}
+
+#[cfg(feature = "fast-math")]
+mod fast {
+    use super::*;
+
+    fn build_fast(n: usize, no_simd: bool) -> FleetDetector {
+        let mut cfg = XatuConfig::smoke_test();
+        cfg.no_simd = no_simd;
+        let model = XatuModel::new(&cfg);
+        let mut det = FleetDetector::new_fast(model, AttackType::UdpFlood, 0.35, &cfg);
+        for i in 0..n {
+            det.add_customer(addr(i));
+        }
+        det
+    }
+
+    #[test]
+    fn fast_thread_count_is_bit_invariant_for_every_small_fleet() {
+        for n in 1..=17usize {
+            let reference = run(build_fast(n, false), n, 1);
+            for threads in [2usize, 4] {
+                let got = run(build_fast(n, false), n, threads);
+                assert_eq!(
+                    reference.0, got.0,
+                    "fast events diverged at n = {n}, threads = {threads}"
+                );
+                assert_eq!(
+                    reference.1, got.1,
+                    "fast survival bits diverged at n = {n}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_matches_auto_simd_dispatch_bitwise() {
+        // Fleet sizes straddling the 8-lane AVX2 width and the 4-lane
+        // SSE2 width, at 1 and 4 threads: the SIMD kernels vectorize
+        // across the customer-batch dimension without changing any
+        // customer's reduction order, so `no_simd` must not move a bit.
+        for n in [1usize, 3, 4, 7, 8, 9, 15, 16, 17] {
+            for threads in [1usize, 4] {
+                let auto = run(build_fast(n, false), n, threads);
+                let scalar = run(build_fast(n, true), n, threads);
+                assert_eq!(
+                    auto.0, scalar.0,
+                    "events diverged at n = {n}, threads = {threads}"
+                );
+                assert_eq!(
+                    auto.1, scalar.1,
+                    "survival bits diverged at n = {n}, threads = {threads}"
+                );
+            }
+        }
+    }
+}

@@ -67,21 +67,21 @@ pub const FAST_SIGMOID32_MAX_ABS_ERR: f64 = 5e-7;
 // The trailing digits keep the literal identical to the f32-fitted
 // constant's decimal expansion; f64 rounds them away harmlessly.
 #[allow(clippy::excessive_precision)]
-const CLAMP: f64 = 7.905_311_107_635_498_05;
+pub(crate) const CLAMP: f64 = 7.905_311_107_635_498_05;
 
 // Odd rational tanh coefficients (numerator x·p(x²), denominator
 // q(x²)); the classic float-fitted set used by Eigen's ptanh.
-const A1: f64 = 4.893_524_558_917_86e-3;
-const A3: f64 = 6.372_619_288_754_36e-4;
-const A5: f64 = 1.485_722_357_179_79e-5;
-const A7: f64 = 5.122_297_090_371_14e-8;
-const A9: f64 = -8.604_671_522_137_35e-11;
-const A11: f64 = 2.000_187_904_824_77e-13;
-const A13: f64 = -2.760_768_477_423_55e-16;
-const B0: f64 = 4.893_525_185_543_85e-3;
-const B2: f64 = 2.268_434_632_439_00e-3;
-const B4: f64 = 1.185_347_056_866_54e-4;
-const B6: f64 = 1.198_258_394_667_02e-6;
+pub(crate) const A1: f64 = 4.893_524_558_917_86e-3;
+pub(crate) const A3: f64 = 6.372_619_288_754_36e-4;
+pub(crate) const A5: f64 = 1.485_722_357_179_79e-5;
+pub(crate) const A7: f64 = 5.122_297_090_371_14e-8;
+pub(crate) const A9: f64 = -8.604_671_522_137_35e-11;
+pub(crate) const A11: f64 = 2.000_187_904_824_77e-13;
+pub(crate) const A13: f64 = -2.760_768_477_423_55e-16;
+pub(crate) const B0: f64 = 4.893_525_185_543_85e-3;
+pub(crate) const B2: f64 = 2.268_434_632_439_00e-3;
+pub(crate) const B4: f64 = 1.185_347_056_866_54e-4;
+pub(crate) const B6: f64 = 1.198_258_394_667_02e-6;
 
 /// Rational tanh approximation, `f64` in and out.
 ///

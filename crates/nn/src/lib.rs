@@ -49,6 +49,7 @@ pub mod lstm32;
 pub mod matrix;
 pub mod pooling;
 pub mod serialize;
+pub mod simd;
 
 pub use adam::Adam;
 pub use arena::FrameArena;
@@ -58,6 +59,7 @@ pub use gradpool::GradBufferPool;
 pub use lstm::{Lstm, LstmState, LstmTrace, LstmWorkspace, OnlineBlockWorkspace};
 pub use lstm32::{Lstm32, Matrix32, OnlineBlockWorkspace32};
 pub use matrix::Matrix;
+pub use simd::SimdLevel;
 
 /// A parameter container that exposes its (parameter, gradient) pairs.
 ///

@@ -22,6 +22,7 @@
 use crate::fastmath::{fast_sigmoid32, fast_tanh32};
 use crate::lstm::Lstm;
 use crate::matrix::Matrix;
+use crate::simd::{self, SimdLevel};
 
 /// Row-major `f32` matrix — the widened-weight counterpart of
 /// [`Matrix`], carrying only the kernels the online scoring path needs.
@@ -187,6 +188,64 @@ impl Matrix32 {
             }
         }
     }
+
+    /// [`Matrix32::matvec_acc_batch`] dispatched through a
+    /// [`SimdLevel`]: AVX2 runs 8-customer `ymm` tiles, SSE2 4-customer
+    /// `xmm` tiles, and remainder columns (plus the whole batch at
+    /// [`SimdLevel::Scalar`] or on non-x86_64 targets) take the scalar
+    /// reference. Every level produces bit-identical `ys` — the vector
+    /// tiles replicate the scalar summation contract per lane (see
+    /// [`crate::simd`]). `xt` is reusable transpose scratch sized
+    /// `width × cols` on demand.
+    ///
+    /// # Panics
+    /// Panics if slice lengths disagree with `batch` and the shape.
+    pub fn matvec_acc_batch_level(
+        &self,
+        xs: &[f32],
+        batch: usize,
+        ys: &mut [f32],
+        level: SimdLevel,
+        xt: &mut Vec<f32>,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let (rows, cols) = (self.rows, self.cols);
+            let width = match level {
+                SimdLevel::Avx2 if batch >= 8 => 8,
+                SimdLevel::Avx2 | SimdLevel::Sse2 if batch >= 4 => 4,
+                _ => 0,
+            };
+            if width > 0 {
+                assert_eq!(xs.len(), batch * cols, "matvec32_batch: xs length");
+                assert_eq!(ys.len(), batch * rows, "matvec32_batch: ys length");
+                xt.clear();
+                xt.resize(width * cols, 0.0);
+                // SAFETY: a non-scalar `level` only arises from
+                // `simd::detect()` / `simd::supported()` (see
+                // `Lstm32::set_simd`), which verified the feature on this
+                // CPU at runtime; SSE2 is part of the x86_64 baseline.
+                unsafe {
+                    if width == 8 {
+                        simd::x86::matvec_acc_batch_avx2(&self.data, rows, cols, xs, batch, ys, xt);
+                    } else {
+                        simd::x86::matvec_acc_batch_sse2(&self.data, rows, cols, xs, batch, ys, xt);
+                    }
+                }
+                // Remainder columns: the scalar per-column kernel, exactly
+                // as the scalar tile kernel finishes its partial tile.
+                for cj in (batch - batch % width)..batch {
+                    let x = &xs[cj * cols..(cj + 1) * cols];
+                    for (r, yr) in ys[cj * rows..(cj + 1) * rows].iter_mut().enumerate() {
+                        *yr += dot4_32(self.row(r), x);
+                    }
+                }
+                return;
+            }
+        }
+        let _ = (level, &xt);
+        self.matvec_acc_batch(xs, batch, ys);
+    }
 }
 
 /// Appends the ascending indices of `x`'s exact-nonzero entries to
@@ -247,6 +306,9 @@ pub struct OnlineBlockWorkspace32 {
     zx: Vec<f32>,
     /// Lane scratch for [`Matrix32::matvec_acc_nz_t`], `4 × 4·hidden`.
     lanes: Vec<f32>,
+    /// Customer-major → lane-major transpose scratch for the SIMD tile
+    /// kernels ([`Matrix32::matvec_acc_batch_level`]), `width × cols`.
+    xt: Vec<f32>,
 }
 
 impl OnlineBlockWorkspace32 {
@@ -267,6 +329,10 @@ pub struct Lstm32 {
     wh: Matrix32,  // 4h × hidden
     wxt: Matrix32, // input × 4h
     b: Vec<f32>,   // 4h
+    /// SIMD level for the batched kernels, captured at construction via
+    /// [`simd::detect`] (so `XATU_NO_SIMD` is honored) and overridable
+    /// with [`Lstm32::set_simd`]. Every level is bit-identical.
+    simd: SimdLevel,
 }
 
 impl Lstm32 {
@@ -285,6 +351,7 @@ impl Lstm32 {
             wh,
             wxt,
             b,
+            simd: simd::detect(),
         }
     }
 
@@ -296,6 +363,19 @@ impl Lstm32 {
     /// Hidden dimension.
     pub fn hidden_dim(&self) -> usize {
         self.hidden
+    }
+
+    /// The SIMD level the batched kernels currently dispatch to.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+
+    /// Overrides the dispatch level, clamped to what the host supports
+    /// (so requesting AVX2 on an SSE2-only CPU safely degrades). Forcing
+    /// [`SimdLevel::Scalar`] pins the reference path; results are
+    /// bit-identical at every level.
+    pub fn set_simd(&mut self, level: SimdLevel) {
+        self.simd = level.min(simd::supported());
     }
 
     /// The scalar reference online step on raw f32 state slices — the
@@ -359,20 +439,23 @@ impl Lstm32 {
         assert_eq!(fresh_cs.len(), batch * self.hidden, "lstm32 dual: fresh c");
         ws.zx.clear();
         ws.zx.resize(batch * h4, 0.0);
-        self.input_preactivations(xs, batch, &mut ws.nz, &mut ws.lanes, &mut ws.zx);
+        self.input_preactivations(xs, batch, &mut ws.nz, &mut ws.lanes, &mut ws.zx, &mut ws.xt);
         ws.zs.clear();
         ws.zs.resize(batch * h4, 0.0);
         ws.zs.copy_from_slice(&ws.zx);
-        self.wh.matvec_acc_batch(aged_hs, batch, &mut ws.zs);
-        self.gate_block(&ws.zs, batch, aged_hs, aged_cs);
-        self.wh.matvec_acc_batch(fresh_hs, batch, &mut ws.zx);
-        self.gate_block(&ws.zx, batch, fresh_hs, fresh_cs);
+        self.wh
+            .matvec_acc_batch_level(aged_hs, batch, &mut ws.zs, self.simd, &mut ws.xt);
+        self.gate_block_level(&ws.zs, batch, aged_hs, aged_cs, self.simd);
+        self.wh
+            .matvec_acc_batch_level(fresh_hs, batch, &mut ws.zx, self.simd, &mut ws.xt);
+        self.gate_block_level(&ws.zx, batch, fresh_hs, fresh_cs, self.simd);
     }
 
     /// Per-customer input contribution `b + Wx·x` into `zs`, routing
     /// each row dense (tiled batch kernel over maximal runs) or sparse
     /// (transposed index kernel) exactly like the f64
     /// `input_preactivations` — both routes bit-identical in f32.
+    #[allow(clippy::too_many_arguments)]
     fn input_preactivations(
         &self,
         xs: &[f32],
@@ -380,6 +463,7 @@ impl Lstm32 {
         nz: &mut Vec<u32>,
         lanes: &mut Vec<f32>,
         zs: &mut [f32],
+        xt: &mut Vec<f32>,
     ) {
         let h4 = 4 * self.hidden;
         for c in 0..batch {
@@ -402,10 +486,12 @@ impl Lstm32 {
             match (dense_start, is_dense) {
                 (None, true) => dense_start = Some(c),
                 (Some(s), false) => {
-                    self.wx.matvec_acc_batch(
+                    self.wx.matvec_acc_batch_level(
                         &xs[s * self.input..c * self.input],
                         c - s,
                         &mut zs[s * h4..c * h4],
+                        self.simd,
+                        xt,
                     );
                     dense_start = None;
                 }
@@ -433,6 +519,40 @@ impl Lstm32 {
                 hc[k] = o * fast_tanh32(cv);
             }
         }
+    }
+
+    /// [`Lstm32::gate_block`] dispatched through a [`SimdLevel`]: the
+    /// vector kernels run the same rational activations with compare-mask
+    /// branch replication, eight (AVX2) or four (SSE2) gate slots at a
+    /// time, bit-identical to the scalar loop per slot (see
+    /// [`crate::simd`]).
+    pub fn gate_block_level(
+        &self,
+        zs: &[f32],
+        batch: usize,
+        hs: &mut [f32],
+        cs: &mut [f32],
+        level: SimdLevel,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        match level {
+            // SAFETY (both arms): a non-scalar `level` only arises from
+            // `simd::detect()` / `simd::supported()` (see
+            // `Lstm32::set_simd`), which verified the feature on this CPU
+            // at runtime; SSE2 is part of the x86_64 baseline.
+            SimdLevel::Avx2 => {
+                unsafe { simd::x86::gate_block_avx2(zs, batch, self.hidden, hs, cs) };
+                return;
+            }
+            SimdLevel::Sse2 => {
+                unsafe { simd::x86::gate_block_sse2(zs, batch, self.hidden, hs, cs) };
+                return;
+            }
+            SimdLevel::Scalar => {}
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = level;
+        self.gate_block(zs, batch, hs, cs);
     }
 }
 
@@ -490,9 +610,9 @@ mod tests {
         /// exercise tile boundaries and mixed dense/sparse routing.
         #[test]
         fn dual_block_matches_scalar(
-            batch in 1usize..11,
+            batch in 1usize..20,
             input in 1usize..19,
-            hidden in 1usize..9,
+            hidden in 1usize..11,
             seed in 0u64..1000,
         ) {
             let (_, l32) = layer(input, hidden, seed);
@@ -580,7 +700,7 @@ mod tests {
         fn batch_matches_per_column(
             rows in 1usize..13,
             cols in 1usize..13,
-            batch in 1usize..11,
+            batch in 1usize..20,
             seed in 0u64..1000,
         ) {
             let mut data = vec![0.0f32; rows * cols];
@@ -602,5 +722,136 @@ mod tests {
                 }
             }
         }
+
+        /// Level-dispatched batched matvec ≡ the scalar tile reference at
+        /// every level the host supports, with batches crossing the
+        /// 8-customer `ymm` tile boundary (0-ULP).
+        #[test]
+        fn batch_level_matches_scalar(
+            rows in 1usize..13,
+            cols in 1usize..13,
+            batch in 1usize..20,
+            seed in 0u64..1000,
+        ) {
+            let mut data = vec![0.0f32; rows * cols];
+            for (i, v) in data.iter_mut().enumerate() {
+                *v = ((seed % 97) as f32 * 0.13 + i as f32).cos();
+            }
+            let m = Matrix32 { rows, cols, data };
+            let mut xs = Vec::new();
+            for c in 0..batch {
+                xs.extend(frame(cols, seed ^ ((c as u64) << 5), c % 3 == 0));
+            }
+            let mut reference = vec![0.0f32; batch * rows];
+            m.matvec_acc_batch(&xs, batch, &mut reference);
+            let mut xt = Vec::new();
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                if level > simd::supported() {
+                    continue;
+                }
+                let mut ys = vec![0.0f32; batch * rows];
+                m.matvec_acc_batch_level(&xs, batch, &mut ys, level, &mut xt);
+                for (a, b) in ys.iter().zip(&reference) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        /// Level-dispatched gate kernel ≡ the scalar gate loop at every
+        /// supported level, including saturated, non-finite, and
+        /// clamp-boundary pre-activations (0-ULP).
+        #[test]
+        fn gate_level_matches_scalar(
+            batch in 1usize..6,
+            hidden in 1usize..20,
+            seed in 0u64..1000,
+        ) {
+            let (_, l32) = layer(3, hidden, seed);
+            let mut zs = Vec::new();
+            for c in 0..batch {
+                let mut z = frame(4 * hidden, seed ^ ((c as u64) << 7), false);
+                for v in z.iter_mut() {
+                    *v *= 3.0;
+                }
+                // Branch-edge values at deterministic slots.
+                z[0] = f32::NAN;
+                if z.len() > 2 {
+                    z[1] = f32::INFINITY;
+                    z[2] = f32::NEG_INFINITY;
+                }
+                if z.len() > 4 {
+                    z[3] = crate::fastmath::CLAMP as f32;
+                    z[4] = -(crate::fastmath::CLAMP as f32);
+                }
+                zs.extend(z);
+            }
+            let mut hs0 = vec![0.0f32; batch * hidden];
+            let mut cs0 = vec![0.0f32; batch * hidden];
+            for (i, v) in hs0.iter_mut().enumerate() {
+                *v = (i as f32).sin() * 0.3;
+            }
+            for (i, v) in cs0.iter_mut().enumerate() {
+                *v = (i as f32).cos() * 0.9;
+            }
+            let (mut rh, mut rc) = (hs0.clone(), cs0.clone());
+            l32.gate_block(&zs, batch, &mut rh, &mut rc);
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                if level > simd::supported() {
+                    continue;
+                }
+                let (mut h, mut c) = (hs0.clone(), cs0.clone());
+                l32.gate_block_level(&zs, batch, &mut h, &mut c, level);
+                for (a, b) in h.iter().zip(&rh) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in c.iter().zip(&rc) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Forcing the scalar path after construction reproduces the
+    /// auto-dispatched dual-block step bit-for-bit — the contract behind
+    /// the `XATU_NO_SIMD` / `no_simd` escape hatch.
+    #[test]
+    fn forced_scalar_dual_block_matches_auto_dispatch() {
+        let (_, auto_l) = layer(13, 9, 42);
+        let mut scalar_l = auto_l.clone();
+        scalar_l.set_simd(SimdLevel::Scalar);
+        assert_eq!(scalar_l.simd_level(), SimdLevel::Scalar);
+        let (input, hidden) = (13usize, 9usize);
+        let batch = 17; // crosses the 8-lane tile boundary with remainder
+        let mut xs = Vec::new();
+        for c in 0..batch {
+            xs.extend(frame(input, 42 ^ ((c as u64) << 3), c % 2 == 0));
+        }
+        let mk = |l: &Lstm32| {
+            let mut ah = vec![0.0f32; batch * hidden];
+            let mut ac = vec![0.0f32; batch * hidden];
+            for (i, v) in ah.iter_mut().enumerate() {
+                *v = (i as f32).sin() * 0.4;
+            }
+            for (i, v) in ac.iter_mut().enumerate() {
+                *v = (i as f32).cos() * 0.7;
+            }
+            let mut fh: Vec<f32> = ah.iter().map(|v| v * 0.5).collect();
+            let mut fc: Vec<f32> = ac.iter().map(|v| v * -0.25).collect();
+            let mut ws = OnlineBlockWorkspace32::new();
+            for _ in 0..3 {
+                l.step_online_dual_block(&xs, batch, &mut ah, &mut ac, &mut fh, &mut fc, &mut ws);
+            }
+            (ah, ac, fh, fc)
+        };
+        let a = mk(&auto_l);
+        let s = mk(&scalar_l);
+        assert!(
+            a.0.iter().zip(&s.0).all(|(x, y)| x.to_bits() == y.to_bits())
+                && a.1.iter().zip(&s.1).all(|(x, y)| x.to_bits() == y.to_bits())
+                && a.2.iter().zip(&s.2).all(|(x, y)| x.to_bits() == y.to_bits())
+                && a.3.iter().zip(&s.3).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "auto-dispatch ({}) diverged from forced scalar",
+            auto_l.simd_level().name()
+        );
     }
 }
